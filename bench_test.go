@@ -1,0 +1,323 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation: each
+// iteration regenerates the experiment's rows/series from the shared
+// corpus (see cmd/benchall for the pretty-printed output). The cheap
+// single-pass experiments run at full corpus scale; the multi-variant
+// sweeps (Table 3, Figures 3 and 5) run at small scale so a full
+// `go test -bench=.` stays in tens of seconds.
+//
+// Additional ablation benchmarks cover the design choices DESIGN.md §4
+// calls out (dictionary translation inside vsim, LSI rank) and the
+// substrate hot paths (SVD, dump parsing, one full type alignment).
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dump"
+	"repro/internal/experiments"
+	"repro/internal/linalg"
+	"repro/internal/lsi"
+	"repro/internal/synth"
+	"repro/internal/wiki"
+)
+
+var (
+	onceFull, onceSmall   sync.Once
+	setupFull, setupSmall *experiments.Setup
+)
+
+func fullSetup(b *testing.B) *experiments.Setup {
+	b.Helper()
+	onceFull.Do(func() {
+		s, err := experiments.NewSetup(synth.DefaultConfig())
+		if err != nil {
+			b.Fatalf("setup: %v", err)
+		}
+		setupFull = s
+	})
+	return setupFull
+}
+
+func smallSetup(b *testing.B) *experiments.Setup {
+	b.Helper()
+	onceSmall.Do(func() {
+		s, err := experiments.NewSetup(synth.SmallConfig())
+		if err != nil {
+			b.Fatalf("setup: %v", err)
+		}
+		setupSmall = s
+	})
+	return setupSmall
+}
+
+func BenchmarkTable1Alignments(b *testing.B) {
+	s := fullSetup(b)
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := s.Table1(cfg)
+		if len(rows) == 0 {
+			b.Fatal("no alignments")
+		}
+	}
+}
+
+func BenchmarkTable2Effectiveness(b *testing.B) {
+	s := fullSetup(b)
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	var avgF float64
+	for i := 0; i < b.N; i++ {
+		rows := s.Table2(cfg)
+		for _, r := range rows {
+			if r.Canon == "Avg" && r.Pair == wiki.PtEn {
+				avgF = r.WikiMatch.F
+			}
+		}
+	}
+	b.ReportMetric(avgF, "F/pt-en-avg")
+}
+
+func BenchmarkTable3Ablation(b *testing.B) {
+	s := smallSetup(b)
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := s.Table3(cfg)
+		if len(rows) != 13 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkTable5Overlap(b *testing.B) {
+	s := fullSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := s.Table5()
+		if len(rows) != 14 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkTable6Macro(b *testing.B) {
+	s := fullSetup(b)
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := s.Table6(cfg)
+		if len(rows) != 2 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkTable7MAP(b *testing.B) {
+	s := fullSetup(b)
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	var lsiMAP float64
+	for i := 0; i < b.N; i++ {
+		rows := s.Table7(cfg, s.Cfg.Seed)
+		lsiMAP = rows[0].PtEn
+	}
+	b.ReportMetric(lsiMAP, "MAP/lsi-pt-en")
+}
+
+func BenchmarkFigure3ReviseImpact(b *testing.B) {
+	s := smallSetup(b)
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bars := s.Figure3(cfg)
+		if len(bars) != 6 {
+			b.Fatalf("bars = %d", len(bars))
+		}
+	}
+}
+
+func BenchmarkFigure4CumulativeGain(b *testing.B) {
+	s := fullSetup(b)
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	var ptEnCG float64
+	for i := 0; i < b.N; i++ {
+		series, err := s.Figure4(cfg, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, sr := range series {
+			if sr.Name == "Pt→En" {
+				ptEnCG = sr.CG[len(sr.CG)-1]
+			}
+		}
+	}
+	b.ReportMetric(ptEnCG, "CG/pt-en@20")
+}
+
+func BenchmarkFigure5Thresholds(b *testing.B) {
+	s := smallSetup(b)
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points := s.Figure5(cfg)
+		if len(points) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFigure6LSITopK(b *testing.B) {
+	s := fullSetup(b)
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := s.Figure6(cfg)
+		if len(rows) != 8 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkFigure7COMAConfigs(b *testing.B) {
+	s := fullSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := s.Figure7()
+		if len(rows) != 12 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// ---------------------------------------------------------------- ablations
+
+// BenchmarkAblationDictionary quantifies the dictionary's contribution
+// to vsim (DESIGN.md §4 item 5): full WikiMatch vs NoDictionary.
+func BenchmarkAblationDictionary(b *testing.B) {
+	s := smallSetup(b)
+	for _, mode := range []struct {
+		name string
+		mod  func(*core.Config)
+	}{
+		{"with-dict", func(*core.Config) {}},
+		{"no-dict", func(c *core.Config) { c.NoDictionary = true }},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			mode.mod(&cfg)
+			var f float64
+			for i := 0; i < b.N; i++ {
+				var sum float64
+				n := 0
+				for _, tc := range s.Cases(wiki.PtEn) {
+					sum += s.EvaluateWeighted(tc, s.RunWikiMatch(tc, cfg)).F
+					n++
+				}
+				f = sum / float64(n)
+			}
+			b.ReportMetric(f, "F/pt-en-avg")
+		})
+	}
+}
+
+// BenchmarkAblationLSIRank sweeps the truncated-SVD rank (DESIGN.md §4
+// item 6).
+func BenchmarkAblationLSIRank(b *testing.B) {
+	s := smallSetup(b)
+	for _, rank := range []int{2, 5, 10, 20, 40} {
+		b.Run(rankName(rank), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.LSIRank = rank
+			var f float64
+			for i := 0; i < b.N; i++ {
+				var sum float64
+				n := 0
+				for _, tc := range s.Cases(wiki.PtEn) {
+					sum += s.EvaluateWeighted(tc, s.RunWikiMatch(tc, cfg)).F
+					n++
+				}
+				f = sum / float64(n)
+			}
+			b.ReportMetric(f, "F/pt-en-avg")
+		})
+	}
+}
+
+func rankName(r int) string {
+	return "rank-" + string(rune('0'+r/10)) + string(rune('0'+r%10))
+}
+
+// ---------------------------------------------------------------- substrate
+
+func BenchmarkSVD(b *testing.B) {
+	m := linalg.NewMatrix(60, 300)
+	for i := range m.Data {
+		m.Data[i] = float64((i*2654435761)%7) / 7
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := linalg.TruncatedSVD(m, 10)
+		if d.Rank() != 10 {
+			b.Fatal("bad rank")
+		}
+	}
+}
+
+func BenchmarkLSIBuild(b *testing.B) {
+	s := fullSetup(b)
+	var tc = s.Cases(wiki.PtEn)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model := lsi.Build(tc.TD.Duals, 10, tc.TD.Attrs...)
+		if model.Len() == 0 {
+			b.Fatal("empty model")
+		}
+	}
+}
+
+func BenchmarkWikiMatchFilmType(b *testing.B) {
+	s := fullSetup(b)
+	m := core.NewMatcher(core.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := m.MatchType(s.Corpus, wiki.PtEn, "filme", "film", s.Dict(wiki.PtEn))
+		if len(tr.Cross) == 0 {
+			b.Fatal("no correspondences")
+		}
+	}
+}
+
+func BenchmarkDumpWriteParse(b *testing.B) {
+	s := smallSetup(b)
+	var buf bytes.Buffer
+	if err := dump.WriteCorpus(&buf, s.Corpus, wiki.Portuguese); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := dump.NewReader(bytes.NewReader(raw))
+		n := 0
+		for {
+			_, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n == 0 {
+			b.Fatal("no pages")
+		}
+	}
+}

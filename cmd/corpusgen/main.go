@@ -1,0 +1,107 @@
+// Command corpusgen writes the synthetic multilingual Wikipedia to disk
+// as MediaWiki XML dumps (one per language) plus a JSON ground-truth
+// file, so the pipeline can be exercised from bytes exactly as it would
+// be on real dumps.
+//
+// Usage:
+//
+//	corpusgen [-out dir] [-scale small|full] [-seed N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dump"
+	"repro/internal/synth"
+)
+
+// truthJSON is the serialized ground-truth format: per canonical type,
+// the surface names per language with their canonical attribute ids.
+type truthJSON struct {
+	Types     map[string]map[string]map[string][]string `json:"types"`     // type → lang → surface → canons
+	TypeNames map[string]map[string]string              `json:"typeNames"` // lang → localized → canon
+}
+
+func main() {
+	out := flag.String("out", "corpus", "output directory")
+	scale := flag.String("scale", "small", "small or full")
+	seed := flag.Int64("seed", 0, "override generator seed (0 keeps the default)")
+	flag.Parse()
+
+	cfg := synth.SmallConfig()
+	if *scale == "full" {
+		cfg = synth.DefaultConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	corpus, truth, err := synth.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "generate:", err)
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, lang := range corpus.Languages() {
+		path := filepath.Join(*out, string(lang)+".xml")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := dump.WriteCorpus(f, corpus, lang); err != nil {
+			fmt.Fprintln(os.Stderr, "write dump:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d articles)\n", path, corpus.LenLang(lang))
+	}
+
+	tj := truthJSON{
+		Types:     make(map[string]map[string]map[string][]string),
+		TypeNames: make(map[string]map[string]string),
+	}
+	for canon, tt := range truth.Types {
+		tj.Types[canon] = make(map[string]map[string][]string)
+		for lang, names := range tt.CanonsOf {
+			m := make(map[string][]string, len(names))
+			for name, canons := range names {
+				m[name] = canons
+			}
+			tj.Types[canon][string(lang)] = m
+		}
+	}
+	for lang, names := range truth.TypeNameToCanon {
+		m := make(map[string]string, len(names))
+		for local, canon := range names {
+			m[local] = canon
+		}
+		tj.TypeNames[string(lang)] = m
+	}
+	path := filepath.Join(*out, "ground_truth.json")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tj); err != nil {
+		fmt.Fprintln(os.Stderr, "write truth:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

@@ -1,0 +1,122 @@
+// Command wikimatch runs the WikiMatch aligner end to end: it generates
+// (or loads) a multilingual corpus, matches entity types and attributes
+// across a language pair, and prints the derived correspondences with
+// their evaluation against the ground truth.
+//
+// Usage:
+//
+//	wikimatch [-pair pt-en|vi-en] [-type filme] [-scale small|full]
+//	          [-dumps dir]     load XML dumps (<lang>.xml) instead of generating
+//	          [-tsim 0.6] [-tlsi 0.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/dump"
+	"repro/internal/eval"
+	"repro/internal/synth"
+	"repro/internal/wiki"
+)
+
+func main() {
+	pairFlag := flag.String("pair", "pt-en", "language pair: pt-en or vi-en")
+	typeFlag := flag.String("type", "", "restrict output to one source-language type name")
+	scale := flag.String("scale", "small", "generated corpus scale: small or full")
+	dumpsDir := flag.String("dumps", "", "directory with <lang>.xml dumps to load instead of generating")
+	tsim := flag.Float64("tsim", 0.6, "certain-match threshold Tsim")
+	tlsi := flag.Float64("tlsi", 0.1, "correlation threshold TLSI")
+	flag.Parse()
+
+	var pair wiki.LanguagePair
+	switch *pairFlag {
+	case "pt-en":
+		pair = wiki.PtEn
+	case "vi-en":
+		pair = wiki.VnEn
+	default:
+		fmt.Fprintf(os.Stderr, "unknown pair %q\n", *pairFlag)
+		os.Exit(2)
+	}
+
+	var corpus *wiki.Corpus
+	var truth *synth.GroundTruth
+	if *dumpsDir != "" {
+		corpus = wiki.NewCorpus()
+		for _, lang := range []wiki.Language{wiki.English, wiki.Portuguese, wiki.Vietnamese} {
+			path := filepath.Join(*dumpsDir, string(lang)+".xml")
+			f, err := os.Open(path)
+			if os.IsNotExist(err) {
+				continue
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "open dump:", err)
+				os.Exit(1)
+			}
+			res, err := dump.LoadCorpus(corpus, f, lang)
+			f.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "load dump:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("loaded %s: %d pages (%d skipped, %d errors)\n",
+				path, res.Pages, res.Skipped, len(res.Errors))
+		}
+	} else {
+		cfg := synth.SmallConfig()
+		if *scale == "full" {
+			cfg = synth.DefaultConfig()
+		}
+		var err error
+		corpus, truth, err = synth.Generate(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "generate:", err)
+			os.Exit(1)
+		}
+	}
+
+	stats := corpus.Stats()
+	fmt.Printf("corpus: %v articles, %v infoboxes, %v cross pairs\n\n",
+		stats.Articles, stats.Infoboxes, stats.CrossPairs)
+
+	mcfg := core.DefaultConfig()
+	mcfg.TSim, mcfg.TLSI = *tsim, *tlsi
+	res := core.NewMatcher(mcfg).Match(corpus, pair)
+
+	fmt.Printf("matched entity types (%s):\n", pair)
+	for _, tp := range res.Types {
+		fmt.Printf("  %-28s ~ %s\n", tp[0], tp[1])
+	}
+	fmt.Println()
+
+	for _, tp := range res.Types {
+		if *typeFlag != "" && tp[0] != *typeFlag {
+			continue
+		}
+		tr := res.PerType[tp]
+		fmt.Printf("== %s ~ %s\n", tp[0], tp[1])
+		for _, p := range tr.CrossPairsSorted() {
+			fmt.Printf("  %-30s ~ %s\n", p[0], p[1])
+		}
+		if truth != nil {
+			if canon, ok := truth.CanonType(pair.A, tp[0]); ok {
+				tt := truth.Types[canon]
+				freqA, freqB := eval.AttributeFrequencies(corpus, pair, tp[0], tp[1])
+				g := eval.TruthPairs(freqA, freqB, pair, tt.Correct)
+				derived := make(eval.Correspondences)
+				for a, bs := range tr.Cross {
+					for b := range bs {
+						derived.Add(a, b)
+					}
+				}
+				prf := eval.Weighted(derived, g, freqA, freqB)
+				fmt.Printf("  → weighted P=%.2f R=%.2f F=%.2f\n", prf.Precision, prf.Recall, prf.F)
+			}
+		}
+		fmt.Println()
+	}
+}

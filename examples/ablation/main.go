@@ -1,0 +1,55 @@
+// Ablation: the component-contribution study of Section 4.2 (Table 3)
+// on a small corpus — run WikiMatch repeatedly, each time with one
+// component disabled, and report how precision and recall move.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	exp, err := repro.NewExperiments(repro.SmallCorpus())
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := repro.DefaultMatcherConfig()
+
+	type variant struct {
+		name string
+		cfg  repro.MatcherConfig
+	}
+	mk := func(name string, mod func(*repro.MatcherConfig)) variant {
+		cfg := base
+		mod(&cfg)
+		return variant{name, cfg}
+	}
+	variants := []variant{
+		mk("WikiMatch (full)", func(*repro.MatcherConfig) {}),
+		mk("without ReviseUncertain", func(c *repro.MatcherConfig) { c.DisableRevise = true }),
+		mk("without IntegrateMatches", func(c *repro.MatcherConfig) { c.DisableIntegrate = true }),
+		mk("random queue order", func(c *repro.MatcherConfig) { c.RandomOrder = true }),
+		mk("single step", func(c *repro.MatcherConfig) { c.SingleStep = true }),
+		mk("without vsim", func(c *repro.MatcherConfig) { c.DisableVSim = true }),
+		mk("without lsim", func(c *repro.MatcherConfig) { c.DisableLSim = true }),
+		mk("without LSI", func(c *repro.MatcherConfig) { c.DisableLSI = true }),
+		mk("without dictionary", func(c *repro.MatcherConfig) { c.NoDictionary = true }),
+	}
+
+	fmt.Printf("%-28s | %-20s\n", "configuration", "pt-en avg  P    R    F")
+	for _, v := range variants {
+		var sum repro.PRF
+		n := 0
+		for _, tc := range exp.Cases(repro.PtEn) {
+			prf := exp.EvaluateWeighted(tc, exp.RunWikiMatch(tc, v.cfg))
+			sum.Precision += prf.Precision
+			sum.Recall += prf.Recall
+			sum.F += prf.F
+			n++
+		}
+		fmt.Printf("%-28s |        %5.2f %5.2f %5.2f\n",
+			v.name, sum.Precision/float64(n), sum.Recall/float64(n), sum.F/float64(n))
+	}
+}

@@ -1,0 +1,62 @@
+// Confidence: the uncertainty extension. Every correspondence WikiMatch
+// derives carries a confidence score combining its similarity evidence,
+// LSI correlation, and how it was admitted (certain match, revision, or
+// transitive grouping). This example prints the most and least trusted
+// film correspondences and shows how query translation uses the scores.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro"
+)
+
+func main() {
+	corpus, _, err := repro.GenerateCorpus(repro.SmallCorpus())
+	if err != nil {
+		log.Fatal(err)
+	}
+	result := repro.Match(corpus, repro.PtEn)
+	films, ok := result.ByTypeA("filme")
+	if !ok {
+		log.Fatal("no film result")
+	}
+
+	type scored struct {
+		a, b string
+		conf float64
+	}
+	var pairs []scored
+	for key, conf := range films.Confidences() {
+		pairs = append(pairs, scored{a: key[0], b: key[1], conf: conf})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].conf != pairs[j].conf {
+			return pairs[i].conf > pairs[j].conf
+		}
+		return pairs[i].a < pairs[j].a
+	})
+
+	fmt.Println("film correspondences by confidence:")
+	for _, p := range pairs {
+		bar := ""
+		for i := 0; i < int(p.conf*20); i++ {
+			bar += "█"
+		}
+		fmt.Printf("  %.2f %-20s %-26s ~ %s\n", p.conf, bar, p.a, p.b)
+	}
+
+	// Confidence orders translated attribute alternatives: the engine
+	// tries the best-supported translation first.
+	q, err := repro.ParseQuery(`ator(falecimento="1950")`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := repro.TranslateQuery(q, result)
+	if !tr.Untranslatable {
+		fmt.Printf("\nfalecimento translates to (best first): %v\n",
+			tr.Query.Blocks[0].Constraints[0].Attrs)
+	}
+}

@@ -1,0 +1,57 @@
+// Crossquery: the Section 5 case study. Run the Table 4 workload in
+// Portuguese and Vietnamese, translate each query into English through
+// WikiMatch's derived correspondences, and compare the cumulative gain
+// of the monolingual and translated answers (Figure 4).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	corpus, truth, err := repro.GenerateCorpus(repro.SmallCorpus())
+	if err != nil {
+		log.Fatal(err)
+	}
+	resPt := repro.Match(corpus, repro.PtEn)
+	resVn := repro.Match(corpus, repro.VnEn)
+
+	// Show one query's journey across languages.
+	q, err := repro.ParseQuery(`artista(nome=?, origem="França", gênero="Jazz")`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("query (pt):", q)
+	tr := repro.TranslateQuery(q, resPt)
+	fmt.Println("translated:", tr.Query)
+	if len(tr.RelaxedAttrs) > 0 {
+		fmt.Println("relaxed constraints:", tr.RelaxedAttrs)
+	}
+
+	ptEngine := repro.NewQueryEngine(corpus, repro.Portuguese)
+	enEngine := repro.NewQueryEngine(corpus, repro.English)
+	fmt.Printf("\nmonolingual answers (pt): %d\n", len(ptEngine.Run(q, 20)))
+	fmt.Printf("translated answers (en):  %d\n", len(enEngine.Run(tr.Query, 20)))
+
+	// Full case study.
+	series, err := repro.CaseStudy(corpus, truth, resPt, resVn, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncumulative gain over the Table 4 workload:")
+	fmt.Printf("%-4s", "k")
+	for _, s := range series {
+		fmt.Printf(" %8s", s.Name)
+	}
+	fmt.Println()
+	for _, k := range []int{1, 5, 10, 20} {
+		fmt.Printf("%-4d", k)
+		for _, s := range series {
+			fmt.Printf(" %8.1f", s.CG[k-1])
+		}
+		fmt.Println()
+	}
+}

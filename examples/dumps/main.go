@@ -1,0 +1,81 @@
+// Dumps: exercise the full byte-level pipeline — write the synthetic
+// corpus to MediaWiki XML dumps on disk, load it back through the
+// streaming parser, and verify that matching from the reloaded corpus
+// reproduces the in-memory correspondences.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro"
+)
+
+func main() {
+	corpus, _, err := repro.GenerateCorpus(repro.SmallCorpus())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dir, err := os.MkdirTemp("", "wikimatch-dumps-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	for _, lang := range corpus.Languages() {
+		path := filepath.Join(dir, string(lang)+".xml")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := repro.WriteDump(f, corpus, lang); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		info, _ := os.Stat(path)
+		fmt.Printf("wrote %s (%.1f MB, %d articles)\n",
+			path, float64(info.Size())/(1<<20), corpus.LenLang(lang))
+	}
+
+	reloaded := repro.NewCorpus()
+	for _, lang := range corpus.Languages() {
+		f, err := os.Open(filepath.Join(dir, string(lang)+".xml"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := repro.LoadDump(reloaded, f, lang)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(res.Errors) > 0 {
+			log.Fatalf("%d page errors in %s dump, first: %v", len(res.Errors), lang, res.Errors[0])
+		}
+	}
+	fmt.Printf("reloaded %d articles\n\n", reloaded.Len())
+
+	orig := repro.Match(corpus, repro.VnEn)
+	again := repro.Match(reloaded, repro.VnEn)
+	for _, tp := range orig.Types {
+		a := orig.PerType[tp].CrossPairsSorted()
+		b := again.PerType[tp].CrossPairsSorted()
+		same := len(a) == len(b)
+		if same {
+			for i := range a {
+				if a[i] != b[i] {
+					same = false
+					break
+				}
+			}
+		}
+		fmt.Printf("%-28s %d correspondences, identical after round-trip: %v\n", tp[0], len(a), same)
+		if !same {
+			log.Fatal("round-trip changed the matching result")
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Films: the paper's motivating scenario (Figure 1). Two infoboxes
+// describe the same film in English and Portuguese with different
+// schemas; WikiMatch's correspondences let us integrate them into one
+// dual-language record — the "genre and studio of The Last Emperor"
+// query of the introduction.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro"
+)
+
+func main() {
+	corpus, _, err := repro.GenerateCorpus(repro.SmallCorpus())
+	if err != nil {
+		log.Fatal(err)
+	}
+	result := repro.Match(corpus, repro.PtEn)
+	films, ok := result.ByTypeA("filme")
+	if !ok {
+		log.Fatal("no film alignment")
+	}
+
+	// Pick a cross-linked film pair and show both infoboxes.
+	var ptArticle, enArticle *repro.Article
+	for _, p := range corpus.Pairs(repro.PtEn) {
+		if p.A.Type == "filme" && p.A.Infobox.Len() >= 6 && p.B.Infobox.Len() >= 6 {
+			ptArticle, enArticle = p.A, p.B
+			break
+		}
+	}
+	if ptArticle == nil {
+		log.Fatal("no film pair found")
+	}
+	fmt.Printf("Portuguese: %s\n", ptArticle.Title)
+	for _, av := range ptArticle.Infobox.Attrs {
+		fmt.Printf("  %-24s = %s\n", av.Name, av.Text)
+	}
+	fmt.Printf("\nEnglish: %s\n", enArticle.Title)
+	for _, av := range enArticle.Infobox.Attrs {
+		fmt.Printf("  %-24s = %s\n", av.Name, av.Text)
+	}
+
+	// Integrate: for every English attribute, pull the Portuguese value
+	// through the derived correspondences, and vice versa — attributes
+	// only one side has fill the gaps of the other.
+	fmt.Printf("\nintegrated dual-language record for %q:\n", enArticle.Title)
+	merged := map[string]string{}
+	for _, av := range enArticle.Infobox.Attrs {
+		merged[normalize(av.Name)] = av.Text
+	}
+	type row struct{ name, value, source string }
+	var rows []row
+	for name, value := range merged {
+		rows = append(rows, row{name, value, "en"})
+	}
+	for _, av := range ptArticle.Infobox.Attrs {
+		ptName := normalize(av.Name)
+		enNames := films.Cross[ptName]
+		covered := false
+		for enName := range enNames {
+			if _, ok := merged[enName]; ok {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			// The Portuguese side contributes an attribute the English
+			// infobox lacks (the paper's "gênero" case).
+			rows = append(rows, row{ptName, av.Text, "pt"})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	for _, r := range rows {
+		fmt.Printf("  %-24s = %-40s (%s)\n", r.name, clip(r.value, 40), r.source)
+	}
+}
+
+func normalize(s string) string { return repro.Normalize(s) }
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,36 @@
+// Quickstart: generate a small multilingual corpus, run WikiMatch on the
+// Portuguese–English pair, and print the derived attribute
+// correspondences for a couple of types.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	corpus, _, err := repro.GenerateCorpus(repro.SmallCorpus())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d articles across %v\n\n", corpus.Len(), corpus.Languages())
+
+	result := repro.Match(corpus, repro.PtEn)
+	fmt.Println("matched entity types:")
+	for _, tp := range result.Types {
+		fmt.Printf("  %-26s ~ %s\n", tp[0], tp[1])
+	}
+
+	for _, want := range []string{"filme", "ator"} {
+		tr, ok := result.ByTypeA(want)
+		if !ok {
+			log.Fatalf("no result for type %s", want)
+		}
+		fmt.Printf("\ncorrespondences for %s ~ %s:\n", tr.TypeA, tr.TypeB)
+		for _, p := range tr.CrossPairsSorted() {
+			fmt.Printf("  %-28s ~ %s\n", p[0], p[1])
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFacadeEndToEnd drives the entire public API the way a downstream
+// user would: generate, dump, reload, match, evaluate, query.
+func TestFacadeEndToEnd(t *testing.T) {
+	corpus, truth, err := GenerateCorpus(SmallCorpus())
+	if err != nil {
+		t.Fatalf("GenerateCorpus: %v", err)
+	}
+	if corpus.Len() == 0 {
+		t.Fatal("empty corpus")
+	}
+
+	// Dump round-trip through the facade.
+	var buf bytes.Buffer
+	if err := WriteDump(&buf, corpus, Portuguese); err != nil {
+		t.Fatalf("WriteDump: %v", err)
+	}
+	reloaded := NewCorpus()
+	res, err := LoadDump(reloaded, &buf, Portuguese)
+	if err != nil {
+		t.Fatalf("LoadDump: %v", err)
+	}
+	if res.Pages != corpus.LenLang(Portuguese) {
+		t.Errorf("reloaded %d pages, want %d", res.Pages, corpus.LenLang(Portuguese))
+	}
+
+	// Matching.
+	result := Match(corpus, PtEn)
+	if len(result.Types) != 14 {
+		t.Fatalf("type pairs = %d", len(result.Types))
+	}
+	films, ok := result.ByTypeA("filme")
+	if !ok {
+		t.Fatal("no film result")
+	}
+	if !films.Cross[Normalize("direção")]["directed by"] {
+		t.Error("direção ~ directed by missing")
+	}
+
+	// Evaluation through the facade.
+	derived := Correspondences{}
+	for a, bs := range films.Cross {
+		for b := range bs {
+			derived.Add(a, b)
+		}
+	}
+	g := Correspondences{}
+	g.Add(Normalize("direção"), "directed by")
+	m := MacroScores(derived, g)
+	if m.Recall != 1 {
+		t.Errorf("macro recall vs singleton truth = %v", m.Recall)
+	}
+
+	// Dictionary.
+	d := BuildDictionary(corpus, Portuguese, English)
+	if d.Len() == 0 {
+		t.Error("empty dictionary")
+	}
+
+	// Query pipeline.
+	q, err := ParseQuery(`filme(título|nome=?) and ator(ocupação="político")`)
+	if err != nil {
+		t.Fatalf("ParseQuery: %v", err)
+	}
+	engine := NewQueryEngine(corpus, Portuguese)
+	if answers := engine.Run(q, 10); len(answers) == 0 {
+		t.Error("no monolingual answers")
+	}
+	tr := TranslateQuery(q, result)
+	if tr.Untranslatable {
+		t.Fatal("query untranslatable")
+	}
+	enEngine := NewQueryEngine(corpus, English)
+	if answers := enEngine.Run(tr.Query, 10); len(answers) == 0 {
+		t.Error("no translated answers")
+	}
+
+	// Case study.
+	resVn := Match(corpus, VnEn)
+	series, err := CaseStudy(corpus, truth, result, resVn, 5)
+	if err != nil {
+		t.Fatalf("CaseStudy: %v", err)
+	}
+	if len(series) != 4 {
+		t.Errorf("series = %d", len(series))
+	}
+}
+
+func TestFacadeParsePage(t *testing.T) {
+	a, err := ParsePage(English, "X", "{{Infobox film\n| name = X\n}}\n[[pt:Xis]]")
+	if err != nil {
+		t.Fatalf("ParsePage: %v", err)
+	}
+	if a.Type != "film" {
+		t.Errorf("type = %q", a.Type)
+	}
+	if title, ok := a.CrossLink(Portuguese); !ok || title != "Xis" {
+		t.Errorf("cross link = %q, %v", title, ok)
+	}
+}
+
+func TestFacadeMatchEntityTypes(t *testing.T) {
+	corpus, _, err := GenerateCorpus(SmallCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := MatchEntityTypes(corpus, VnEn)
+	if len(pairs) != 4 {
+		t.Errorf("vn-en type pairs = %v", pairs)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	exp, err := NewExperiments(SmallCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderAllExperiments(&buf, exp, DefaultMatcherConfig()); err != nil {
+		t.Fatalf("RenderAllExperiments: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Table 2") {
+		t.Error("output missing Table 2")
+	}
+}

@@ -1,0 +1,179 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/dict"
+	"repro/internal/eval"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/text"
+	"repro/internal/wiki"
+)
+
+var (
+	testCorpus *wiki.Corpus
+	testTruth  *synth.GroundTruth
+)
+
+func corpus(t *testing.T) (*wiki.Corpus, *synth.GroundTruth) {
+	t.Helper()
+	if testCorpus == nil {
+		c, g, err := synth.Generate(synth.SmallConfig())
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		testCorpus, testTruth = c, g
+	}
+	return testCorpus, testTruth
+}
+
+func filmTypeData(t *testing.T) *sim.TypeData {
+	t.Helper()
+	c, _ := corpus(t)
+	d := dict.Build(c, wiki.Portuguese, wiki.English)
+	return sim.BuildTypeData(c, wiki.PtEn, "filme", "film", d)
+}
+
+func filmTruth(t *testing.T) eval.Correspondences {
+	t.Helper()
+	c, truth := corpus(t)
+	freqA, freqB := eval.AttributeFrequencies(c, wiki.PtEn, "filme", "film")
+	tt := truth.Types["film"]
+	return eval.TruthPairs(freqA, freqB, wiki.PtEn, tt.Correct)
+}
+
+func TestLSITopKRecallGrowsWithK(t *testing.T) {
+	td := filmTypeData(t)
+	truth := filmTruth(t)
+	var prevRecall float64
+	var prevPairs int
+	for _, k := range []int{1, 3, 5, 10} {
+		derived := LSITopK(td, 10, k)
+		m := eval.Macro(derived, truth)
+		if derived.Pairs() < prevPairs {
+			t.Errorf("k=%d: fewer pairs (%d) than k smaller (%d)", k, derived.Pairs(), prevPairs)
+		}
+		if m.Recall+1e-9 < prevRecall {
+			t.Errorf("k=%d: recall %v dropped below %v", k, m.Recall, prevRecall)
+		}
+		prevRecall, prevPairs = m.Recall, derived.Pairs()
+	}
+}
+
+func TestLSITopKPrecisionDropsWithK(t *testing.T) {
+	td := filmTypeData(t)
+	truth := filmTruth(t)
+	p1 := eval.Macro(LSITopK(td, 10, 1), truth).Precision
+	p10 := eval.Macro(LSITopK(td, 10, 10), truth).Precision
+	if p10 >= p1 {
+		t.Errorf("precision should fall with k: top1=%v top10=%v", p1, p10)
+	}
+}
+
+func TestLSIRankingCoversAllCrossPairs(t *testing.T) {
+	td := filmTypeData(t)
+	ranked := LSIRanking(td, 10)
+	if len(ranked) != len(td.CrossPairs()) {
+		t.Errorf("ranking size = %d, want %d", len(ranked), len(td.CrossPairs()))
+	}
+}
+
+func TestBoumaHighPrecision(t *testing.T) {
+	c, _ := corpus(t)
+	truth := filmTruth(t)
+	derived := Bouma(c, wiki.PtEn, "filme", "film", DefaultBoumaConfig())
+	if derived.Pairs() == 0 {
+		t.Fatal("Bouma derived nothing")
+	}
+	m := eval.Macro(derived, truth)
+	if m.Precision < 0.8 {
+		t.Errorf("Bouma precision = %v, expected high (paper: near-perfect)", m.Precision)
+	}
+	// Sanity: it finds the easy link-based alignment.
+	if !derived.Has(text.Normalize("direção"), "directed by") {
+		t.Error("Bouma missed direção ~ directed by")
+	}
+}
+
+func TestBoumaThresholdMonotonicity(t *testing.T) {
+	c, _ := corpus(t)
+	loose := Bouma(c, wiki.PtEn, "filme", "film", BoumaConfig{MinMatchFraction: 0.2, MinVotes: 1})
+	strict := Bouma(c, wiki.PtEn, "filme", "film", BoumaConfig{MinMatchFraction: 0.9, MinVotes: 3})
+	if strict.Pairs() > loose.Pairs() {
+		t.Errorf("stricter config found more pairs: %d > %d", strict.Pairs(), loose.Pairs())
+	}
+}
+
+// labelTranslator builds the simulated MT system from the ground truth:
+// correct template translations plus the literal renderings recorded in
+// the lexicon.
+func labelTranslator(t *testing.T, errRate float64) *dict.LabelTranslator {
+	t.Helper()
+	lt := dict.NewLabelTranslator(errRate, 7)
+	for _, spec := range synth.TypeSpecs() {
+		for _, attr := range spec.Attrs {
+			enNames := attr.Names[wiki.English]
+			if len(enNames) == 0 {
+				continue
+			}
+			for _, lang := range []wiki.Language{wiki.Portuguese, wiki.Vietnamese} {
+				for _, n := range attr.Names[lang] {
+					lt.Add(n.Name, enNames[0].Name, attr.Literal)
+				}
+			}
+		}
+	}
+	return lt
+}
+
+func TestCOMAConfigLabels(t *testing.T) {
+	labels := map[string]bool{}
+	for _, cfg := range COMAConfigs(0.01) {
+		labels[cfg.Label()] = true
+	}
+	for _, want := range []string{"N", "I", "NI", "N+G", "I+D", "NG+ID"} {
+		if !labels[want] {
+			t.Errorf("missing configuration %s", want)
+		}
+	}
+}
+
+func TestCOMANameMatcherWeakAcrossLanguages(t *testing.T) {
+	td := filmTypeData(t)
+	truth := filmTruth(t)
+	lt := labelTranslator(t, 0.3)
+	n := eval.Macro(COMA(td, nil, COMAConfig{Name: true, Threshold: 0.01}), truth)
+	ng := eval.Macro(COMA(td, lt, COMAConfig{Name: true, TranslateNames: true, Threshold: 0.01}), truth)
+	if n.F >= ng.F {
+		t.Errorf("label translation should help the name matcher: N=%v NG=%v", n.F, ng.F)
+	}
+}
+
+func TestCOMAInstanceMatcherBeatsNameMatcher(t *testing.T) {
+	td := filmTypeData(t)
+	truth := filmTruth(t)
+	n := eval.Macro(COMA(td, nil, COMAConfig{Name: true, Threshold: 0.01}), truth)
+	id := eval.Macro(COMA(td, nil, COMAConfig{Instance: true, TranslateInstances: true, Threshold: 0.01}), truth)
+	if id.F <= n.F {
+		t.Errorf("I+D should beat N across morphologically distinct schemas: I+D=%v N=%v", id.F, n.F)
+	}
+}
+
+func TestCOMAThresholdSelection(t *testing.T) {
+	td := filmTypeData(t)
+	low := COMA(td, nil, COMAConfig{Instance: true, Threshold: 0.01})
+	high := COMA(td, nil, COMAConfig{Instance: true, Threshold: 0.9})
+	if high.Pairs() > low.Pairs() {
+		t.Errorf("higher threshold selected more pairs: %d > %d", high.Pairs(), low.Pairs())
+	}
+}
+
+func TestCOMARelToleranceWidensSelection(t *testing.T) {
+	td := filmTypeData(t)
+	strict := COMA(td, nil, COMAConfig{Instance: true, Threshold: 0.01, RelTolerance: 0})
+	loose := COMA(td, nil, COMAConfig{Instance: true, Threshold: 0.01, RelTolerance: 0.5})
+	if loose.Pairs() < strict.Pairs() {
+		t.Errorf("relative tolerance should not shrink selection: %d < %d", loose.Pairs(), strict.Pairs())
+	}
+}

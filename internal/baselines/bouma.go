@@ -1,0 +1,88 @@
+package baselines
+
+import (
+	"repro/internal/eval"
+	"repro/internal/sim"
+	"repro/internal/text"
+	"repro/internal/wiki"
+)
+
+// BoumaConfig tunes the Bouma et al. aligner.
+type BoumaConfig struct {
+	// MinMatchFraction is the fraction of co-present dual infoboxes in
+	// which two attributes' values must match for the pair to be
+	// accepted.
+	MinMatchFraction float64
+	// MinVotes is the minimum absolute number of matching value pairs.
+	MinVotes int
+}
+
+// DefaultBoumaConfig mirrors the conservative, precision-first behaviour
+// reported in the paper (near-perfect precision, lower recall).
+func DefaultBoumaConfig() BoumaConfig {
+	return BoumaConfig{MinMatchFraction: 0.5, MinVotes: 2}
+}
+
+// Bouma implements the cross-lingual template aligner of Bouma, Duarte
+// and Islam (CLIAWS3 2009) as described in Sections 4.1 and 6: two
+// attributes align when their values match across the cross-linked
+// infobox pair, where values match if they are identical or if their
+// landing articles are connected by a cross-language link.
+func Bouma(c *wiki.Corpus, pair wiki.LanguagePair, typeA, typeB string, cfg BoumaConfig) eval.Correspondences {
+	votes := make(map[[2]string]int)
+	copresent := make(map[[2]string]int)
+	for _, p := range c.Pairs(pair) {
+		if p.A.Type != typeA || p.B.Type != typeB {
+			continue
+		}
+		for _, avA := range p.A.Infobox.Attrs {
+			nameA := text.Normalize(avA.Name)
+			if nameA == "" {
+				continue
+			}
+			for _, avB := range p.B.Infobox.Attrs {
+				nameB := text.Normalize(avB.Name)
+				if nameB == "" {
+					continue
+				}
+				key := [2]string{nameA, nameB}
+				copresent[key]++
+				if valuesMatch(c, pair, avA, avB) {
+					votes[key]++
+				}
+			}
+		}
+	}
+	out := make(eval.Correspondences)
+	for key, v := range votes {
+		if v < cfg.MinVotes {
+			continue
+		}
+		if float64(v) >= cfg.MinMatchFraction*float64(copresent[key]) {
+			out.Add(key[0], key[1])
+		}
+	}
+	return out
+}
+
+// valuesMatch applies Bouma's value identity test: equal after
+// normalization, or sharing a pair of link targets connected by a
+// cross-language link (compared through their canonical keys).
+func valuesMatch(c *wiki.Corpus, pair wiki.LanguagePair, a, b wiki.AttributeValue) bool {
+	if ta, tb := text.Normalize(a.Text), text.Normalize(b.Text); ta != "" && ta == tb {
+		return true
+	}
+	if len(a.Links) == 0 || len(b.Links) == 0 {
+		return false
+	}
+	keysA := make(map[string]bool, len(a.Links))
+	for _, l := range a.Links {
+		keysA[sim.CanonicalLinkKey(c, pair.A, l.Target)] = true
+	}
+	for _, l := range b.Links {
+		if keysA[sim.CanonicalLinkKey(c, pair.B, l.Target)] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,138 @@
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/dict"
+	"repro/internal/eval"
+	"repro/internal/sim"
+	"repro/internal/text"
+)
+
+// COMAConfig selects a COMA++-style matcher configuration (Appendix C,
+// Figure 7): a name matcher (string similarity over attribute labels), an
+// instance matcher (cosine over value vectors), their combination, and
+// translation variants — "+G" translates labels through the simulated
+// machine-translation system, "+D" translates instances through the
+// cross-language-link dictionary.
+type COMAConfig struct {
+	Name               bool
+	Instance           bool
+	TranslateNames     bool // N+G: label machine translation
+	TranslateInstances bool // I+D: value dictionary translation
+	// Threshold is COMA's selection threshold δ (the paper uses 0.01).
+	Threshold float64
+	// RelTolerance keeps, per source attribute, candidates scoring within
+	// this relative distance of the row maximum (0 = strict argmax, the
+	// Multiple(0,0,0) candidate selection of Appendix C).
+	RelTolerance float64
+}
+
+// Label returns the conventional name of the configuration ("N", "I",
+// "NI", "N+G", "I+D", "NG+ID").
+func (c COMAConfig) Label() string {
+	switch {
+	case c.Name && c.Instance && c.TranslateNames && c.TranslateInstances:
+		return "NG+ID"
+	case c.Name && c.Instance && !c.TranslateNames && !c.TranslateInstances:
+		return "NI"
+	case c.Name && c.TranslateNames:
+		return "N+G"
+	case c.Name:
+		return "N"
+	case c.Instance && c.TranslateInstances:
+		return "I+D"
+	case c.Instance:
+		return "I"
+	}
+	return fmt.Sprintf("COMA(%+v)", struct{ N, I, TN, TI bool }{c.Name, c.Instance, c.TranslateNames, c.TranslateInstances})
+}
+
+// COMAConfigs enumerates the configurations evaluated in Figure 7.
+func COMAConfigs(threshold float64) []COMAConfig {
+	return []COMAConfig{
+		{Name: true, Threshold: threshold},
+		{Instance: true, Threshold: threshold},
+		{Name: true, Instance: true, Threshold: threshold},
+		{Name: true, TranslateNames: true, Threshold: threshold},
+		{Instance: true, TranslateInstances: true, Threshold: threshold},
+		{Name: true, Instance: true, TranslateNames: true, TranslateInstances: true, Threshold: threshold},
+	}
+}
+
+// COMA runs one configuration over a type's attributes and returns the
+// selected correspondences. lt is the simulated label translator (used
+// only by TranslateNames); it may be nil, in which case labels are
+// compared untranslated.
+func COMA(td *sim.TypeData, lt *dict.LabelTranslator, cfg COMAConfig) eval.Correspondences {
+	scores := COMAScores(td, lt, cfg)
+	out := make(eval.Correspondences)
+	// Per-source-attribute Multiple(…) selection: keep candidates within
+	// RelTolerance of the row maximum and above the threshold.
+	rowMax := make(map[string]float64)
+	for _, rp := range scores {
+		if rp.Score > rowMax[rp.A] {
+			rowMax[rp.A] = rp.Score
+		}
+	}
+	for _, rp := range scores {
+		if rp.Score < cfg.Threshold {
+			continue
+		}
+		if rp.Score >= rowMax[rp.A]*(1-cfg.RelTolerance)-1e-12 {
+			out.Add(rp.A, rp.B)
+		}
+	}
+	return out
+}
+
+// COMAScores computes the configuration's combined similarity for every
+// cross-language attribute pair.
+func COMAScores(td *sim.TypeData, lt *dict.LabelTranslator, cfg COMAConfig) []eval.RankedPair {
+	var out []eval.RankedPair
+	for _, p := range td.CrossPairs() {
+		i, j := p[0], p[1]
+		a, b := td.Attrs[i], td.Attrs[j]
+		var sum float64
+		n := 0
+		if cfg.Name {
+			sum += nameSimilarity(td, lt, i, j, cfg.TranslateNames)
+			n++
+		}
+		if cfg.Instance {
+			sum += instanceSimilarity(td, i, j, cfg.TranslateInstances)
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		out = append(out, eval.RankedPair{A: a.Name, B: b.Name, Score: sum / float64(n)})
+	}
+	return out
+}
+
+// nameSimilarity is COMA's label matcher: the mean of trigram and
+// edit-distance similarity, optionally after machine-translating the
+// source-language label into English.
+func nameSimilarity(td *sim.TypeData, lt *dict.LabelTranslator, i, j int, translate bool) float64 {
+	nameA := td.Attrs[i].Name
+	nameB := td.Attrs[j].Name
+	if td.Attrs[i].Lang != td.Pair.A {
+		nameA, nameB = nameB, nameA
+	}
+	if translate && lt != nil {
+		if tr, ok := lt.Translate(nameA); ok {
+			nameA = text.Normalize(tr)
+		}
+	}
+	return (text.TrigramSimilarity(nameA, nameB) + text.EditSimilarity(nameA, nameB)) / 2
+}
+
+// instanceSimilarity is COMA's instance matcher: cosine over the plain
+// value-segment vectors, with the source side dictionary-translated for
+// "+D". It deliberately lacks WikiMatch's date/number canonicalization —
+// that preprocessing is part of the paper's contribution, not of the
+// generic framework it is compared against.
+func instanceSimilarity(td *sim.TypeData, i, j int, translated bool) float64 {
+	return td.RawVSim(i, j, translated)
+}

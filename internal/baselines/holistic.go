@@ -1,0 +1,103 @@
+package baselines
+
+import (
+	"sort"
+
+	"repro/internal/eval"
+	"repro/internal/sim"
+)
+
+// HolisticConfig tunes the correlation-only matcher.
+type HolisticConfig struct {
+	// MinCorrelation is the minimum X2 score a candidate needs.
+	MinCorrelation float64
+	// MinSupport is the minimum dual-infobox co-occurrence count.
+	MinSupport int
+}
+
+// DefaultHolisticConfig mirrors the conservative settings of the
+// holistic web-form matchers the paper discusses.
+func DefaultHolisticConfig() HolisticConfig {
+	return HolisticConfig{MinCorrelation: 1.2, MinSupport: 2}
+}
+
+// Holistic implements a correlation-only matcher in the style of the
+// holistic web-form schema matching the paper's IntegrateMatches builds
+// on (He & Chang TODS 2006; Su, Wang & Lochovsky EDBT 2006): candidate
+// cross-language pairs are ordered by the X2 co-occurrence correlation
+// and grouped greedily, with same-language co-occurrence acting as the
+// negative-correlation veto. It uses no value or link evidence at all,
+// demonstrating the paper's Section 3.3 observation that attribute
+// correlation alone does not reach high F-measure.
+func Holistic(td *sim.TypeData, cfg HolisticConfig) eval.Correspondences {
+	type cand struct {
+		i, j  int
+		score float64
+	}
+	var cands []cand
+	for _, p := range td.CrossPairs() {
+		if td.CoOccurDual(p[0], p[1]) < cfg.MinSupport {
+			continue
+		}
+		if s := td.X2(p[0], p[1]); s >= cfg.MinCorrelation {
+			cands = append(cands, cand{i: p[0], j: p[1], score: s})
+		}
+	}
+	sort.SliceStable(cands, func(x, y int) bool {
+		if cands[x].score != cands[y].score {
+			return cands[x].score > cands[y].score
+		}
+		if cands[x].i != cands[y].i {
+			return cands[x].i < cands[y].i
+		}
+		return cands[x].j < cands[y].j
+	})
+	// Greedy grouping: an attribute joins at most one group; an attribute
+	// may not join a group containing a same-language attribute it
+	// co-occurs with (the negative-correlation veto).
+	group := make(map[int]int) // attr index → group id
+	members := make(map[int][]int)
+	next := 0
+	vetoed := func(x, gid int) bool {
+		for _, m := range members[gid] {
+			if td.Attrs[m].Lang == td.Attrs[x].Lang && td.CoOccurLang(m, x) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range cands {
+		gi, okI := group[c.i]
+		gj, okJ := group[c.j]
+		switch {
+		case !okI && !okJ:
+			group[c.i], group[c.j] = next, next
+			members[next] = []int{c.i, c.j}
+			next++
+		case okI && !okJ:
+			if !vetoed(c.j, gi) {
+				group[c.j] = gi
+				members[gi] = append(members[gi], c.j)
+			}
+		case !okI && okJ:
+			if !vetoed(c.i, gj) {
+				group[c.i] = gj
+				members[gj] = append(members[gj], c.i)
+			}
+		}
+	}
+	out := make(eval.Correspondences)
+	for _, ms := range members {
+		for _, x := range ms {
+			if td.Attrs[x].Lang != td.Pair.A {
+				continue
+			}
+			for _, y := range ms {
+				if td.Attrs[y].Lang == td.Pair.B {
+					out.Add(td.Attrs[x].Name, td.Attrs[y].Name)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+// Package baselines implements the three systems WikiMatch is compared
+// against in Section 4.1: plain LSI with top-k selection (Littman et al.'s
+// cross-language LSI applied to schema attributes), Bouma et al.'s
+// value/cross-link template aligner, and a COMA++-style matcher framework
+// with name and instance matchers and machine-translation variants.
+package baselines
+
+import (
+	"sort"
+
+	"repro/internal/eval"
+	"repro/internal/lsi"
+	"repro/internal/sim"
+)
+
+// LSITopK aligns attributes with LSI alone: for each source-language
+// attribute, the k highest-scoring target-language attributes are taken
+// as its correspondences. The paper evaluates k ∈ {1, 3, 5, 10}
+// (Figure 6), with top-1 giving the best F-measure (Table 2's LSI
+// column).
+func LSITopK(td *sim.TypeData, rank, k int) eval.Correspondences {
+	model := lsi.Build(td.Duals, rank, td.Attrs...)
+	out := make(eval.Correspondences)
+	type scored struct {
+		name  string
+		score float64
+	}
+	for i, a := range td.Attrs {
+		if a.Lang != td.Pair.A {
+			continue
+		}
+		var cands []scored
+		for j, b := range td.Attrs {
+			if b.Lang != td.Pair.B {
+				continue
+			}
+			s := model.ScoreAttrs(a, b)
+			if s > 0 {
+				cands = append(cands, scored{name: b.Name, score: s})
+			}
+			_ = j
+		}
+		sort.SliceStable(cands, func(x, y int) bool {
+			if cands[x].score != cands[y].score {
+				return cands[x].score > cands[y].score
+			}
+			return cands[x].name < cands[y].name
+		})
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		for _, cd := range cands {
+			out.Add(a.Name, cd.name)
+		}
+		_ = i
+	}
+	return out
+}
+
+// LSIRanking returns every cross-language pair scored by LSI, for the
+// MAP analysis of Table 7.
+func LSIRanking(td *sim.TypeData, rank int) []eval.RankedPair {
+	model := lsi.Build(td.Duals, rank, td.Attrs...)
+	var out []eval.RankedPair
+	for _, p := range td.CrossPairs() {
+		a, b := td.Attrs[p[0]], td.Attrs[p[1]]
+		out = append(out, eval.RankedPair{A: a.Name, B: b.Name, Score: model.ScoreAttrs(a, b)})
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/text"
+	"repro/internal/wiki"
+)
+
+func TestConfidenceBounds(t *testing.T) {
+	c, _ := corpus(t)
+	res := NewMatcher(DefaultConfig()).Match(c, wiki.PtEn)
+	for _, tr := range res.PerType {
+		for pair, conf := range tr.Confidences() {
+			if conf <= 0 || conf > 1 {
+				t.Fatalf("confidence(%v) = %v out of (0, 1]", pair, conf)
+			}
+		}
+	}
+}
+
+func TestConfidenceCoversAllDerivedPairs(t *testing.T) {
+	c, _ := corpus(t)
+	res := NewMatcher(DefaultConfig()).Match(c, wiki.PtEn)
+	tr, ok := res.ByTypeA("filme")
+	if !ok {
+		t.Fatal("no film result")
+	}
+	for a, bs := range tr.Cross {
+		for b := range bs {
+			if tr.Confidence(a, b) == 0 {
+				t.Errorf("derived pair (%s, %s) has zero confidence", a, b)
+			}
+		}
+	}
+}
+
+func TestConfidenceZeroForUnderived(t *testing.T) {
+	c, _ := corpus(t)
+	res := NewMatcher(DefaultConfig()).Match(c, wiki.PtEn)
+	tr, _ := res.ByTypeA("filme")
+	if got := tr.Confidence("no such", "pair"); got != 0 {
+		t.Errorf("confidence of underived pair = %v", got)
+	}
+}
+
+func TestCertainPairsScoreHigherThanTransitive(t *testing.T) {
+	c, _ := corpus(t)
+	res := NewMatcher(DefaultConfig()).Match(c, wiki.PtEn)
+	tr, _ := res.ByTypeA("filme")
+	// direção ~ directed by is a high-evidence certain pair; it should be
+	// among the most confident correspondences of the type.
+	target := tr.Confidence(text.Normalize("direção"), "directed by")
+	if target == 0 {
+		t.Fatal("direção ~ directed by not derived")
+	}
+	higher := 0
+	total := 0
+	for _, conf := range tr.Confidences() {
+		total++
+		if conf > target {
+			higher++
+		}
+	}
+	if higher > total/2 {
+		t.Errorf("direção ~ directed by confidence (%.2f) ranks low: %d/%d pairs above it",
+			target, higher, total)
+	}
+}

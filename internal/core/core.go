@@ -1,0 +1,516 @@
+// Package core implements WikiMatch, the paper's contribution: entity-type
+// matching across languages (Section 3.1), the AttributeAlignment
+// algorithm (Algorithm 1), IntegrateMatches (Algorithm 2), and the
+// ReviseUncertain step (Section 3.4), together with the ablation switches
+// the component-contribution study (Section 4.2, Table 3) needs.
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/dict"
+	"repro/internal/lsi"
+	"repro/internal/sim"
+	"repro/internal/wiki"
+)
+
+// Config holds WikiMatch's thresholds and the ablation switches.
+type Config struct {
+	// TSim is the high-confidence threshold on max(vsim, lsim) that
+	// separates certain from uncertain candidates (paper: 0.6).
+	TSim float64
+	// TLSI is the low correlation threshold candidates must exceed to
+	// enter the priority queue and that gates IntegrateMatches (paper: 0.1).
+	TLSI float64
+	// TEg is the inductive-grouping threshold of ReviseUncertain.
+	TEg float64
+	// LSIRank is the number of latent dimensions (the paper's f).
+	LSIRank int
+
+	// Ablation switches (Table 3 / Figure 3 configurations).
+	DisableVSim      bool // WikiMatch−vsim
+	DisableLSim      bool // WikiMatch−lsim
+	DisableLSI       bool // WikiMatch−LSI: order by max(vsim,lsim)
+	DisableIntegrate bool // WikiMatch−IntegrateMatches: merge unconditionally
+	DisableRevise    bool // WikiMatch−ReviseUncertain (WM*)
+	DisableInductive bool // WikiMatch−inductive grouping: revise all of U
+	RandomOrder      bool // WikiMatch random: shuffle the queue
+	SingleStep       bool // WikiMatch single step: accept all positive candidates
+	NoDictionary     bool // vsim without dictionary translation (extra ablation)
+
+	// Seed drives the RandomOrder shuffle.
+	Seed int64
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// evaluation: Tsim = 0.6, TLSI = 0.1, without any special tuning per
+// language or type.
+func DefaultConfig() Config {
+	return Config{TSim: 0.6, TLSI: 0.1, TEg: 0.1, LSIRank: lsi.DefaultRank}
+}
+
+// Matcher runs WikiMatch over a corpus.
+type Matcher struct {
+	cfg Config
+}
+
+// NewMatcher creates a matcher with the given configuration.
+func NewMatcher(cfg Config) *Matcher { return &Matcher{cfg: cfg} }
+
+// Config returns the matcher's configuration.
+func (m *Matcher) Config() Config { return m.cfg }
+
+// Candidate is a scored attribute pair: the tuple
+// (⟨ap, aq⟩, vsim, lsim, LSI) of Algorithm 1.
+type Candidate struct {
+	I, J             int
+	VSim, LSim, LSI  float64
+	InductiveScore   float64 // filled by ReviseUncertain for uncertain pairs
+	AcceptedCertain  bool
+	AcceptedRevision bool
+}
+
+// MatchSet is the evolving set M of matches: a partition of attribute
+// indices into synonym components. It implements sim.Matched.
+type MatchSet struct {
+	comp    []int
+	members map[int][]int
+	next    int
+}
+
+// NewMatchSet creates an empty match set over n attributes.
+func NewMatchSet(n int) *MatchSet {
+	ms := &MatchSet{comp: make([]int, n), members: make(map[int][]int)}
+	for i := range ms.comp {
+		ms.comp[i] = -1
+	}
+	return ms
+}
+
+// Contains reports whether attribute i belongs to any match.
+func (ms *MatchSet) Contains(i int) bool { return ms.comp[i] >= 0 }
+
+// Aligned reports whether attributes i and j are in the same match.
+func (ms *MatchSet) Aligned(i, j int) bool {
+	return ms.comp[i] >= 0 && ms.comp[i] == ms.comp[j]
+}
+
+// Members returns the attribute indices of attribute i's match (nil if
+// unmatched).
+func (ms *MatchSet) Members(i int) []int {
+	if ms.comp[i] < 0 {
+		return nil
+	}
+	return ms.members[ms.comp[i]]
+}
+
+// Components returns every match component, each sorted, in creation
+// order.
+func (ms *MatchSet) Components() [][]int {
+	ids := make([]int, 0, len(ms.members))
+	for id := range ms.members {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([][]int, 0, len(ids))
+	for _, id := range ids {
+		c := append([]int(nil), ms.members[id]...)
+		sort.Ints(c)
+		out = append(out, c)
+	}
+	return out
+}
+
+func (ms *MatchSet) newComponent(i, j int) {
+	id := ms.next
+	ms.next++
+	ms.comp[i], ms.comp[j] = id, id
+	ms.members[id] = []int{i, j}
+}
+
+func (ms *MatchSet) addTo(compID, i int) {
+	ms.comp[i] = compID
+	ms.members[compID] = append(ms.members[compID], i)
+}
+
+// TypeResult is the outcome of matching one entity type across the pair.
+type TypeResult struct {
+	TypeA, TypeB string
+	TD           *sim.TypeData
+	LSI          *lsi.Model
+	Matches      *MatchSet
+	Candidates   []Candidate // queue contents in processed order
+	// Cross maps each pair.A-side attribute name (normalized) to the set
+	// of pair.B-side names it corresponds to — the derived set C.
+	Cross map[string]map[string]bool
+
+	// conf caches per-pair confidences (see confidence.go).
+	conf map[[2]string]float64
+}
+
+// CrossPairsSorted returns the derived cross-language correspondences as
+// sorted (a, b) name pairs.
+func (r *TypeResult) CrossPairsSorted() [][2]string {
+	var out [][2]string
+	for a, bs := range r.Cross {
+		for b := range bs {
+			out = append(out, [2]string{a, b})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// MatchEntityTypes identifies equivalent entity types across the language
+// pair by cross-language-link voting (Section 3.1): type T maps to the
+// type T′ its infoboxes most often link to, provided the choice is
+// mutual.
+func MatchEntityTypes(c *wiki.Corpus, pair wiki.LanguagePair) [][2]string {
+	votes := c.TypePairCount(pair)
+	bestB := map[string]string{}
+	bestBCount := map[string]int{}
+	bestA := map[string]string{}
+	bestACount := map[string]int{}
+	keys := make([][2]string, 0, len(votes))
+	for k := range votes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		a, b, n := k[0], k[1], votes[k]
+		if n > bestBCount[a] {
+			bestBCount[a], bestB[a] = n, b
+		}
+		if n > bestACount[b] {
+			bestACount[b], bestA[b] = n, a
+		}
+	}
+	var out [][2]string
+	for a, b := range bestB {
+		if bestA[b] == a {
+			out = append(out, [2]string{a, b})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Result is a full matching run over one language pair.
+type Result struct {
+	Pair     wiki.LanguagePair
+	Types    [][2]string
+	PerType  map[[2]string]*TypeResult
+	Dict     *dict.Dictionary
+	TypeList []string // pair.A-side type names, sorted
+}
+
+// Match runs WikiMatch end to end for a language pair: it matches entity
+// types, builds the translation dictionary from cross-language links, and
+// aligns attributes per type. Types are independent, so they are matched
+// concurrently; the result is identical to a sequential run.
+func (m *Matcher) Match(c *wiki.Corpus, pair wiki.LanguagePair) *Result {
+	res := &Result{Pair: pair, PerType: make(map[[2]string]*TypeResult)}
+	res.Types = MatchEntityTypes(c, pair)
+	if !m.cfg.NoDictionary {
+		res.Dict = dict.Build(c, pair.A, pair.B)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(res.Types) {
+		workers = len(res.Types)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]*TypeResult, len(res.Types))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				tp := res.Types[i]
+				results[i] = m.MatchType(c, pair, tp[0], tp[1], res.Dict)
+			}
+		}()
+	}
+	for i := range res.Types {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, tp := range res.Types {
+		res.PerType[tp] = results[i]
+		res.TypeList = append(res.TypeList, tp[0])
+	}
+	sort.Strings(res.TypeList)
+	return res
+}
+
+// ByTypeA returns the per-type result for a pair.A-side type name.
+func (r *Result) ByTypeA(typeA string) (*TypeResult, bool) {
+	for tp, tr := range r.PerType {
+		if tp[0] == typeA {
+			return tr, true
+		}
+	}
+	return nil, false
+}
+
+// MatchType aligns the attributes of one matched type pair — Algorithm 1.
+func (m *Matcher) MatchType(c *wiki.Corpus, pair wiki.LanguagePair, typeA, typeB string, d *dict.Dictionary) *TypeResult {
+	cfg := m.cfg
+	if cfg.NoDictionary {
+		d = nil
+	}
+	td := sim.BuildTypeData(c, pair, typeA, typeB, d)
+	model := lsi.Build(td.Duals, cfg.LSIRank, td.Attrs...)
+	r := &TypeResult{TypeA: typeA, TypeB: typeB, TD: td, LSI: model}
+
+	// Score all attribute pairs, within and across languages.
+	n := len(td.Attrs)
+	lsiScore := make([][]float64, n)
+	for i := range lsiScore {
+		lsiScore[i] = make([]float64, n)
+	}
+	for _, p := range td.AllPairs() {
+		s := model.ScoreAttrs(td.Attrs[p[0]], td.Attrs[p[1]])
+		lsiScore[p[0]][p[1]], lsiScore[p[1]][p[0]] = s, s
+	}
+
+	// gate is the pairwise-correlation test of IntegrateMatches. When LSI
+	// is ablated it degrades to the same-language-co-occurrence veto that
+	// drives Example 2.
+	gate := func(i, j int) bool {
+		if cfg.DisableLSI {
+			return !(td.Attrs[i].Lang == td.Attrs[j].Lang && td.CoOccurLang(i, j) > 0)
+		}
+		return lsiScore[i][j] > cfg.TLSI
+	}
+
+	vsim := func(i, j int) float64 {
+		if cfg.DisableVSim {
+			return 0
+		}
+		return td.VSim(i, j)
+	}
+	lsim := func(i, j int) float64 {
+		if cfg.DisableLSim {
+			return 0
+		}
+		return td.LSim(i, j)
+	}
+
+	// Build the priority queue P.
+	var queue []Candidate
+	for _, p := range td.AllPairs() {
+		cand := Candidate{I: p[0], J: p[1],
+			VSim: vsim(p[0], p[1]), LSim: lsim(p[0], p[1]), LSI: lsiScore[p[0]][p[1]]}
+		if cfg.DisableLSI {
+			if maxF(cand.VSim, cand.LSim) > 0 {
+				queue = append(queue, cand)
+			}
+			continue
+		}
+		if cand.LSI > cfg.TLSI {
+			queue = append(queue, cand)
+		}
+	}
+	switch {
+	case cfg.RandomOrder:
+		rng := rand.New(rand.NewSource(cfg.Seed + 1))
+		rng.Shuffle(len(queue), func(i, j int) { queue[i], queue[j] = queue[j], queue[i] })
+	case cfg.DisableLSI:
+		sort.SliceStable(queue, func(i, j int) bool {
+			return maxF(queue[i].VSim, queue[i].LSim) > maxF(queue[j].VSim, queue[j].LSim)
+		})
+	default:
+		sort.SliceStable(queue, func(i, j int) bool { return queue[i].LSI > queue[j].LSI })
+	}
+
+	ms := NewMatchSet(n)
+	integrate := func(i, j int) {
+		switch {
+		case !ms.Contains(i) && !ms.Contains(j):
+			ms.newComponent(i, j)
+		case ms.Contains(i) && ms.Contains(j):
+			// Both already matched; Algorithm 2 leaves them untouched.
+		case cfg.DisableIntegrate:
+			// Ablation: merge without the pairwise-correlation check.
+			if ms.Contains(i) {
+				ms.addTo(ms.comp[i], j)
+			} else {
+				ms.addTo(ms.comp[j], i)
+			}
+		default:
+			in, out := i, j
+			if ms.Contains(j) {
+				in, out = j, i
+			}
+			ok := true
+			for _, a := range ms.Members(in) {
+				if !gate(out, a) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ms.addTo(ms.comp[in], out)
+			}
+		}
+	}
+
+	if cfg.SingleStep {
+		// Single-step ablation: every candidate with positive vsim or
+		// lsim is accepted as a correspondence outright, with no staging
+		// and no correlation gates — the paper's high-recall,
+		// low-precision degenerate configuration.
+		var direct [][2]int
+		for idx := range queue {
+			cand := &queue[idx]
+			if maxF(cand.VSim, cand.LSim) > 0 {
+				cand.AcceptedCertain = true
+				direct = append(direct, [2]int{cand.I, cand.J})
+				if !ms.Contains(cand.I) && !ms.Contains(cand.J) {
+					ms.newComponent(cand.I, cand.J)
+				} else if ms.Contains(cand.I) && !ms.Contains(cand.J) {
+					ms.addTo(ms.comp[cand.I], cand.J)
+				} else if !ms.Contains(cand.I) && ms.Contains(cand.J) {
+					ms.addTo(ms.comp[cand.J], cand.I)
+				}
+			}
+		}
+		r.Matches = ms
+		r.Candidates = queue
+		r.Cross = crossFromPairs(td, direct)
+		return r
+	}
+
+	var uncertain []Candidate
+	for idx := range queue {
+		cand := &queue[idx]
+		if maxF(cand.VSim, cand.LSim) > cfg.TSim {
+			cand.AcceptedCertain = true
+			integrate(cand.I, cand.J)
+		} else {
+			uncertain = append(uncertain, *cand)
+		}
+	}
+
+	if !cfg.DisableRevise {
+		// ReviseUncertain: score the buffered pairs by inductive grouping
+		// against the certain matches, keep the well-supported ones that
+		// carry at least some direct similarity evidence, and integrate
+		// them (this time without the Tsim constraint).
+		const minEvidence = 0.05
+		for idx := range uncertain {
+			u := &uncertain[idx]
+			u.InductiveScore = td.InductiveGrouping(u.I, u.J, ms)
+		}
+		revised := make([]Candidate, 0, len(uncertain))
+		for _, u := range uncertain {
+			if maxF(u.VSim, u.LSim) <= minEvidence {
+				continue
+			}
+			if cfg.DisableInductive || u.InductiveScore > cfg.TEg {
+				revised = append(revised, u)
+			}
+		}
+		// Process revised candidates by their direct similarity evidence
+		// (LSI breaking ties): among pairs that all fell short of Tsim,
+		// the remaining vsim/lsim signal is the most reliable
+		// discriminator, and it lets true-but-weak pairs claim their
+		// attributes before coincidentally correlated ones. The
+		// random-ordering ablation shuffles here too.
+		if cfg.RandomOrder {
+			rng := rand.New(rand.NewSource(cfg.Seed + 2))
+			rng.Shuffle(len(revised), func(i, j int) { revised[i], revised[j] = revised[j], revised[i] })
+		} else {
+			sort.SliceStable(revised, func(i, j int) bool {
+				si, sj := maxF(revised[i].VSim, revised[i].LSim), maxF(revised[j].VSim, revised[j].LSim)
+				if si != sj {
+					return si > sj
+				}
+				return revised[i].LSI > revised[j].LSI
+			})
+		}
+		for _, u := range revised {
+			integrate(u.I, u.J)
+			for qi := range queue {
+				if queue[qi].I == u.I && queue[qi].J == u.J {
+					queue[qi].AcceptedRevision = true
+					queue[qi].InductiveScore = u.InductiveScore
+				}
+			}
+		}
+	}
+
+	r.Matches = ms
+	r.Candidates = queue
+	r.Cross = extractCross(td, ms)
+	return r
+}
+
+// crossFromPairs builds the correspondence map from an explicit pair
+// list (single-step mode).
+func crossFromPairs(td *sim.TypeData, pairs [][2]int) map[string]map[string]bool {
+	out := make(map[string]map[string]bool)
+	for _, p := range pairs {
+		i, j := p[0], p[1]
+		if td.Attrs[i].Lang == td.Attrs[j].Lang {
+			continue
+		}
+		if td.Attrs[i].Lang != td.Pair.A {
+			i, j = j, i
+		}
+		a, b := td.Attrs[i].Name, td.Attrs[j].Name
+		if out[a] == nil {
+			out[a] = make(map[string]bool)
+		}
+		out[a][b] = true
+	}
+	return out
+}
+
+// extractCross turns match components into cross-language correspondences.
+func extractCross(td *sim.TypeData, ms *MatchSet) map[string]map[string]bool {
+	out := make(map[string]map[string]bool)
+	for _, comp := range ms.Components() {
+		for _, i := range comp {
+			if td.Attrs[i].Lang != td.Pair.A {
+				continue
+			}
+			for _, j := range comp {
+				if td.Attrs[j].Lang != td.Pair.B {
+					continue
+				}
+				a, b := td.Attrs[i].Name, td.Attrs[j].Name
+				if out[a] == nil {
+					out[a] = make(map[string]bool)
+				}
+				out[a][b] = true
+			}
+		}
+	}
+	return out
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

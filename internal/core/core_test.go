@@ -1,0 +1,220 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/text"
+	"repro/internal/wiki"
+)
+
+var (
+	testCorpus *wiki.Corpus
+	testTruth  *synth.GroundTruth
+)
+
+func corpus(t *testing.T) (*wiki.Corpus, *synth.GroundTruth) {
+	t.Helper()
+	if testCorpus == nil {
+		c, g, err := synth.Generate(synth.SmallConfig())
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		testCorpus, testTruth = c, g
+	}
+	return testCorpus, testTruth
+}
+
+func TestMatchEntityTypes(t *testing.T) {
+	c, truth := corpus(t)
+	pairs := MatchEntityTypes(c, wiki.PtEn)
+	if len(pairs) != 14 {
+		t.Fatalf("pt-en type pairs = %d (%v), want 14", len(pairs), pairs)
+	}
+	for _, p := range pairs {
+		ca, okA := truth.CanonType(wiki.Portuguese, p[0])
+		cb, okB := truth.CanonType(wiki.English, p[1])
+		if !okA || !okB || ca != cb {
+			t.Errorf("type pair %v resolves to %q vs %q", p, ca, cb)
+		}
+	}
+	vnPairs := MatchEntityTypes(c, wiki.VnEn)
+	if len(vnPairs) != 4 {
+		t.Fatalf("vn-en type pairs = %d (%v), want 4", len(vnPairs), vnPairs)
+	}
+}
+
+func TestMatchFilmFindsCoreAlignments(t *testing.T) {
+	c, _ := corpus(t)
+	m := NewMatcher(DefaultConfig())
+	res := m.Match(c, wiki.PtEn)
+	tr, ok := res.ByTypeA("filme")
+	if !ok {
+		t.Fatal("no film result")
+	}
+	wantPairs := [][2]string{
+		{"direção", "directed by"},
+		{"país", "country"},
+		{"lançamento", "release date"},
+		{"duração", "running time"},
+	}
+	for _, w := range wantPairs {
+		a, b := text.Normalize(w[0]), text.Normalize(w[1])
+		if !tr.Cross[a][b] {
+			t.Errorf("missing correspondence %s ~ %s (derived: %v)", w[0], w[1], tr.CrossPairsSorted())
+		}
+	}
+	// Must not align direção with starring.
+	if tr.Cross[text.Normalize("direção")]["starring"] {
+		t.Error("direção ~ starring derived incorrectly")
+	}
+}
+
+func TestMatchActorOneToMany(t *testing.T) {
+	c, _ := corpus(t)
+	m := NewMatcher(DefaultConfig())
+	res := m.Match(c, wiki.PtEn)
+	tr, ok := res.ByTypeA("ator")
+	if !ok {
+		t.Fatal("no actor result")
+	}
+	died := "died"
+	falec, morte := text.Normalize("falecimento"), "morte"
+	gotFalec := tr.Cross[falec][died]
+	gotMorte := tr.Cross[morte][died]
+	if !gotFalec && !gotMorte {
+		t.Errorf("died matched neither falecimento nor morte; derived: %v", tr.CrossPairsSorted())
+	}
+	// The one-to-many grouping of Table 1: ideally both.
+	if !(gotFalec && gotMorte) {
+		t.Logf("note: only one of falecimento/morte matched died (falec=%v morte=%v)", gotFalec, gotMorte)
+	}
+}
+
+func TestMatchDeterministic(t *testing.T) {
+	c, _ := corpus(t)
+	m := NewMatcher(DefaultConfig())
+	r1 := m.Match(c, wiki.VnEn)
+	r2 := m.Match(c, wiki.VnEn)
+	for _, tp := range r1.Types {
+		p1, p2 := r1.PerType[tp].CrossPairsSorted(), r2.PerType[tp].CrossPairsSorted()
+		if len(p1) != len(p2) {
+			t.Fatalf("type %v: %d vs %d pairs", tp, len(p1), len(p2))
+		}
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				t.Fatalf("type %v pair %d: %v vs %v", tp, i, p1[i], p2[i])
+			}
+		}
+	}
+}
+
+func TestSingleStepProducesMoreMatches(t *testing.T) {
+	c, _ := corpus(t)
+	normal := NewMatcher(DefaultConfig()).Match(c, wiki.VnEn)
+	ssCfg := DefaultConfig()
+	ssCfg.SingleStep = true
+	single := NewMatcher(ssCfg).Match(c, wiki.VnEn)
+	countCross := func(r *Result) int {
+		n := 0
+		for _, tr := range r.PerType {
+			for _, bs := range tr.Cross {
+				n += len(bs)
+			}
+		}
+		return n
+	}
+	if countCross(single) <= countCross(normal) {
+		t.Errorf("single step should derive more (noisier) correspondences: %d vs %d",
+			countCross(single), countCross(normal))
+	}
+}
+
+func TestReviseUncertainAddsMatches(t *testing.T) {
+	c, _ := corpus(t)
+	full := NewMatcher(DefaultConfig()).Match(c, wiki.PtEn)
+	noRev := DefaultConfig()
+	noRev.DisableRevise = true
+	wm := NewMatcher(noRev).Match(c, wiki.PtEn)
+	countCross := func(r *Result) int {
+		n := 0
+		for _, tr := range r.PerType {
+			for _, bs := range tr.Cross {
+				n += len(bs)
+			}
+		}
+		return n
+	}
+	if countCross(full) <= countCross(wm) {
+		t.Errorf("ReviseUncertain should add correspondences: full=%d, without=%d",
+			countCross(full), countCross(wm))
+	}
+}
+
+func TestMatchSetOperations(t *testing.T) {
+	ms := NewMatchSet(5)
+	if ms.Contains(0) {
+		t.Error("empty set contains 0")
+	}
+	ms.newComponent(0, 1)
+	ms.addTo(ms.comp[0], 2)
+	ms.newComponent(3, 4)
+	if !ms.Aligned(0, 2) || ms.Aligned(0, 3) {
+		t.Error("alignment wrong")
+	}
+	comps := ms.Components()
+	if len(comps) != 2 || len(comps[0]) != 3 {
+		t.Errorf("components = %v", comps)
+	}
+	if got := ms.Members(3); len(got) != 2 {
+		t.Errorf("members(3) = %v", got)
+	}
+	if got := ms.Members(2); len(got) != 3 {
+		t.Errorf("members(2) = %v", got)
+	}
+}
+
+func TestIntegrateMatchesGateBlocksCoOccurring(t *testing.T) {
+	// Build a minimal corpus where Example 2's situation arises: morte
+	// and nascimento are Portuguese attributes that co-occur, so after
+	// died~falecimento is matched, nascimento must not join a component
+	// containing a co-occurring attribute.
+	c, _ := corpus(t)
+	m := NewMatcher(DefaultConfig())
+	res := m.Match(c, wiki.PtEn)
+	tr, ok := res.ByTypeA("ator")
+	if !ok {
+		t.Fatal("no actor result")
+	}
+	// No component may contain both nascimento and morte (they co-occur
+	// in Portuguese infoboxes, so their LSI score is 0).
+	nasc := tr.TD.AttrIndex(Attr(wiki.Portuguese, "nascimento"))
+	morte := tr.TD.AttrIndex(Attr(wiki.Portuguese, "morte"))
+	if nasc >= 0 && morte >= 0 && tr.Matches.Aligned(nasc, morte) {
+		t.Error("nascimento and morte ended in the same match despite co-occurring")
+	}
+}
+
+// Attr builds a normalized attribute key for tests.
+func Attr(lang wiki.Language, name string) (a struct {
+	Lang wiki.Language
+	Name string
+}) {
+	a.Lang = lang
+	a.Name = text.Normalize(name)
+	return
+}
+
+func TestCandidatesOrderedByLSI(t *testing.T) {
+	c, _ := corpus(t)
+	m := NewMatcher(DefaultConfig())
+	res := m.Match(c, wiki.VnEn)
+	for _, tr := range res.PerType {
+		for i := 1; i < len(tr.Candidates); i++ {
+			if tr.Candidates[i].LSI > tr.Candidates[i-1].LSI+1e-9 {
+				t.Fatalf("queue not sorted by LSI at %d: %v > %v",
+					i, tr.Candidates[i].LSI, tr.Candidates[i-1].LSI)
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/wiki"
+)
+
+// TestParallelMatchEqualsSequential pins down that the concurrent
+// per-type fan-out in Match changes nothing observable: the result must
+// be identical to what a single-worker run produces.
+func TestParallelMatchEqualsSequential(t *testing.T) {
+	c, _ := corpus(t)
+	m := NewMatcher(DefaultConfig())
+
+	parallel := m.Match(c, wiki.PtEn)
+
+	old := runtime.GOMAXPROCS(1)
+	sequential := m.Match(c, wiki.PtEn)
+	runtime.GOMAXPROCS(old)
+
+	if len(parallel.Types) != len(sequential.Types) {
+		t.Fatalf("type counts differ: %d vs %d", len(parallel.Types), len(sequential.Types))
+	}
+	for _, tp := range parallel.Types {
+		a := parallel.PerType[tp].CrossPairsSorted()
+		b := sequential.PerType[tp].CrossPairsSorted()
+		if len(a) != len(b) {
+			t.Fatalf("type %v: %d vs %d pairs", tp, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("type %v pair %d: %v vs %v", tp, i, a[i], b[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/wiki"
+)
+
+// buildTypedCorpus creates cross-linked infobox pairs with controllable
+// type labels.
+func buildTypedCorpus(t *testing.T, links [][2]string) *wiki.Corpus {
+	t.Helper()
+	c := wiki.NewCorpus()
+	for i, l := range links {
+		ptTitle := string(rune('A'+i)) + "-pt"
+		enTitle := string(rune('A' + i))
+		pt := &wiki.Article{Language: wiki.Portuguese, Title: ptTitle, Type: l[0],
+			Infobox:    &wiki.Infobox{Template: "Infobox " + l[0], Attrs: []wiki.AttributeValue{{Name: "x"}}},
+			CrossLinks: map[wiki.Language]string{wiki.English: enTitle}}
+		en := &wiki.Article{Language: wiki.English, Title: enTitle, Type: l[1],
+			Infobox: &wiki.Infobox{Template: "Infobox " + l[1], Attrs: []wiki.AttributeValue{{Name: "y"}}}}
+		c.MustAdd(pt)
+		c.MustAdd(en)
+	}
+	return c
+}
+
+func TestMatchEntityTypesMajorityVote(t *testing.T) {
+	// filme mostly links to film, once to show: majority wins.
+	c := buildTypedCorpus(t, [][2]string{
+		{"filme", "film"}, {"filme", "film"}, {"filme", "show"},
+		{"programa", "show"}, {"programa", "show"},
+	})
+	pairs := MatchEntityTypes(c, wiki.PtEn)
+	want := map[string]string{"filme": "film", "programa": "show"}
+	if len(pairs) != len(want) {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	for _, p := range pairs {
+		if want[p[0]] != p[1] {
+			t.Errorf("pair %v, want %s → %s", p, p[0], want[p[0]])
+		}
+	}
+}
+
+func TestMatchEntityTypesRequiresMutualBest(t *testing.T) {
+	// Both filme and programa point mostly at film; only one can be
+	// film's mutual best, the other must not be matched to film.
+	c := buildTypedCorpus(t, [][2]string{
+		{"filme", "film"}, {"filme", "film"}, {"filme", "film"},
+		{"programa", "film"},
+	})
+	pairs := MatchEntityTypes(c, wiki.PtEn)
+	if len(pairs) != 1 || pairs[0] != [2]string{"filme", "film"} {
+		t.Fatalf("pairs = %v, want only filme→film", pairs)
+	}
+}
+
+func TestMatchEntityTypesEmptyCorpus(t *testing.T) {
+	if got := MatchEntityTypes(wiki.NewCorpus(), wiki.PtEn); len(got) != 0 {
+		t.Errorf("pairs = %v", got)
+	}
+}
+
+func TestMatchEntityTypesDeterministicTies(t *testing.T) {
+	c := buildTypedCorpus(t, [][2]string{
+		{"filme", "film"}, {"filme", "movie"},
+	})
+	first := MatchEntityTypes(c, wiki.PtEn)
+	for i := 0; i < 5; i++ {
+		again := MatchEntityTypes(c, wiki.PtEn)
+		if len(again) != len(first) {
+			t.Fatalf("tie-break unstable: %v vs %v", again, first)
+		}
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("tie-break unstable: %v vs %v", again, first)
+			}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package dump reads and writes MediaWiki-style XML dumps. It provides a
+// streaming page reader (so arbitrarily large dumps never need to fit in
+// memory), a matching writer, and corpus-level helpers that connect dump
+// files to the wiki.Corpus model by parsing each page's wikitext.
+package dump
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/wiki"
+)
+
+// Page is one <page> element of a dump: its title, namespace, numeric id
+// and the wikitext of its latest revision.
+type Page struct {
+	Title string
+	NS    int
+	ID    int
+	Text  string
+}
+
+// Reader streams pages out of a MediaWiki XML dump.
+type Reader struct {
+	dec      *xml.Decoder
+	lang     wiki.Language
+	sawRoot  bool
+	exhaust  bool
+	pageSeq  int
+	LangHint wiki.Language // language from <siteinfo>, if present
+}
+
+// NewReader wraps r. The language recorded in the dump's <siteinfo> is
+// exposed through LangHint after the first Next call that passes it.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{dec: xml.NewDecoder(r)}
+}
+
+// xmlPage mirrors the subset of the <page> element we consume.
+type xmlPage struct {
+	Title     string `xml:"title"`
+	NS        int    `xml:"ns"`
+	ID        int    `xml:"id"`
+	Revisions []struct {
+		Text string `xml:"text"`
+	} `xml:"revision"`
+}
+
+type xmlSiteinfo struct {
+	Lang string `xml:"lang"`
+}
+
+// Next returns the next page in the dump, or io.EOF when exhausted.
+func (r *Reader) Next() (Page, error) {
+	if r.exhaust {
+		return Page{}, io.EOF
+	}
+	for {
+		tok, err := r.dec.Token()
+		if err == io.EOF {
+			r.exhaust = true
+			return Page{}, io.EOF
+		}
+		if err != nil {
+			return Page{}, fmt.Errorf("dump: reading token: %w", err)
+		}
+		start, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		switch start.Name.Local {
+		case "mediawiki":
+			r.sawRoot = true
+			for _, attr := range start.Attr {
+				if attr.Name.Local == "lang" {
+					r.LangHint = wiki.Language(attr.Value)
+				}
+			}
+		case "siteinfo":
+			var si xmlSiteinfo
+			if err := r.dec.DecodeElement(&si, &start); err != nil {
+				return Page{}, fmt.Errorf("dump: siteinfo: %w", err)
+			}
+			if si.Lang != "" {
+				r.LangHint = wiki.Language(si.Lang)
+			}
+		case "page":
+			var xp xmlPage
+			if err := r.dec.DecodeElement(&xp, &start); err != nil {
+				return Page{}, fmt.Errorf("dump: page: %w", err)
+			}
+			r.pageSeq++
+			p := Page{Title: xp.Title, NS: xp.NS, ID: xp.ID}
+			if p.ID == 0 {
+				p.ID = r.pageSeq
+			}
+			if len(xp.Revisions) > 0 {
+				p.Text = xp.Revisions[len(xp.Revisions)-1].Text
+			}
+			return p, nil
+		}
+	}
+}
+
+// All reads every remaining page.
+func (r *Reader) All() ([]Page, error) {
+	var pages []Page
+	for {
+		p, err := r.Next()
+		if err == io.EOF {
+			return pages, nil
+		}
+		if err != nil {
+			return pages, err
+		}
+		pages = append(pages, p)
+	}
+}
+
+// Writer streams pages into a MediaWiki XML dump.
+type Writer struct {
+	w      io.Writer
+	lang   wiki.Language
+	opened bool
+	closed bool
+	nextID int
+	err    error
+}
+
+// NewWriter creates a dump writer for the given language edition.
+func NewWriter(w io.Writer, lang wiki.Language) *Writer {
+	return &Writer{w: w, lang: lang, nextID: 1}
+}
+
+func (w *Writer) write(s string) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = io.WriteString(w.w, s)
+}
+
+func (w *Writer) open() {
+	if w.opened {
+		return
+	}
+	w.opened = true
+	w.write(xml.Header)
+	w.write(fmt.Sprintf("<mediawiki xml:lang=%q>\n", w.lang))
+	w.write("  <siteinfo>\n")
+	w.write(fmt.Sprintf("    <sitename>Wikipedia</sitename>\n    <dbname>%swiki</dbname>\n    <lang>%s</lang>\n", w.lang, w.lang))
+	w.write("  </siteinfo>\n")
+}
+
+// WritePage appends a page in namespace 0 with the given wikitext.
+func (w *Writer) WritePage(title, text string) error {
+	if w.closed {
+		return fmt.Errorf("dump: write after Close")
+	}
+	w.open()
+	id := w.nextID
+	w.nextID++
+	w.write("  <page>\n")
+	w.write("    <title>" + escape(title) + "</title>\n")
+	w.write("    <ns>0</ns>\n")
+	w.write(fmt.Sprintf("    <id>%d</id>\n", id))
+	w.write("    <revision>\n")
+	w.write(fmt.Sprintf("      <id>%d</id>\n", id))
+	w.write("      <text>" + escape(text) + "</text>\n")
+	w.write("    </revision>\n")
+	w.write("  </page>\n")
+	return w.err
+}
+
+// Close terminates the dump document. It is an error to write afterwards.
+func (w *Writer) Close() error {
+	if w.closed {
+		return w.err
+	}
+	w.open()
+	w.closed = true
+	w.write("</mediawiki>\n")
+	return w.err
+}
+
+// escape XML-escapes text content.
+func escape(s string) string {
+	var b strings.Builder
+	if err := xml.EscapeText(&b, []byte(s)); err != nil {
+		return s
+	}
+	return b.String()
+}
+
+// WriteCorpus renders every article of one language edition into a dump.
+func WriteCorpus(w io.Writer, c *wiki.Corpus, lang wiki.Language) error {
+	dw := NewWriter(w, lang)
+	for _, a := range c.Articles(lang) {
+		if err := dw.WritePage(a.Title, wiki.RenderPage(a)); err != nil {
+			return err
+		}
+	}
+	return dw.Close()
+}
+
+// LoadResult reports what happened while loading a dump into a corpus.
+type LoadResult struct {
+	Pages   int
+	Skipped int // non-article namespaces
+	Errors  []error
+}
+
+// LoadCorpus parses a dump for the given language into the corpus. Pages
+// whose wikitext fails to parse are recorded in the result's Errors and
+// skipped; structural XML errors abort.
+func LoadCorpus(c *wiki.Corpus, r io.Reader, lang wiki.Language) (LoadResult, error) {
+	var res LoadResult
+	dr := NewReader(r)
+	for {
+		p, err := dr.Next()
+		if err == io.EOF {
+			return res, nil
+		}
+		if err != nil {
+			return res, err
+		}
+		if p.NS != 0 {
+			res.Skipped++
+			continue
+		}
+		res.Pages++
+		effLang := lang
+		if effLang == "" {
+			effLang = dr.LangHint
+		}
+		a, err := wiki.ParsePage(effLang, p.Title, p.Text)
+		if err != nil {
+			res.Errors = append(res.Errors, err)
+			continue
+		}
+		if err := c.Add(a); err != nil {
+			res.Errors = append(res.Errors, err)
+		}
+	}
+}

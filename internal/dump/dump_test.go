@@ -1,0 +1,176 @@
+package dump
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/wiki"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, wiki.English)
+	pages := []struct{ title, text string }{
+		{"Alpha", "{{Infobox film\n| name = Alpha\n}}\n[[Category:Films]]"},
+		{"Beta & Gamma", "text with <angle> brackets & ampersands"},
+		{"Hoàng đế cuối cùng", "unicode title"},
+	}
+	for _, p := range pages {
+		if err := w.WritePage(p.title, p.text); err != nil {
+			t.Fatalf("WritePage: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := w.WritePage("late", "x"); err == nil {
+		t.Error("expected write-after-close error")
+	}
+
+	r := NewReader(&buf)
+	got, err := r.All()
+	if err != nil {
+		t.Fatalf("All: %v", err)
+	}
+	if len(got) != len(pages) {
+		t.Fatalf("pages = %d, want %d", len(got), len(pages))
+	}
+	for i, p := range pages {
+		if got[i].Title != p.title {
+			t.Errorf("page %d title = %q, want %q", i, got[i].Title, p.title)
+		}
+		if got[i].Text != p.text {
+			t.Errorf("page %d text = %q, want %q", i, got[i].Text, p.text)
+		}
+		if got[i].ID != i+1 {
+			t.Errorf("page %d id = %d", i, got[i].ID)
+		}
+	}
+	if r.LangHint != wiki.English {
+		t.Errorf("LangHint = %q", r.LangHint)
+	}
+}
+
+func TestReaderEOFIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, wiki.English)
+	w.WritePage("One", "x")
+	w.Close()
+	r := NewReader(&buf)
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("first Next: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("Next after end = %v, want EOF", err)
+		}
+	}
+}
+
+func TestReaderMalformedXML(t *testing.T) {
+	r := NewReader(strings.NewReader("<mediawiki><page><title>X</title>"))
+	_, err := r.Next()
+	if err == nil || err == io.EOF {
+		t.Fatalf("err = %v, want structural error", err)
+	}
+}
+
+func TestCorpusDumpRoundTrip(t *testing.T) {
+	orig := wiki.NewCorpus()
+	en := &wiki.Article{
+		Language: wiki.English, Title: "The Last Emperor", Type: "film",
+		Infobox: &wiki.Infobox{Template: "Infobox film", Attrs: []wiki.AttributeValue{
+			{Name: "directed by", Text: "Bernardo Bertolucci", Links: []wiki.Link{{Target: "Bernardo Bertolucci", Anchor: "Bernardo Bertolucci"}}},
+			{Name: "running time", Text: "160 minutes"},
+		}},
+		Categories: []string{"1987 films"},
+		CrossLinks: map[wiki.Language]string{wiki.Portuguese: "O Último Imperador"},
+	}
+	pt := &wiki.Article{
+		Language: wiki.Portuguese, Title: "O Último Imperador", Type: "filme",
+		Infobox: &wiki.Infobox{Template: "Infobox filme", Attrs: []wiki.AttributeValue{
+			{Name: "direção", Text: "Bernardo Bertolucci"},
+			{Name: "duração", Text: "165 min"},
+		}},
+		CrossLinks: map[wiki.Language]string{wiki.English: "The Last Emperor"},
+	}
+	orig.MustAdd(en)
+	orig.MustAdd(pt)
+
+	loaded := wiki.NewCorpus()
+	for _, lang := range []wiki.Language{wiki.English, wiki.Portuguese} {
+		var buf bytes.Buffer
+		if err := WriteCorpus(&buf, orig, lang); err != nil {
+			t.Fatalf("WriteCorpus(%s): %v", lang, err)
+		}
+		res, err := LoadCorpus(loaded, &buf, lang)
+		if err != nil {
+			t.Fatalf("LoadCorpus(%s): %v", lang, err)
+		}
+		if len(res.Errors) > 0 {
+			t.Fatalf("LoadCorpus(%s) page errors: %v", lang, res.Errors)
+		}
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d articles", loaded.Len())
+	}
+	pairs := loaded.Pairs(wiki.PtEn)
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %d, want 1", len(pairs))
+	}
+	gotEn, _ := loaded.Get(wiki.English, "The Last Emperor")
+	if gotEn.Type != "film" || gotEn.Infobox.Len() != 2 {
+		t.Errorf("round-trip en article = %+v", gotEn)
+	}
+	dir, ok := gotEn.Infobox.Get("directed by")
+	if !ok || len(dir.Links) != 1 {
+		t.Errorf("round-trip links = %+v", dir)
+	}
+}
+
+func TestLoadCorpusSkipsNonArticleNamespaces(t *testing.T) {
+	xmlDoc := `<mediawiki xml:lang="en"><siteinfo><lang>en</lang></siteinfo>
+<page><title>Talk:X</title><ns>1</ns><id>1</id><revision><id>1</id><text>talk</text></revision></page>
+<page><title>Real</title><ns>0</ns><id>2</id><revision><id>2</id><text>body</text></revision></page>
+</mediawiki>`
+	c := wiki.NewCorpus()
+	res, err := LoadCorpus(c, strings.NewReader(xmlDoc), wiki.English)
+	if err != nil {
+		t.Fatalf("LoadCorpus: %v", err)
+	}
+	if res.Skipped != 1 || res.Pages != 1 {
+		t.Errorf("result = %+v", res)
+	}
+	if c.Len() != 1 {
+		t.Errorf("corpus len = %d", c.Len())
+	}
+}
+
+func TestLoadCorpusUsesLangHint(t *testing.T) {
+	xmlDoc := `<mediawiki xml:lang="pt"><page><title>P</title><ns>0</ns><id>1</id><revision><id>1</id><text>t</text></revision></page></mediawiki>`
+	c := wiki.NewCorpus()
+	if _, err := LoadCorpus(c, strings.NewReader(xmlDoc), ""); err != nil {
+		t.Fatalf("LoadCorpus: %v", err)
+	}
+	if _, ok := c.Get(wiki.Portuguese, "P"); !ok {
+		t.Error("article not stored under hinted language")
+	}
+}
+
+func TestLoadCorpusRecordsPageErrors(t *testing.T) {
+	bad := "{{Infobox film\n| name = unclosed"
+	xmlDoc := `<mediawiki xml:lang="en"><page><title>Bad</title><ns>0</ns><id>1</id><revision><id>1</id><text>` + bad + `</text></revision></page></mediawiki>`
+	c := wiki.NewCorpus()
+	res, err := LoadCorpus(c, strings.NewReader(xmlDoc), wiki.English)
+	if err != nil {
+		t.Fatalf("LoadCorpus: %v", err)
+	}
+	if len(res.Errors) != 1 {
+		t.Errorf("errors = %v", res.Errors)
+	}
+	if c.Len() != 0 {
+		t.Errorf("bad page stored")
+	}
+}

@@ -1,0 +1,252 @@
+// Package eval implements the paper's evaluation machinery: the weighted
+// precision/recall/F-measure of Section 4 (Equations 1–4), the
+// macro-averaged variants of Appendix B, mean average precision for
+// candidate orderings (Table 7), the structural-heterogeneity overlap of
+// Appendix A (Table 5), Pearson correlation, and the cumulative gain
+// measure of the case study (Figure 4).
+package eval
+
+import (
+	"math"
+	"sort"
+)
+
+// Correspondences maps each source-language attribute name to the set of
+// target-language names it aligns with — both the derived set C and the
+// ground truth G take this shape.
+type Correspondences map[string]map[string]bool
+
+// Has reports whether the pair (a, b) is present.
+func (c Correspondences) Has(a, b string) bool { return c[a][b] }
+
+// Add inserts a pair.
+func (c Correspondences) Add(a, b string) {
+	if c[a] == nil {
+		c[a] = make(map[string]bool)
+	}
+	c[a][b] = true
+}
+
+// Pairs counts the distinct pairs.
+func (c Correspondences) Pairs() int {
+	n := 0
+	for _, bs := range c {
+		n += len(bs)
+	}
+	return n
+}
+
+// PRF bundles precision, recall and F-measure.
+type PRF struct {
+	Precision, Recall, F float64
+}
+
+// fmeasure is the harmonic mean of precision and recall.
+func fmeasure(p, r float64) float64 {
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Weighted computes the paper's weighted precision and recall
+// (Equations 1–4). freqA and freqB give attribute frequencies |a| in the
+// two languages' infobox sets; derived is C and truth is G.
+func Weighted(derived, truth Correspondences, freqA, freqB map[string]float64) PRF {
+	// Precision (Eqs. 1 and 3): weighted over attributes appearing in C,
+	// and within an attribute over its derived counterparts.
+	var pNum, pDen float64
+	for a, bs := range derived {
+		if len(bs) == 0 {
+			continue
+		}
+		wa := freqA[a]
+		var inner, innerDen float64
+		for b := range bs {
+			wb := freqB[b]
+			innerDen += wb
+			if truth.Has(a, b) {
+				inner += wb
+			}
+		}
+		if innerDen == 0 {
+			// Counterparts never observed carry no weight; treat the
+			// attribute's precision as 0 over uniform weights.
+			inner, innerDen = 0, 1
+			for b := range bs {
+				if truth.Has(a, b) {
+					inner++
+				}
+			}
+			innerDen = float64(len(bs))
+		}
+		pNum += wa * (inner / innerDen)
+		pDen += wa
+	}
+	precision := 0.0
+	if pDen > 0 {
+		precision = pNum / pDen
+	}
+
+	// Recall (Eqs. 2 and 4): weighted over attributes appearing in G,
+	// and within an attribute over its ground-truth counterparts,
+	// crediting those the algorithm derived.
+	var rNum, rDen float64
+	for a, bs := range truth {
+		if len(bs) == 0 {
+			continue
+		}
+		wa := freqA[a]
+		var inner, innerDen float64
+		for b := range bs {
+			wb := freqB[b]
+			innerDen += wb
+			if derived.Has(a, b) {
+				inner += wb
+			}
+		}
+		if innerDen == 0 {
+			inner, innerDen = 0, 1
+			for b := range bs {
+				if derived.Has(a, b) {
+					inner++
+				}
+			}
+			innerDen = float64(len(bs))
+		}
+		rNum += wa * (inner / innerDen)
+		rDen += wa
+	}
+	recall := 0.0
+	if rDen > 0 {
+		recall = rNum / rDen
+	}
+	return PRF{Precision: precision, Recall: recall, F: fmeasure(precision, recall)}
+}
+
+// Macro computes the unweighted variant of Appendix B: distinct
+// attribute-name pairs are counted equally.
+func Macro(derived, truth Correspondences) PRF {
+	correct := 0
+	for a, bs := range derived {
+		for b := range bs {
+			if truth.Has(a, b) {
+				correct++
+			}
+		}
+	}
+	p, r := 0.0, 0.0
+	if d := derived.Pairs(); d > 0 {
+		p = float64(correct) / float64(d)
+	}
+	if g := truth.Pairs(); g > 0 {
+		r = float64(correct) / float64(g)
+	}
+	return PRF{Precision: p, Recall: r, F: fmeasure(p, r)}
+}
+
+// Average averages a list of PRF rows (the "Avg" row of Table 2).
+func Average(rows []PRF) PRF {
+	if len(rows) == 0 {
+		return PRF{}
+	}
+	var out PRF
+	for _, r := range rows {
+		out.Precision += r.Precision
+		out.Recall += r.Recall
+		out.F += r.F
+	}
+	n := float64(len(rows))
+	out.Precision /= n
+	out.Recall /= n
+	out.F /= n
+	return out
+}
+
+// RankedPair is a scored candidate pair for MAP evaluation.
+type RankedPair struct {
+	A, B  string
+	Score float64
+}
+
+// MAP computes mean average precision over the ranked candidate pairs
+// (Appendix B): for each source attribute with at least one correct
+// match, average precision over its ranked candidates; then the mean
+// over attributes. Ties are broken by pair name for determinism.
+func MAP(ranked []RankedPair, truth Correspondences) float64 {
+	byA := make(map[string][]RankedPair)
+	for _, rp := range ranked {
+		byA[rp.A] = append(byA[rp.A], rp)
+	}
+	var attrs []string
+	for a := range truth {
+		if len(truth[a]) > 0 {
+			attrs = append(attrs, a)
+		}
+	}
+	sort.Strings(attrs)
+	var sum float64
+	n := 0
+	for _, a := range attrs {
+		cands := append([]RankedPair(nil), byA[a]...)
+		sort.SliceStable(cands, func(i, j int) bool {
+			if cands[i].Score != cands[j].Score {
+				return cands[i].Score > cands[j].Score
+			}
+			return cands[i].B < cands[j].B
+		})
+		mj := len(truth[a])
+		var ap float64
+		correctSeen := 0
+		for rank, cand := range cands {
+			if truth.Has(a, cand.B) {
+				correctSeen++
+				ap += float64(correctSeen) / float64(rank+1)
+			}
+		}
+		sum += ap / float64(mj)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Pearson computes the Pearson correlation coefficient of two equal-length
+// series (used to relate overlap and F-measure across types).
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) == 0 {
+		return 0
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// CumulativeGain returns the running sum of relevance scores: CG[k] is
+// the total relevance of the top k+1 answers (Järvelin & Kekäläinen).
+func CumulativeGain(relevance []float64) []float64 {
+	out := make([]float64, len(relevance))
+	var sum float64
+	for i, r := range relevance {
+		sum += r
+		out[i] = sum
+	}
+	return out
+}

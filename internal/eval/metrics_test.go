@@ -1,0 +1,213 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestWeightedPaperExample4 reproduces the worked example of Section 4:
+// P = 1, R = 0.775.
+func TestWeightedPaperExample4(t *testing.T) {
+	freqA := map[string]float64{"a1": 0.6, "a2": 0.4}
+	freqB := map[string]float64{"b1": 0.5, "b2": 0.3, "b3": 0.2}
+	truth := Correspondences{}
+	truth.Add("a1", "b1")
+	truth.Add("a1", "b2")
+	truth.Add("a2", "b3")
+	derived := Correspondences{}
+	derived.Add("a1", "b1")
+	derived.Add("a2", "b3")
+
+	got := Weighted(derived, truth, freqA, freqB)
+	if math.Abs(got.Precision-1) > 1e-12 {
+		t.Errorf("precision = %v, want 1", got.Precision)
+	}
+	if math.Abs(got.Recall-0.775) > 1e-12 {
+		t.Errorf("recall = %v, want 0.775", got.Recall)
+	}
+	wantF := 2 * 1 * 0.775 / 1.775
+	if math.Abs(got.F-wantF) > 1e-12 {
+		t.Errorf("F = %v, want %v", got.F, wantF)
+	}
+}
+
+func TestWeightedPenalizesWrongPairs(t *testing.T) {
+	freqA := map[string]float64{"a1": 1}
+	freqB := map[string]float64{"b1": 1, "b2": 1}
+	truth := Correspondences{}
+	truth.Add("a1", "b1")
+	derived := Correspondences{}
+	derived.Add("a1", "b1")
+	derived.Add("a1", "b2") // wrong
+	got := Weighted(derived, truth, freqA, freqB)
+	if math.Abs(got.Precision-0.5) > 1e-12 {
+		t.Errorf("precision = %v, want 0.5", got.Precision)
+	}
+	if math.Abs(got.Recall-1) > 1e-12 {
+		t.Errorf("recall = %v, want 1", got.Recall)
+	}
+}
+
+func TestWeightedEmptySets(t *testing.T) {
+	got := Weighted(Correspondences{}, Correspondences{}, nil, nil)
+	if got.Precision != 0 || got.Recall != 0 || got.F != 0 {
+		t.Errorf("empty = %+v", got)
+	}
+}
+
+func TestWeightedBounds(t *testing.T) {
+	prop := func(pairs [][2]uint8, truthPairs [][2]uint8) bool {
+		derived, truth := Correspondences{}, Correspondences{}
+		freqA, freqB := map[string]float64{}, map[string]float64{}
+		name := func(i uint8) string { return string(rune('a' + i%8)) }
+		for _, p := range pairs {
+			a, b := name(p[0]), name(p[1])
+			derived.Add(a, b)
+			freqA[a]++
+			freqB[b]++
+		}
+		for _, p := range truthPairs {
+			a, b := name(p[0]), name(p[1])
+			truth.Add(a, b)
+			freqA[a]++
+			freqB[b]++
+		}
+		r := Weighted(derived, truth, freqA, freqB)
+		for _, v := range []float64{r.Precision, r.Recall, r.F} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMacro(t *testing.T) {
+	truth := Correspondences{}
+	truth.Add("a1", "b1")
+	truth.Add("a2", "b2")
+	truth.Add("a3", "b3")
+	derived := Correspondences{}
+	derived.Add("a1", "b1")
+	derived.Add("a2", "b9") // wrong
+	got := Macro(derived, truth)
+	if math.Abs(got.Precision-0.5) > 1e-12 || math.Abs(got.Recall-1.0/3) > 1e-12 {
+		t.Errorf("macro = %+v", got)
+	}
+}
+
+func TestMacroPerfect(t *testing.T) {
+	truth := Correspondences{}
+	truth.Add("a", "b")
+	got := Macro(truth, truth)
+	if got.Precision != 1 || got.Recall != 1 || got.F != 1 {
+		t.Errorf("perfect macro = %+v", got)
+	}
+}
+
+func TestAverage(t *testing.T) {
+	rows := []PRF{{1, 1, 1}, {0, 0, 0}}
+	got := Average(rows)
+	if got.Precision != 0.5 || got.Recall != 0.5 || got.F != 0.5 {
+		t.Errorf("average = %+v", got)
+	}
+	if z := Average(nil); z != (PRF{}) {
+		t.Errorf("empty average = %+v", z)
+	}
+}
+
+func TestMAPPerfectOrdering(t *testing.T) {
+	truth := Correspondences{}
+	truth.Add("a1", "b1")
+	truth.Add("a2", "b2")
+	ranked := []RankedPair{
+		{A: "a1", B: "b1", Score: 0.9},
+		{A: "a1", B: "b2", Score: 0.1},
+		{A: "a2", B: "b2", Score: 0.8},
+		{A: "a2", B: "b1", Score: 0.2},
+	}
+	if got := MAP(ranked, truth); math.Abs(got-1) > 1e-12 {
+		t.Errorf("MAP = %v, want 1", got)
+	}
+}
+
+func TestMAPWorstOrdering(t *testing.T) {
+	truth := Correspondences{}
+	truth.Add("a1", "b1")
+	ranked := []RankedPair{
+		{A: "a1", B: "b2", Score: 0.9},
+		{A: "a1", B: "b1", Score: 0.1},
+	}
+	// Correct match at rank 2 → AP = 1/2.
+	if got := MAP(ranked, truth); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MAP = %v, want 0.5", got)
+	}
+}
+
+func TestMAPOneToMany(t *testing.T) {
+	truth := Correspondences{}
+	truth.Add("died", "falecimento")
+	truth.Add("died", "morte")
+	ranked := []RankedPair{
+		{A: "died", B: "falecimento", Score: 0.9},
+		{A: "died", B: "nascimento", Score: 0.8},
+		{A: "died", B: "morte", Score: 0.7},
+	}
+	// AP = (1/2)(1/1 + 2/3) = 5/6.
+	if got := MAP(ranked, truth); math.Abs(got-5.0/6) > 1e-12 {
+		t.Errorf("MAP = %v, want 5/6", got)
+	}
+}
+
+func TestMAPMissingCandidates(t *testing.T) {
+	truth := Correspondences{}
+	truth.Add("a1", "b1")
+	if got := MAP(nil, truth); got != 0 {
+		t.Errorf("MAP with no candidates = %v", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if got := Pearson(x, []float64{2, 4, 6, 8}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect correlation = %v", got)
+	}
+	if got := Pearson(x, []float64{8, 6, 4, 2}); math.Abs(got+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation = %v", got)
+	}
+	if got := Pearson(x, []float64{5, 5, 5, 5}); got != 0 {
+		t.Errorf("constant series = %v", got)
+	}
+	if got := Pearson(x, []float64{1}); got != 0 {
+		t.Errorf("length mismatch = %v", got)
+	}
+}
+
+func TestCumulativeGain(t *testing.T) {
+	cg := CumulativeGain([]float64{3, 0, 2, 1})
+	want := []float64{3, 3, 5, 6}
+	for i := range want {
+		if cg[i] != want[i] {
+			t.Errorf("CG[%d] = %v, want %v", i, cg[i], want[i])
+		}
+	}
+	if got := CumulativeGain(nil); len(got) != 0 {
+		t.Errorf("empty CG = %v", got)
+	}
+}
+
+func TestCorrespondencesHelpers(t *testing.T) {
+	c := Correspondences{}
+	c.Add("a", "b")
+	c.Add("a", "c")
+	if !c.Has("a", "b") || c.Has("b", "a") {
+		t.Error("Has wrong")
+	}
+	if c.Pairs() != 2 {
+		t.Errorf("Pairs = %d", c.Pairs())
+	}
+}

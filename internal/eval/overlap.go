@@ -1,0 +1,94 @@
+package eval
+
+import (
+	"repro/internal/text"
+	"repro/internal/wiki"
+)
+
+// CorrectFunc decides whether two attribute names (by language) have the
+// same meaning — the ground-truth predicate.
+type CorrectFunc func(langA wiki.Language, a string, langB wiki.Language, b string) bool
+
+// Overlap computes the structural-heterogeneity measure of Appendix A
+// (Table 5) for one entity type: for each cross-linked infobox pair of
+// the type, the number of ground-truth-aligned attributes over the size
+// of the schema union, averaged over pairs.
+func Overlap(c *wiki.Corpus, pair wiki.LanguagePair, typeA, typeB string, correct CorrectFunc) float64 {
+	var sum float64
+	n := 0
+	for _, p := range c.Pairs(pair) {
+		if p.A.Type != typeA || p.B.Type != typeB {
+			continue
+		}
+		schemaA := normalizedSchema(p.A)
+		schemaB := normalizedSchema(p.B)
+		inter := 0
+		for _, a := range schemaA {
+			for _, b := range schemaB {
+				if correct(pair.A, a, pair.B, b) {
+					inter++
+					break
+				}
+			}
+		}
+		union := len(schemaA) + len(schemaB) - inter
+		if union > 0 {
+			sum += float64(inter) / float64(union)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func normalizedSchema(a *wiki.Article) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, name := range a.Infobox.Schema() {
+		n := text.Normalize(name)
+		if n != "" && !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// AttributeFrequencies counts, over the cross-linked infobox pairs of a
+// type, how often each normalized attribute name occurs on each side —
+// the |a| weights of the evaluation metrics.
+func AttributeFrequencies(c *wiki.Corpus, pair wiki.LanguagePair, typeA, typeB string) (freqA, freqB map[string]float64) {
+	freqA = make(map[string]float64)
+	freqB = make(map[string]float64)
+	for _, p := range c.Pairs(pair) {
+		if p.A.Type != typeA || p.B.Type != typeB {
+			continue
+		}
+		for _, name := range normalizedSchema(p.A) {
+			freqA[name]++
+		}
+		for _, name := range normalizedSchema(p.B) {
+			freqB[name]++
+		}
+	}
+	return freqA, freqB
+}
+
+// TruthPairs builds the ground-truth correspondence set G for a type:
+// every (a, b) with a observed on the A side, b observed on the B side,
+// and correct(a, b). Restricting to observed attributes mirrors the
+// paper's ground truth, which labels the correspondences present in the
+// dataset.
+func TruthPairs(freqA, freqB map[string]float64, pair wiki.LanguagePair, correct CorrectFunc) Correspondences {
+	g := make(Correspondences)
+	for a := range freqA {
+		for b := range freqB {
+			if correct(pair.A, a, pair.B, b) {
+				g.Add(a, b)
+			}
+		}
+	}
+	return g
+}

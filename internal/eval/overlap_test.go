@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/wiki"
+)
+
+// buildPairCorpus creates two cross-linked film infoboxes with a known
+// overlap structure.
+func buildPairCorpus(t *testing.T) *wiki.Corpus {
+	t.Helper()
+	c := wiki.NewCorpus()
+	pt := &wiki.Article{Language: wiki.Portuguese, Title: "A", Type: "filme",
+		Infobox: &wiki.Infobox{Template: "Infobox filme", Attrs: []wiki.AttributeValue{
+			{Name: "direção", Text: "x"},
+			{Name: "país", Text: "y"},
+			{Name: "gênero", Text: "z"}, // pt-only
+		}},
+		CrossLinks: map[wiki.Language]string{wiki.English: "A-en"}}
+	en := &wiki.Article{Language: wiki.English, Title: "A-en", Type: "film",
+		Infobox: &wiki.Infobox{Template: "Infobox film", Attrs: []wiki.AttributeValue{
+			{Name: "directed by", Text: "x"},
+			{Name: "country", Text: "y"},
+			{Name: "budget", Text: "w"}, // en-only
+		}},
+		CrossLinks: map[wiki.Language]string{wiki.Portuguese: "A"}}
+	c.MustAdd(pt)
+	c.MustAdd(en)
+	return c
+}
+
+func pairCorrect(langA wiki.Language, a string, langB wiki.Language, b string) bool {
+	truth := map[[2]string]bool{
+		{"direcao", "directed by"}: true,
+		{"pais", "country"}:        true,
+	}
+	return truth[[2]string{a, b}] || truth[[2]string{b, a}]
+}
+
+func TestOverlapComputation(t *testing.T) {
+	c := buildPairCorpus(t)
+	got := Overlap(c, wiki.PtEn, "filme", "film", pairCorrect)
+	// intersection = 2 (direção~directed by, país~country);
+	// union = 3 + 3 − 2 = 4 → overlap = 0.5.
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("overlap = %v, want 0.5", got)
+	}
+}
+
+func TestOverlapNoPairs(t *testing.T) {
+	c := wiki.NewCorpus()
+	if got := Overlap(c, wiki.PtEn, "filme", "film", pairCorrect); got != 0 {
+		t.Errorf("overlap on empty corpus = %v", got)
+	}
+}
+
+func TestAttributeFrequencies(t *testing.T) {
+	c := buildPairCorpus(t)
+	freqA, freqB := AttributeFrequencies(c, wiki.PtEn, "filme", "film")
+	if freqA["direcao"] != 1 || freqA["genero"] != 1 {
+		t.Errorf("freqA = %v", freqA)
+	}
+	if freqB["directed by"] != 1 || freqB["budget"] != 1 {
+		t.Errorf("freqB = %v", freqB)
+	}
+	if len(freqA) != 3 || len(freqB) != 3 {
+		t.Errorf("freq sizes = %d / %d", len(freqA), len(freqB))
+	}
+}
+
+func TestTruthPairsRestrictedToObserved(t *testing.T) {
+	freqA := map[string]float64{"direcao": 1}
+	freqB := map[string]float64{"directed by": 1, "budget": 1}
+	g := TruthPairs(freqA, freqB, wiki.PtEn, pairCorrect)
+	if g.Pairs() != 1 || !g.Has("direcao", "directed by") {
+		t.Errorf("truth pairs = %v", g)
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/wiki"
+)
+
+// OverlapCorrelation reproduces the correlation analysis of Section 4.1
+// ("Effect of Cross-Language Heterogeneity"): for each approach, the
+// Pearson correlation between a type's cross-language attribute overlap
+// (Table 5) and the approach's F-measure on that type. The paper reports
+// positive coefficients for every approach — results are better for
+// types that are more homogeneous across languages.
+type OverlapCorrelation struct {
+	Pair                        wiki.LanguagePair
+	WikiMatch, Bouma, COMA, LSI float64
+}
+
+// OverlapCorrelations computes the per-approach overlap↔F Pearson
+// coefficients over the Pt-En types (the Vn-En side has only four types,
+// too few for a meaningful coefficient, so it is pooled in).
+func (s *Setup) OverlapCorrelations(cfg core.Config) []OverlapCorrelation {
+	lt := s.LabelTranslator(1.0)
+	var out []OverlapCorrelation
+	for _, pair := range s.Pairs() {
+		comaCfg := baselines.COMAConfig{Name: true, Instance: true,
+			TranslateNames: true, TranslateInstances: true, Threshold: 0.01}
+		if pair == wiki.VnEn {
+			comaCfg = baselines.COMAConfig{Instance: true, TranslateInstances: true, Threshold: 0.01}
+		}
+		var overlaps []float64
+		series := map[string][]float64{}
+		for _, tc := range s.Cases(pair) {
+			overlaps = append(overlaps, eval.Overlap(s.Corpus, pair, tc.TypeA, tc.TypeB, tc.TypeTruth.Correct))
+			series["wm"] = append(series["wm"], s.EvaluateWeighted(tc, s.RunWikiMatch(tc, cfg)).F)
+			series["bouma"] = append(series["bouma"], s.EvaluateWeighted(tc,
+				baselines.Bouma(s.Corpus, pair, tc.TypeA, tc.TypeB, baselines.DefaultBoumaConfig())).F)
+			series["coma"] = append(series["coma"], s.EvaluateWeighted(tc, baselines.COMA(tc.TD, lt, comaCfg)).F)
+			series["lsi"] = append(series["lsi"], s.EvaluateWeighted(tc, baselines.LSITopK(tc.TD, cfg.LSIRank, 1)).F)
+		}
+		out = append(out, OverlapCorrelation{
+			Pair:      pair,
+			WikiMatch: eval.Pearson(overlaps, series["wm"]),
+			Bouma:     eval.Pearson(overlaps, series["bouma"]),
+			COMA:      eval.Pearson(overlaps, series["coma"]),
+			LSI:       eval.Pearson(overlaps, series["lsi"]),
+		})
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/flooding"
+	"repro/internal/sim"
+	"repro/internal/wiki"
+	"repro/internal/ziggurat"
+)
+
+// ExtensionRow compares WikiMatch with the matchers implemented beyond
+// the paper's evaluation: similarity flooding (the conclusion's
+// future-work item), a correlation-only holistic matcher, and a
+// Ziggurat-style self-supervised classifier (the Section 6 comparison
+// the authors could not run).
+type ExtensionRow struct {
+	Name       string
+	PtEn, VnEn eval.PRF
+}
+
+// Extensions runs the extension comparison, averaged over types.
+func (s *Setup) Extensions(cfg core.Config) []ExtensionRow {
+	// Ziggurat trains per language pair over that pair's types.
+	zigModels := map[wiki.LanguagePair]*ziggurat.Model{}
+	for _, pair := range s.Pairs() {
+		var tds []*sim.TypeData
+		for _, tc := range s.Cases(pair) {
+			tds = append(tds, tc.TD)
+		}
+		zigModels[pair] = ziggurat.Train(tds, ziggurat.DefaultConfig())
+	}
+	matchers := []struct {
+		name string
+		run  func(tc *TypeCase) eval.Correspondences
+	}{
+		{"WikiMatch", func(tc *TypeCase) eval.Correspondences {
+			return s.RunWikiMatch(tc, cfg)
+		}},
+		{"Similarity flooding", func(tc *TypeCase) eval.Correspondences {
+			return flooding.Match(tc.TD, flooding.DefaultConfig())
+		}},
+		{"Holistic correlation", func(tc *TypeCase) eval.Correspondences {
+			return baselines.Holistic(tc.TD, baselines.DefaultHolisticConfig())
+		}},
+		{"Ziggurat-style classifier", func(tc *TypeCase) eval.Correspondences {
+			return zigModels[tc.Pair].Match(tc.TD, ziggurat.DefaultConfig().Threshold)
+		}},
+	}
+	var out []ExtensionRow
+	for _, m := range matchers {
+		row := ExtensionRow{Name: m.name}
+		for _, pair := range s.Pairs() {
+			var rows []eval.PRF
+			for _, tc := range s.Cases(pair) {
+				rows = append(rows, s.EvaluateWeighted(tc, m.run(tc)))
+			}
+			if pair == wiki.PtEn {
+				row.PtEn = eval.Average(rows)
+			} else {
+				row.VnEn = eval.Average(rows)
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// RenderExtensions writes the extension comparison.
+func RenderExtensions(w io.Writer, rows []ExtensionRow) {
+	fmt.Fprintln(w, "Extensions: fixed-point and correlation-only matchers (beyond the paper)")
+	fmt.Fprintf(w, "%-24s | %-17s | %-17s\n", "matcher", "Portuguese-English", "Vietnamese-English")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s | %5.2f %5.2f %5.2f | %5.2f %5.2f %5.2f\n",
+			r.Name,
+			r.PtEn.Precision, r.PtEn.Recall, r.PtEn.F,
+			r.VnEn.Precision, r.VnEn.Recall, r.VnEn.F)
+	}
+}
+
+// RenderOverlapCorrelations writes the Section 4.1 correlation analysis.
+func RenderOverlapCorrelations(w io.Writer, rows []OverlapCorrelation) {
+	fmt.Fprintln(w, "Overlap↔F Pearson correlation per approach (Section 4.1 analysis)")
+	fmt.Fprintf(w, "%-6s %10s %8s %8s %8s\n", "pair", "WikiMatch", "Bouma", "COMA++", "LSI")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %10.2f %8.2f %8.2f %8.2f\n", r.Pair, r.WikiMatch, r.Bouma, r.COMA, r.LSI)
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/wiki"
+)
+
+func TestExtensionsShape(t *testing.T) {
+	s := setup(t)
+	rows := s.Extensions(core.DefaultConfig())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]ExtensionRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		t.Logf("%-22s pt-en %.2f/%.2f/%.2f vn-en %.2f/%.2f/%.2f", r.Name,
+			r.PtEn.Precision, r.PtEn.Recall, r.PtEn.F,
+			r.VnEn.Precision, r.VnEn.Recall, r.VnEn.F)
+	}
+	wm := byName["WikiMatch"]
+	hol := byName["Holistic correlation"]
+	// Section 3.3: attribute correlation alone is not sufficient.
+	if hol.PtEn.F >= wm.PtEn.F {
+		t.Errorf("correlation-only matcher (%.3f) should trail WikiMatch (%.3f)",
+			hol.PtEn.F, wm.PtEn.F)
+	}
+	fl := byName["Similarity flooding"]
+	// Flooding uses the same evidence plus propagation; it should at
+	// least be competitive (within a few points of WikiMatch).
+	if fl.PtEn.F < wm.PtEn.F-0.1 {
+		t.Errorf("similarity flooding (%.3f) unexpectedly weak vs WikiMatch (%.3f)",
+			fl.PtEn.F, wm.PtEn.F)
+	}
+}
+
+func TestOverlapCorrelationsPositivePtEn(t *testing.T) {
+	s := setup(t)
+	rows := s.OverlapCorrelations(core.DefaultConfig())
+	for _, r := range rows {
+		if r.Pair != wiki.PtEn {
+			continue // four Vn-En points are too few for a coefficient
+		}
+		t.Logf("pt-en: WM=%.2f Bouma=%.2f COMA=%.2f LSI=%.2f", r.WikiMatch, r.Bouma, r.COMA, r.LSI)
+		for name, v := range map[string]float64{
+			"WikiMatch": r.WikiMatch, "Bouma": r.Bouma, "COMA": r.COMA, "LSI": r.LSI,
+		} {
+			if v <= 0 {
+				t.Errorf("pt-en overlap↔F correlation for %s = %.2f, paper reports positive", name, v)
+			}
+		}
+	}
+}
+
+func TestRenderExtensions(t *testing.T) {
+	s := setup(t)
+	var buf bytes.Buffer
+	RenderExtensions(&buf, s.Extensions(core.DefaultConfig()))
+	RenderOverlapCorrelations(&buf, s.OverlapCorrelations(core.DefaultConfig()))
+	for _, want := range []string{"Similarity flooding", "Pearson"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("render output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/query"
+	"repro/internal/wiki"
+)
+
+// ---------------------------------------------------------------- Figure 3
+
+// Figure3Bar is one bar group of Figure 3: precision and recall of
+// WikiMatch with (WM) and without (WM*) ReviseUncertain, under one
+// removed feature.
+type Figure3Bar struct {
+	Pair    wiki.LanguagePair
+	Removed string // "vsim", "lsim", "LSI"
+	WM, WMx eval.PRF
+}
+
+// Figure3 reproduces the ReviseUncertain-impact study.
+func (s *Setup) Figure3(base core.Config) []Figure3Bar {
+	type rm struct {
+		name string
+		mod  func(core.Config) core.Config
+	}
+	removals := []rm{
+		{"vsim", func(c core.Config) core.Config { c.DisableVSim = true; return c }},
+		{"lsim", func(c core.Config) core.Config { c.DisableLSim = true; return c }},
+		{"LSI", func(c core.Config) core.Config { c.DisableLSI = true; return c }},
+	}
+	var out []Figure3Bar
+	for _, pair := range s.Pairs() {
+		for _, r := range removals {
+			cfg := r.mod(base)
+			noRevise := cfg
+			noRevise.DisableRevise = true
+			out = append(out, Figure3Bar{
+				Pair:    pair,
+				Removed: r.name,
+				WM:      s.averageOverTypes(pair, cfg),
+				WMx:     s.averageOverTypes(pair, noRevise),
+			})
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+// Figure4 reproduces the case study's cumulative-gain curves. It runs
+// full WikiMatch for both pairs, translates the Table 4 workload, and
+// scores answers with the relevance oracle.
+func (s *Setup) Figure4(cfg core.Config, k int) ([]query.CGSeries, error) {
+	m := core.NewMatcher(cfg)
+	resPt := m.Match(s.Corpus, wiki.PtEn)
+	resVn := m.Match(s.Corpus, wiki.VnEn)
+	return query.RunCaseStudy(s.Corpus, s.Truth, resPt, resVn, k)
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+// Figure5Point is one point of the threshold-sensitivity curves: the
+// F-measure (averaged over types) at one threshold setting.
+type Figure5Point struct {
+	Pair      wiki.LanguagePair
+	Threshold string // "Tsim" or "TLSI"
+	Value     float64
+	F         float64
+}
+
+// Figure5 sweeps Tsim and TLSI from 0 to 0.9 (the other threshold held
+// at its default), reproducing the stability analysis of Appendix B.
+func (s *Setup) Figure5(base core.Config) []Figure5Point {
+	var out []Figure5Point
+	for _, pair := range s.Pairs() {
+		for v := 0.0; v <= 0.91; v += 0.1 {
+			cfg := base
+			cfg.TSim = v
+			out = append(out, Figure5Point{Pair: pair, Threshold: "Tsim", Value: v,
+				F: s.averageOverTypes(pair, cfg).F})
+		}
+		for v := 0.0; v <= 0.91; v += 0.1 {
+			cfg := base
+			cfg.TLSI = v
+			out = append(out, Figure5Point{Pair: pair, Threshold: "TLSI", Value: v,
+				F: s.averageOverTypes(pair, cfg).F})
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+// Figure6Row is the LSI top-k baseline at one k.
+type Figure6Row struct {
+	Pair wiki.LanguagePair
+	K    int
+	PRF  eval.PRF
+}
+
+// Figure6 evaluates LSI top-k for k ∈ {1, 3, 5, 10}.
+func (s *Setup) Figure6(cfg core.Config) []Figure6Row {
+	var out []Figure6Row
+	for _, pair := range s.Pairs() {
+		for _, k := range []int{1, 3, 5, 10} {
+			var rows []eval.PRF
+			for _, tc := range s.Cases(pair) {
+				rows = append(rows, s.EvaluateWeighted(tc, baselines.LSITopK(tc.TD, cfg.LSIRank, k)))
+			}
+			out = append(out, Figure6Row{Pair: pair, K: k, PRF: eval.Average(rows)})
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+// Figure7Row is one COMA++ configuration's weighted scores.
+type Figure7Row struct {
+	Pair   wiki.LanguagePair
+	Config string
+	PRF    eval.PRF
+}
+
+// Figure7 evaluates the COMA++ configurations of Appendix C: N, I, NI,
+// N+G, I+D, NG+ID.
+func (s *Setup) Figure7() []Figure7Row {
+	lt := s.LabelTranslator(1.0)
+	var out []Figure7Row
+	for _, pair := range s.Pairs() {
+		for _, cfg := range baselines.COMAConfigs(0.01) {
+			var rows []eval.PRF
+			for _, tc := range s.Cases(pair) {
+				rows = append(rows, s.EvaluateWeighted(tc, baselines.COMA(tc.TD, lt, cfg)))
+			}
+			out = append(out, Figure7Row{Pair: pair, Config: cfg.Label(), PRF: eval.Average(rows)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// RenderTable1 writes the sample alignments.
+func RenderTable1(w io.Writer, rows []AlignmentExample) {
+	fmt.Fprintln(w, "Table 1: sample alignments identified by WikiMatch")
+	cur := ""
+	for _, r := range rows {
+		head := fmt.Sprintf("%s / %s", r.Pair, r.Canon)
+		if head != cur {
+			fmt.Fprintf(w, "-- %s\n", head)
+			cur = head
+		}
+		mark := " "
+		if !r.OK {
+			mark = "✗"
+		}
+		fmt.Fprintf(w, "  %-28s ~ %-24s %s\n", r.A, r.B, mark)
+	}
+}
+
+// RenderTable2 writes the effectiveness comparison.
+func RenderTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "Table 2: weighted P/R/F per entity type")
+	fmt.Fprintf(w, "%-6s %-20s | %-17s | %-17s | %-17s | %-17s\n",
+		"pair", "type", "WikiMatch", "Bouma", "COMA++", "LSI")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %-20s | %5.2f %5.2f %5.2f | %5.2f %5.2f %5.2f | %5.2f %5.2f %5.2f | %5.2f %5.2f %5.2f\n",
+			r.Pair, r.Canon,
+			r.WikiMatch.Precision, r.WikiMatch.Recall, r.WikiMatch.F,
+			r.Bouma.Precision, r.Bouma.Recall, r.Bouma.F,
+			r.COMA.Precision, r.COMA.Recall, r.COMA.F,
+			r.LSI.Precision, r.LSI.Recall, r.LSI.F)
+	}
+}
+
+// RenderTable3 writes the component-contribution study.
+func RenderTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintln(w, "Table 3: contribution of different components (avg over types)")
+	fmt.Fprintf(w, "%-32s | %-17s | %-17s\n", "configuration", "Portuguese-English", "Vietnamese-English")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-32s | %5.2f %5.2f %5.2f | %5.2f %5.2f %5.2f\n",
+			r.Name,
+			r.PtEn.Precision, r.PtEn.Recall, r.PtEn.F,
+			r.VnEn.Precision, r.VnEn.Recall, r.VnEn.F)
+	}
+}
+
+// RenderTable5 writes the overlap analysis.
+func RenderTable5(w io.Writer, rows []Table5Row) {
+	fmt.Fprintln(w, "Table 5: attribute overlap in cross-linked infoboxes")
+	fmt.Fprintf(w, "%-22s %8s %8s\n", "type", "Pt-En", "Vn-En")
+	for _, r := range rows {
+		vn := "   -"
+		if r.HasVn {
+			vn = fmt.Sprintf("%3.0f%%", r.VnEn*100)
+		}
+		fmt.Fprintf(w, "%-22s %7.0f%% %8s\n", r.Canon, r.PtEn*100, vn)
+	}
+}
+
+// RenderTable6 writes the macro-averaged comparison.
+func RenderTable6(w io.Writer, rows []Table6Row) {
+	fmt.Fprintln(w, "Table 6: macro-averaging results")
+	fmt.Fprintf(w, "%-6s | %-17s | %-17s | %-17s | %-17s\n",
+		"pair", "WikiMatch", "Bouma", "COMA++", "LSI")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s | %5.2f %5.2f %5.2f | %5.2f %5.2f %5.2f | %5.2f %5.2f %5.2f | %5.2f %5.2f %5.2f\n",
+			r.Pair,
+			r.WikiMatch.Precision, r.WikiMatch.Recall, r.WikiMatch.F,
+			r.Bouma.Precision, r.Bouma.Recall, r.Bouma.F,
+			r.COMA.Precision, r.COMA.Recall, r.COMA.F,
+			r.LSI.Precision, r.LSI.Recall, r.LSI.F)
+	}
+}
+
+// RenderTable7 writes the MAP comparison of correlation measures.
+func RenderTable7(w io.Writer, rows []Table7Row) {
+	fmt.Fprintln(w, "Table 7: MAP for different sources of correlation")
+	fmt.Fprintf(w, "%-10s %8s %8s\n", "measure", "Pt-En", "Vn-En")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %8.2f %8.2f\n", r.Measure, r.PtEn, r.VnEn)
+	}
+}
+
+// RenderFigure3 writes the ReviseUncertain impact bars.
+func RenderFigure3(w io.Writer, bars []Figure3Bar) {
+	fmt.Fprintln(w, "Figure 3: impact of ReviseUncertain (WM* = without it)")
+	fmt.Fprintf(w, "%-6s %-6s | %-13s | %-13s\n", "pair", "no", "WM*  (P, R)", "WM   (P, R)")
+	for _, b := range bars {
+		fmt.Fprintf(w, "%-6s %-6s | %5.2f %5.2f   | %5.2f %5.2f\n",
+			b.Pair, b.Removed, b.WMx.Precision, b.WMx.Recall, b.WM.Precision, b.WM.Recall)
+	}
+}
+
+// RenderFigure4 writes the cumulative-gain curves.
+func RenderFigure4(w io.Writer, series []query.CGSeries) {
+	fmt.Fprintln(w, "Figure 4: cumulative gain of k answers (Table 4 workload)")
+	fmt.Fprintf(w, "%-8s", "k")
+	for _, s := range series {
+		fmt.Fprintf(w, " %8s", s.Name)
+	}
+	fmt.Fprintln(w)
+	if len(series) == 0 {
+		return
+	}
+	for k := 0; k < len(series[0].CG); k++ {
+		fmt.Fprintf(w, "%-8d", k+1)
+		for _, s := range series {
+			fmt.Fprintf(w, " %8.1f", s.CG[k])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderFigure5 writes the threshold-sensitivity curves.
+func RenderFigure5(w io.Writer, points []Figure5Point) {
+	fmt.Fprintln(w, "Figure 5: impact of different thresholds (F-measure)")
+	fmt.Fprintf(w, "%-6s %-6s %6s %6s\n", "pair", "knob", "value", "F")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-6s %-6s %6.1f %6.2f\n", p.Pair, p.Threshold, p.Value, p.F)
+	}
+}
+
+// RenderFigure6 writes the LSI top-k results.
+func RenderFigure6(w io.Writer, rows []Figure6Row) {
+	fmt.Fprintln(w, "Figure 6: top-k LSI results")
+	fmt.Fprintf(w, "%-6s %4s %6s %6s %6s\n", "pair", "k", "P", "R", "F")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %4d %6.2f %6.2f %6.2f\n", r.Pair, r.K, r.PRF.Precision, r.PRF.Recall, r.PRF.F)
+	}
+}
+
+// RenderFigure7 writes the COMA++ configuration comparison.
+func RenderFigure7(w io.Writer, rows []Figure7Row) {
+	fmt.Fprintln(w, "Figure 7: COMA++ configurations")
+	fmt.Fprintf(w, "%-6s %-8s %6s %6s %6s\n", "pair", "config", "P", "R", "F")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %-8s %6.2f %6.2f %6.2f\n", r.Pair, r.Config, r.PRF.Precision, r.PRF.Recall, r.PRF.F)
+	}
+}
+
+// RenderAll runs every experiment at the given configuration and writes
+// all tables and figures.
+func RenderAll(w io.Writer, s *Setup, cfg core.Config) error {
+	RenderTable1(w, s.Table1(cfg))
+	fmt.Fprintln(w)
+	RenderTable2(w, s.Table2(cfg))
+	fmt.Fprintln(w)
+	RenderTable3(w, s.Table3(cfg))
+	fmt.Fprintln(w)
+	RenderTable5(w, s.Table5())
+	fmt.Fprintln(w)
+	RenderTable6(w, s.Table6(cfg))
+	fmt.Fprintln(w)
+	RenderTable7(w, s.Table7(cfg, s.Cfg.Seed))
+	fmt.Fprintln(w)
+	RenderFigure3(w, s.Figure3(cfg))
+	fmt.Fprintln(w)
+	series, err := s.Figure4(cfg, 20)
+	if err != nil {
+		return err
+	}
+	RenderFigure4(w, series)
+	fmt.Fprintln(w)
+	RenderFigure5(w, s.Figure5(cfg))
+	fmt.Fprintln(w)
+	RenderFigure6(w, s.Figure6(cfg))
+	fmt.Fprintln(w)
+	RenderFigure7(w, s.Figure7())
+	fmt.Fprintln(w)
+	RenderOverlapCorrelations(w, s.OverlapCorrelations(cfg))
+	fmt.Fprintln(w)
+	RenderExtensions(w, s.Extensions(cfg))
+	return nil
+}

@@ -1,0 +1,131 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 4, Section 5, Appendices A–C): one runner per
+// experiment, each returning the same rows/series the paper reports.
+// The runners are shared by cmd/benchall and the repository's top-level
+// benchmarks.
+package experiments
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dict"
+	"repro/internal/eval"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/wiki"
+)
+
+// Setup is a generated corpus with its ground truth and the per-pair
+// plumbing every experiment needs.
+type Setup struct {
+	Corpus *wiki.Corpus
+	Truth  *synth.GroundTruth
+	Cfg    synth.Config
+
+	dicts map[wiki.LanguagePair]*dict.Dictionary
+	cases map[wiki.LanguagePair][]*TypeCase
+}
+
+// TypeCase is one (entity type, language pair) evaluation unit: the
+// localized type names, the similarity workspace, attribute frequencies,
+// and the ground-truth correspondence set G.
+type TypeCase struct {
+	Pair         wiki.LanguagePair
+	Canon        string
+	TypeA, TypeB string
+	TD           *sim.TypeData
+	FreqA, FreqB map[string]float64
+	Truth        eval.Correspondences
+	TypeTruth    *synth.TypeTruth
+}
+
+// NewSetup generates the corpus and indexes the evaluation units.
+func NewSetup(cfg synth.Config) (*Setup, error) {
+	c, truth, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Setup{
+		Corpus: c, Truth: truth, Cfg: cfg,
+		dicts: make(map[wiki.LanguagePair]*dict.Dictionary),
+		cases: make(map[wiki.LanguagePair][]*TypeCase),
+	}
+	for _, pair := range []wiki.LanguagePair{wiki.PtEn, wiki.VnEn} {
+		s.dicts[pair] = dict.Build(c, pair.A, pair.B)
+		for _, tp := range core.MatchEntityTypes(c, pair) {
+			canon, ok := truth.CanonType(pair.A, tp[0])
+			if !ok {
+				continue
+			}
+			tt := truth.Types[canon]
+			freqA, freqB := eval.AttributeFrequencies(c, pair, tp[0], tp[1])
+			tc := &TypeCase{
+				Pair: pair, Canon: canon, TypeA: tp[0], TypeB: tp[1],
+				TD:    sim.BuildTypeData(c, pair, tp[0], tp[1], s.dicts[pair]),
+				FreqA: freqA, FreqB: freqB,
+				Truth:     eval.TruthPairs(freqA, freqB, pair, tt.Correct),
+				TypeTruth: tt,
+			}
+			s.cases[pair] = append(s.cases[pair], tc)
+		}
+		sort.Slice(s.cases[pair], func(i, j int) bool {
+			return s.cases[pair][i].Canon < s.cases[pair][j].Canon
+		})
+	}
+	return s, nil
+}
+
+// Pairs returns the evaluated language pairs in paper order.
+func (s *Setup) Pairs() []wiki.LanguagePair {
+	return []wiki.LanguagePair{wiki.PtEn, wiki.VnEn}
+}
+
+// Cases returns the per-type evaluation units for a pair, sorted by
+// canonical type.
+func (s *Setup) Cases(pair wiki.LanguagePair) []*TypeCase { return s.cases[pair] }
+
+// Dict returns the pair's cross-language-link dictionary.
+func (s *Setup) Dict(pair wiki.LanguagePair) *dict.Dictionary { return s.dicts[pair] }
+
+// RunWikiMatch aligns one case with a given configuration and returns
+// the derived cross-language correspondences.
+func (s *Setup) RunWikiMatch(tc *TypeCase, cfg core.Config) eval.Correspondences {
+	m := core.NewMatcher(cfg)
+	tr := m.MatchType(s.Corpus, tc.Pair, tc.TypeA, tc.TypeB, s.dicts[tc.Pair])
+	out := make(eval.Correspondences)
+	for a, bs := range tr.Cross {
+		for b := range bs {
+			out.Add(a, b)
+		}
+	}
+	return out
+}
+
+// EvaluateWeighted scores derived correspondences for one case with the
+// paper's weighted metrics.
+func (s *Setup) EvaluateWeighted(tc *TypeCase, derived eval.Correspondences) eval.PRF {
+	return eval.Weighted(derived, tc.Truth, tc.FreqA, tc.FreqB)
+}
+
+// LabelTranslator builds the simulated machine-translation system for
+// attribute labels from the lexicon: template-correct translations plus
+// the literal renderings the paper reports Google Translator producing
+// (e.g. "diễn viên" → "actor"). errRate is the chance the literal wins.
+func (s *Setup) LabelTranslator(errRate float64) *dict.LabelTranslator {
+	lt := dict.NewLabelTranslator(errRate, s.Cfg.Seed)
+	for _, spec := range synth.TypeSpecs() {
+		for _, attr := range spec.Attrs {
+			enNames := attr.Names[wiki.English]
+			if len(enNames) == 0 {
+				continue
+			}
+			for _, lang := range []wiki.Language{wiki.Portuguese, wiki.Vietnamese} {
+				for _, n := range attr.Names[lang] {
+					lt.Add(n.Name, enNames[0].Name, attr.Literal)
+				}
+			}
+		}
+	}
+	return lt
+}

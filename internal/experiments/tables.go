@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/wiki"
+)
+
+// ---------------------------------------------------------------- Table 1
+
+// AlignmentExample is one derived alignment ("direção ~ directed by").
+type AlignmentExample struct {
+	Pair  wiki.LanguagePair
+	Canon string
+	A, B  string
+	OK    bool // whether the ground truth confirms it
+}
+
+// Table1 returns sample alignments found by WikiMatch for the paper's
+// example types (film and actor in both pairs), including the
+// one-to-many groupings.
+func (s *Setup) Table1(cfg core.Config) []AlignmentExample {
+	var out []AlignmentExample
+	for _, pair := range s.Pairs() {
+		for _, tc := range s.Cases(pair) {
+			if tc.Canon != "film" && tc.Canon != "actor" {
+				continue
+			}
+			derived := s.RunWikiMatch(tc, cfg)
+			var pairsSorted [][2]string
+			for a, bs := range derived {
+				for b := range bs {
+					pairsSorted = append(pairsSorted, [2]string{a, b})
+				}
+			}
+			sort.Slice(pairsSorted, func(i, j int) bool {
+				if pairsSorted[i][0] != pairsSorted[j][0] {
+					return pairsSorted[i][0] < pairsSorted[j][0]
+				}
+				return pairsSorted[i][1] < pairsSorted[j][1]
+			})
+			for _, p := range pairsSorted {
+				out = append(out, AlignmentExample{
+					Pair: pair, Canon: tc.Canon, A: p[0], B: p[1],
+					OK: tc.Truth.Has(p[0], p[1]),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- Table 2
+
+// Table2Row is one row of Table 2: weighted P/R/F per type for the four
+// approaches.
+type Table2Row struct {
+	Pair                        wiki.LanguagePair
+	Canon                       string
+	WikiMatch, Bouma, COMA, LSI eval.PRF
+}
+
+// Table2 reproduces the headline comparison: WikiMatch vs Bouma vs the
+// best COMA++ configuration vs LSI top-1, per entity type and language
+// pair, plus the per-pair averages (rows with Canon "Avg").
+func (s *Setup) Table2(cfg core.Config) []Table2Row {
+	lt := s.LabelTranslator(1.0)
+	var out []Table2Row
+	for _, pair := range s.Pairs() {
+		// The paper's best COMA++ configurations: NG+ID for Pt-En, I+D
+		// for Vn-En (Appendix C).
+		comaCfg := baselines.COMAConfig{Name: true, Instance: true,
+			TranslateNames: true, TranslateInstances: true, Threshold: 0.01}
+		if pair == wiki.VnEn {
+			comaCfg = baselines.COMAConfig{Instance: true, TranslateInstances: true, Threshold: 0.01}
+		}
+		var rows []Table2Row
+		for _, tc := range s.Cases(pair) {
+			row := Table2Row{Pair: pair, Canon: tc.Canon}
+			row.WikiMatch = s.EvaluateWeighted(tc, s.RunWikiMatch(tc, cfg))
+			row.Bouma = s.EvaluateWeighted(tc,
+				baselines.Bouma(s.Corpus, pair, tc.TypeA, tc.TypeB, baselines.DefaultBoumaConfig()))
+			row.COMA = s.EvaluateWeighted(tc, baselines.COMA(tc.TD, lt, comaCfg))
+			row.LSI = s.EvaluateWeighted(tc, baselines.LSITopK(tc.TD, cfg.LSIRank, 1))
+			rows = append(rows, row)
+		}
+		avg := Table2Row{Pair: pair, Canon: "Avg"}
+		var wm, bm, cm, ls []eval.PRF
+		for _, r := range rows {
+			wm = append(wm, r.WikiMatch)
+			bm = append(bm, r.Bouma)
+			cm = append(cm, r.COMA)
+			ls = append(ls, r.LSI)
+		}
+		avg.WikiMatch, avg.Bouma, avg.COMA, avg.LSI =
+			eval.Average(wm), eval.Average(bm), eval.Average(cm), eval.Average(ls)
+		out = append(out, rows...)
+		out = append(out, avg)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- Table 3
+
+// Table3Row is one configuration of the component-contribution study.
+type Table3Row struct {
+	Name string
+	// PtEn and VnEn are the weighted scores averaged over all types.
+	PtEn, VnEn eval.PRF
+}
+
+// Table3 reproduces the ablation study of Section 4.2: each row removes
+// one component of WikiMatch. Rows suffixed "*" start from WikiMatch
+// without ReviseUncertain, matching the appendix rows of Table 3.
+func (s *Setup) Table3(base core.Config) []Table3Row {
+	type variant struct {
+		name string
+		mod  func(core.Config) core.Config
+	}
+	variants := []variant{
+		{"WikiMatch", func(c core.Config) core.Config { return c }},
+		{"WikiMatch-ReviseUncertain", func(c core.Config) core.Config { c.DisableRevise = true; return c }},
+		{"WikiMatch-IntegrateMatches", func(c core.Config) core.Config { c.DisableIntegrate = true; return c }},
+		{"WikiMatch random", func(c core.Config) core.Config { c.RandomOrder = true; return c }},
+		{"WikiMatch single step", func(c core.Config) core.Config { c.SingleStep = true; return c }},
+		{"WikiMatch-vsim", func(c core.Config) core.Config { c.DisableVSim = true; return c }},
+		{"WikiMatch-lsim", func(c core.Config) core.Config { c.DisableLSim = true; return c }},
+		{"WikiMatch-LSI", func(c core.Config) core.Config { c.DisableLSI = true; return c }},
+		{"WikiMatch-inductive grouping", func(c core.Config) core.Config { c.DisableInductive = true; return c }},
+		{"WikiMatch*-vsim", func(c core.Config) core.Config { c.DisableRevise, c.DisableVSim = true, true; return c }},
+		{"WikiMatch*-lsim", func(c core.Config) core.Config { c.DisableRevise, c.DisableLSim = true, true; return c }},
+		{"WikiMatch*-LSI", func(c core.Config) core.Config { c.DisableRevise, c.DisableLSI = true, true; return c }},
+		{"WikiMatch* random", func(c core.Config) core.Config { c.DisableRevise, c.RandomOrder = true, true; return c }},
+	}
+	var out []Table3Row
+	for _, v := range variants {
+		cfg := v.mod(base)
+		row := Table3Row{Name: v.name}
+		row.PtEn = s.averageOverTypes(wiki.PtEn, cfg)
+		row.VnEn = s.averageOverTypes(wiki.VnEn, cfg)
+		out = append(out, row)
+	}
+	return out
+}
+
+// averageOverTypes runs a configuration over every type of a pair and
+// averages the weighted scores.
+func (s *Setup) averageOverTypes(pair wiki.LanguagePair, cfg core.Config) eval.PRF {
+	var rows []eval.PRF
+	for _, tc := range s.Cases(pair) {
+		rows = append(rows, s.EvaluateWeighted(tc, s.RunWikiMatch(tc, cfg)))
+	}
+	return eval.Average(rows)
+}
+
+// ---------------------------------------------------------------- Table 5
+
+// Table5Row is one type's attribute overlap per language pair.
+type Table5Row struct {
+	Canon string
+	PtEn  float64
+	VnEn  float64 // 0 when the type has no Vietnamese edition
+	HasVn bool
+}
+
+// Table5 reproduces the structural-heterogeneity analysis of Appendix A.
+func (s *Setup) Table5() []Table5Row {
+	byCanon := map[string]*Table5Row{}
+	var order []string
+	for _, pair := range s.Pairs() {
+		for _, tc := range s.Cases(pair) {
+			row := byCanon[tc.Canon]
+			if row == nil {
+				row = &Table5Row{Canon: tc.Canon}
+				byCanon[tc.Canon] = row
+				order = append(order, tc.Canon)
+			}
+			ov := eval.Overlap(s.Corpus, pair, tc.TypeA, tc.TypeB, tc.TypeTruth.Correct)
+			if pair == wiki.PtEn {
+				row.PtEn = ov
+			} else {
+				row.VnEn = ov
+				row.HasVn = true
+			}
+		}
+	}
+	sort.Strings(order)
+	out := make([]Table5Row, 0, len(order))
+	for _, canon := range order {
+		out = append(out, *byCanon[canon])
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- Table 6
+
+// Table6Row is the macro-averaged comparison for one language pair.
+type Table6Row struct {
+	Pair                        wiki.LanguagePair
+	WikiMatch, Bouma, COMA, LSI eval.PRF
+}
+
+// Table6 reproduces the macro-averaging results of Appendix B.
+func (s *Setup) Table6(cfg core.Config) []Table6Row {
+	lt := s.LabelTranslator(1.0)
+	var out []Table6Row
+	for _, pair := range s.Pairs() {
+		comaCfg := baselines.COMAConfig{Name: true, Instance: true,
+			TranslateNames: true, TranslateInstances: true, Threshold: 0.01}
+		if pair == wiki.VnEn {
+			comaCfg = baselines.COMAConfig{Instance: true, TranslateInstances: true, Threshold: 0.01}
+		}
+		var wm, bm, cm, ls []eval.PRF
+		for _, tc := range s.Cases(pair) {
+			wm = append(wm, eval.Macro(s.RunWikiMatch(tc, cfg), tc.Truth))
+			bm = append(bm, eval.Macro(
+				baselines.Bouma(s.Corpus, pair, tc.TypeA, tc.TypeB, baselines.DefaultBoumaConfig()), tc.Truth))
+			cm = append(cm, eval.Macro(baselines.COMA(tc.TD, lt, comaCfg), tc.Truth))
+			ls = append(ls, eval.Macro(baselines.LSITopK(tc.TD, cfg.LSIRank, 1), tc.Truth))
+		}
+		out = append(out, Table6Row{Pair: pair,
+			WikiMatch: eval.Average(wm), Bouma: eval.Average(bm),
+			COMA: eval.Average(cm), LSI: eval.Average(ls)})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- Table 7
+
+// Table7Row is the MAP of one candidate-pair ordering per language pair.
+type Table7Row struct {
+	Measure    string
+	PtEn, VnEn float64
+}
+
+// Table7 reproduces the ordering-quality study of Appendix B: mean
+// average precision of LSI against the co-occurrence measures X1, X2, X3
+// and a random ordering.
+func (s *Setup) Table7(cfg core.Config, seed int64) []Table7Row {
+	measures := []string{"LSI", "X1", "X2", "X3", "Random"}
+	out := make([]Table7Row, len(measures))
+	for i, m := range measures {
+		out[i].Measure = m
+	}
+	for _, pair := range s.Pairs() {
+		sums := make([]float64, len(measures))
+		n := 0
+		for _, tc := range s.Cases(pair) {
+			rankings := s.rankings(tc, cfg, seed)
+			for i, m := range measures {
+				sums[i] += eval.MAP(rankings[m], tc.Truth)
+			}
+			n++
+		}
+		for i := range measures {
+			avg := sums[i] / float64(n)
+			if pair == wiki.PtEn {
+				out[i].PtEn = avg
+			} else {
+				out[i].VnEn = avg
+			}
+		}
+	}
+	return out
+}
+
+// rankings scores every cross-language pair of a case under each
+// ordering measure.
+func (s *Setup) rankings(tc *TypeCase, cfg core.Config, seed int64) map[string][]eval.RankedPair {
+	rng := rand.New(rand.NewSource(seed))
+	lsiRank := baselines.LSIRanking(tc.TD, cfg.LSIRank)
+	out := map[string][]eval.RankedPair{"LSI": lsiRank}
+	for _, m := range []string{"X1", "X2", "X3", "Random"} {
+		var rp []eval.RankedPair
+		for _, p := range tc.TD.CrossPairs() {
+			a, b := tc.TD.Attrs[p[0]], tc.TD.Attrs[p[1]]
+			var score float64
+			switch m {
+			case "X1":
+				score = tc.TD.X1(p[0], p[1])
+			case "X2":
+				score = tc.TD.X2(p[0], p[1])
+			case "X3":
+				score = tc.TD.X3(p[0], p[1])
+			case "Random":
+				score = rng.Float64()
+			}
+			rp = append(rp, eval.RankedPair{A: a.Name, B: b.Name, Score: score})
+		}
+		out[m] = rp
+	}
+	return out
+}

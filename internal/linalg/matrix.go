@@ -1,0 +1,179 @@
+// Package linalg implements the dense linear algebra needed by Latent
+// Semantic Indexing: matrices, and a one-sided Jacobi singular value
+// decomposition with truncation. The implementation favors clarity and
+// numerical robustness over speed; LSI occurrence matrices in this system
+// are at most a few hundred rows/columns.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len = Rows*Cols, Data[r*Cols+c]
+}
+
+// NewMatrix allocates a zero Rows×Cols matrix. It panics on negative
+// dimensions.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %d×%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must be equal length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for r, row := range rows {
+		if len(row) != m.Cols {
+			panic(fmt.Sprintf("linalg: ragged row %d: %d != %d", r, len(row), m.Cols))
+		}
+		copy(m.Data[r*m.Cols:(r+1)*m.Cols], row)
+	}
+	return m
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a copy of row r.
+func (m *Matrix) Row(r int) []float64 {
+	out := make([]float64, m.Cols)
+	copy(out, m.Data[r*m.Cols:(r+1)*m.Cols])
+	return out
+}
+
+// Col returns a copy of column c.
+func (m *Matrix) Col(c int) []float64 {
+	out := make([]float64, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		out[r] = m.Data[r*m.Cols+c]
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	cp := NewMatrix(m.Rows, m.Cols)
+	copy(cp.Data, m.Data)
+	return cp
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			t.Data[c*t.Cols+r] = m.Data[r*m.Cols+c]
+		}
+	}
+	return t
+}
+
+// Mul returns m·n. It panics if the inner dimensions disagree.
+func (m *Matrix) Mul(n *Matrix) *Matrix {
+	if m.Cols != n.Rows {
+		panic(fmt.Sprintf("linalg: dimension mismatch %d×%d · %d×%d", m.Rows, m.Cols, n.Rows, n.Cols))
+	}
+	out := NewMatrix(m.Rows, n.Cols)
+	for r := 0; r < m.Rows; r++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.Data[r*m.Cols+k]
+			if a == 0 {
+				continue
+			}
+			for c := 0; c < n.Cols; c++ {
+				out.Data[r*out.Cols+c] += a * n.Data[k*n.Cols+c]
+			}
+		}
+	}
+	return out
+}
+
+// ScaleCols multiplies column j by s[j] in place. len(s) must equal Cols.
+func (m *Matrix) ScaleCols(s []float64) {
+	if len(s) != m.Cols {
+		panic("linalg: ScaleCols length mismatch")
+	}
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			m.Data[r*m.Cols+c] *= s[c]
+		}
+	}
+}
+
+// MaxAbsDiff returns max |m−n| over all elements; matrices must be the
+// same shape.
+func (m *Matrix) MaxAbsDiff(n *Matrix) float64 {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		panic("linalg: MaxAbsDiff shape mismatch")
+	}
+	var d float64
+	for i := range m.Data {
+		if x := math.Abs(m.Data[i] - n.Data[i]); x > d {
+			d = x
+		}
+	}
+	return d
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			if c > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%8.4f", m.At(r, c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Dot returns the dot product of two equal-length slices.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// CosineRows returns the cosine similarity of rows i and j of m, or 0 if
+// either row is zero.
+func CosineRows(m *Matrix, i, j int) float64 {
+	var dot, ni, nj float64
+	ri, rj := m.Data[i*m.Cols:(i+1)*m.Cols], m.Data[j*m.Cols:(j+1)*m.Cols]
+	for k := 0; k < m.Cols; k++ {
+		dot += ri[k] * rj[k]
+		ni += ri[k] * ri[k]
+		nj += rj[k] * rj[k]
+	}
+	if ni == 0 || nj == 0 {
+		return 0
+	}
+	c := dot / math.Sqrt(ni*nj)
+	if c > 1 {
+		c = 1
+	}
+	if c < -1 {
+		c = -1
+	}
+	return c
+}

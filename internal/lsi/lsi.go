@@ -1,0 +1,174 @@
+// Package lsi implements the Latent Semantic Indexing correlation measure
+// of Section 3.2: attributes are rows of a binary occurrence matrix over
+// dual-language infoboxes, the matrix is reduced with a truncated SVD, and
+// attribute correlation is the cosine between the scaled latent vectors,
+// with the paper's three-case adjustment:
+//
+//	LSI(ap, aq) = cos(ap, aq)       if ap, aq are in different languages
+//	            = 0                 if ap, aq co-occur in an infobox (same language)
+//	            = 1 − cos(ap, aq)   otherwise (same language)
+package lsi
+
+import (
+	"repro/internal/linalg"
+	"repro/internal/wiki"
+)
+
+// DefaultRank is the number of latent dimensions retained (the paper's f).
+const DefaultRank = 10
+
+// Attr identifies an attribute in the dual-language schema: its language
+// and its normalized surface name.
+type Attr struct {
+	Lang wiki.Language
+	Name string
+}
+
+// Dual is the attribute content of one dual-language infobox: the
+// attributes of the two cross-linked infoboxes, already normalized.
+type Dual struct {
+	A []Attr // attributes from the pair.A-side infobox
+	B []Attr // attributes from the pair.B-side infobox
+}
+
+// Model holds the reduced representation and the co-occurrence facts
+// needed to score attribute pairs.
+type Model struct {
+	Attrs     []Attr
+	Index     map[Attr]int
+	embedding *linalg.Matrix // scaled U (attrs × rank)
+	sameLang  []bool         // sameLang[i*(n)+j] not stored; computed from Attrs
+	coOccur   map[[2]int]bool
+	rank      int
+}
+
+// Build constructs the LSI model from the dual-language infoboxes. rank
+// ≤ 0 selects DefaultRank. Attributes not present in any dual still get a
+// row (their latent vector is zero and all their cross scores are 0);
+// extraAttrs lets callers register them.
+func Build(duals []Dual, rank int, extraAttrs ...Attr) *Model {
+	if rank <= 0 {
+		rank = DefaultRank
+	}
+	m := &Model{Index: make(map[Attr]int), coOccur: make(map[[2]int]bool), rank: rank}
+	intern := func(a Attr) int {
+		if i, ok := m.Index[a]; ok {
+			return i
+		}
+		i := len(m.Attrs)
+		m.Attrs = append(m.Attrs, a)
+		m.Index[a] = i
+		return i
+	}
+	for _, d := range duals {
+		for _, a := range d.A {
+			intern(a)
+		}
+		for _, b := range d.B {
+			intern(b)
+		}
+	}
+	for _, a := range extraAttrs {
+		intern(a)
+	}
+	n, docs := len(m.Attrs), len(duals)
+	occ := linalg.NewMatrix(n, docs)
+	for j, d := range duals {
+		var idx []int
+		for _, a := range d.A {
+			idx = append(idx, m.Index[a])
+		}
+		for _, b := range d.B {
+			idx = append(idx, m.Index[b])
+		}
+		for _, i := range idx {
+			occ.Set(i, j, 1)
+		}
+		// Same-language co-occurrence within the two constituent
+		// infoboxes: attributes that appear together in one infobox
+		// cannot be synonyms (score 0).
+		mark := func(side []Attr) {
+			for x := 0; x < len(side); x++ {
+				for y := x + 1; y < len(side); y++ {
+					i, j := m.Index[side[x]], m.Index[side[y]]
+					if i > j {
+						i, j = j, i
+					}
+					m.coOccur[[2]int{i, j}] = true
+				}
+			}
+		}
+		mark(d.A)
+		mark(d.B)
+	}
+	if n == 0 || docs == 0 {
+		m.embedding = linalg.NewMatrix(n, 0)
+		return m
+	}
+	k := rank
+	if k > docs {
+		k = docs
+	}
+	if k > n {
+		k = n
+	}
+	m.embedding = linalg.TruncatedSVD(occ, k).ScaledU()
+	return m
+}
+
+// Rank returns the retained latent dimensionality.
+func (m *Model) Rank() int { return m.rank }
+
+// Len returns the number of attributes in the model.
+func (m *Model) Len() int { return len(m.Attrs) }
+
+// CoOccur reports whether two attributes (by index) appear together in
+// some infobox of their (shared) language.
+func (m *Model) CoOccur(i, j int) bool {
+	if i > j {
+		i, j = j, i
+	}
+	return m.coOccur[[2]int{i, j}]
+}
+
+// Cosine returns the raw latent cosine between two attributes.
+func (m *Model) Cosine(i, j int) float64 {
+	if m.embedding.Cols == 0 {
+		return 0
+	}
+	return linalg.CosineRows(m.embedding, i, j)
+}
+
+// Score returns the paper's LSI score for the attribute pair (by index).
+func (m *Model) Score(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	ai, aj := m.Attrs[i], m.Attrs[j]
+	if ai.Lang != aj.Lang {
+		c := m.Cosine(i, j)
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	if m.CoOccur(i, j) {
+		return 0
+	}
+	c := m.Cosine(i, j)
+	if c < 0 {
+		c = 0
+	}
+	return 1 - c
+}
+
+// ScoreAttrs is Score addressed by attribute value; unknown attributes
+// score 0.
+func (m *Model) ScoreAttrs(a, b Attr) float64 {
+	i, ok1 := m.Index[a]
+	j, ok2 := m.Index[b]
+	if !ok1 || !ok2 {
+		return 0
+	}
+	return m.Score(i, j)
+}

@@ -1,0 +1,127 @@
+package lsi
+
+import (
+	"testing"
+
+	"repro/internal/wiki"
+)
+
+func attr(lang wiki.Language, name string) Attr { return Attr{Lang: lang, Name: name} }
+
+// paperDuals reproduces the flavor of Figure 2(a): English and Portuguese
+// actor attributes over dual-language infoboxes, where born/nascimento and
+// died/falecimento/morte track each other.
+func paperDuals() []Dual {
+	born := attr(wiki.English, "born")
+	died := attr(wiki.English, "died")
+	other := attr(wiki.English, "other names")
+	nasc := attr(wiki.Portuguese, "nascimento")
+	falec := attr(wiki.Portuguese, "falecimento")
+	morte := attr(wiki.Portuguese, "morte")
+	outros := attr(wiki.Portuguese, "outros nomes")
+	return []Dual{
+		{A: []Attr{born, other}, B: []Attr{nasc, outros}},
+		{A: []Attr{died}, B: []Attr{falec}},
+		{A: []Attr{born, died}, B: []Attr{nasc, morte}},
+		{A: []Attr{died}, B: []Attr{falec}},
+		{A: []Attr{born, other}, B: []Attr{nasc, outros}},
+		{A: []Attr{born, died}, B: []Attr{nasc, falec}},
+		{A: []Attr{born}, B: []Attr{nasc}},
+		{A: []Attr{died, other}, B: []Attr{morte, outros}},
+	}
+}
+
+func TestCrossLanguageSynonymsScoreHigh(t *testing.T) {
+	m := Build(paperDuals(), 4)
+	bornNasc := m.ScoreAttrs(attr(wiki.English, "born"), attr(wiki.Portuguese, "nascimento"))
+	bornMorte := m.ScoreAttrs(attr(wiki.English, "born"), attr(wiki.Portuguese, "morte"))
+	if bornNasc <= bornMorte {
+		t.Errorf("LSI(born,nascimento)=%.3f should exceed LSI(born,morte)=%.3f", bornNasc, bornMorte)
+	}
+	if bornNasc < 0.5 {
+		t.Errorf("LSI(born,nascimento)=%.3f, want high", bornNasc)
+	}
+	diedFalec := m.ScoreAttrs(attr(wiki.English, "died"), attr(wiki.Portuguese, "falecimento"))
+	if diedFalec < 0.5 {
+		t.Errorf("LSI(died,falecimento)=%.3f, want high", diedFalec)
+	}
+}
+
+func TestSameLanguageCoOccurringScoreZero(t *testing.T) {
+	m := Build(paperDuals(), 4)
+	// born and died co-occur in English infoboxes → 0.
+	if got := m.ScoreAttrs(attr(wiki.English, "born"), attr(wiki.English, "died")); got != 0 {
+		t.Errorf("LSI(born,died) = %v, want 0", got)
+	}
+	// nascimento and morte co-occur in Portuguese → 0 (Example 2's gate).
+	if got := m.ScoreAttrs(attr(wiki.Portuguese, "nascimento"), attr(wiki.Portuguese, "morte")); got != 0 {
+		t.Errorf("LSI(nascimento,morte) = %v, want 0", got)
+	}
+}
+
+func TestSameLanguageSynonymsComplementScore(t *testing.T) {
+	// falecimento and morte never co-occur: their score is 1 − cosine,
+	// and since they occupy complementary infobox sets the cosine is
+	// small, so the score should be clearly positive.
+	m := Build(paperDuals(), 4)
+	got := m.ScoreAttrs(attr(wiki.Portuguese, "falecimento"), attr(wiki.Portuguese, "morte"))
+	if got <= 0.1 {
+		t.Errorf("LSI(falecimento,morte) = %v, want clearly positive", got)
+	}
+}
+
+func TestSelfScoreZero(t *testing.T) {
+	m := Build(paperDuals(), 4)
+	if got := m.Score(0, 0); got != 0 {
+		t.Errorf("self score = %v", got)
+	}
+}
+
+func TestUnknownAttrScoresZero(t *testing.T) {
+	m := Build(paperDuals(), 4)
+	if got := m.ScoreAttrs(attr(wiki.English, "nope"), attr(wiki.Portuguese, "nascimento")); got != 0 {
+		t.Errorf("unknown attr score = %v", got)
+	}
+}
+
+func TestExtraAttrsGetZeroVectors(t *testing.T) {
+	extra := attr(wiki.English, "website")
+	m := Build(paperDuals(), 4, extra)
+	if _, ok := m.Index[extra]; !ok {
+		t.Fatal("extra attr not registered")
+	}
+	if got := m.ScoreAttrs(extra, attr(wiki.Portuguese, "nascimento")); got != 0 {
+		t.Errorf("zero-row cross score = %v, want 0", got)
+	}
+}
+
+func TestEmptyModel(t *testing.T) {
+	m := Build(nil, 0)
+	if m.Len() != 0 {
+		t.Errorf("len = %d", m.Len())
+	}
+	m2 := Build(nil, 3, attr(wiki.English, "a"), attr(wiki.Portuguese, "b"))
+	if got := m2.ScoreAttrs(attr(wiki.English, "a"), attr(wiki.Portuguese, "b")); got != 0 {
+		t.Errorf("no-docs score = %v", got)
+	}
+}
+
+func TestScoreBounds(t *testing.T) {
+	m := Build(paperDuals(), 4)
+	for i := 0; i < m.Len(); i++ {
+		for j := 0; j < m.Len(); j++ {
+			s := m.Score(i, j)
+			if s < 0 || s > 1.0000001 {
+				t.Fatalf("score(%v,%v) = %v out of range", m.Attrs[i], m.Attrs[j], s)
+			}
+		}
+	}
+}
+
+func TestRankClamping(t *testing.T) {
+	m := Build(paperDuals(), 1000)
+	// Must not panic, and scores remain sane.
+	if s := m.ScoreAttrs(attr(wiki.English, "born"), attr(wiki.Portuguese, "nascimento")); s <= 0 {
+		t.Errorf("high-rank score = %v", s)
+	}
+}

@@ -1,0 +1,60 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/synth"
+	"repro/internal/wiki"
+)
+
+// RunCaseStudy reproduces the experiment behind Figure 4: the ten
+// workload queries are run monolingually in Portuguese and Vietnamese
+// and, translated through the derived correspondences, against the
+// English corpus; every answer list is scored by the relevance oracle
+// and summed into cumulative-gain curves ("Pt", "Pt→En", "Vn", "Vn→En").
+func RunCaseStudy(c *wiki.Corpus, truth *synth.GroundTruth, resPt, resVn *core.Result, k int) ([]CGSeries, error) {
+	engines := map[wiki.Language]*Engine{
+		wiki.Portuguese: NewEngine(c, wiki.Portuguese),
+		wiki.Vietnamese: NewEngine(c, wiki.Vietnamese),
+		wiki.English:    NewEngine(c, wiki.English),
+	}
+	oracle := NewOracle(truth)
+	sums := map[string][]float64{
+		"Pt": make([]float64, k), "Pt→En": make([]float64, k),
+		"Vn": make([]float64, k), "Vn→En": make([]float64, k),
+	}
+	add := func(dst, rel []float64) {
+		for i := range rel {
+			dst[i] += rel[i]
+		}
+	}
+	for _, cq := range CaseStudyWorkload() {
+		for _, side := range []struct {
+			text  string
+			lang  wiki.Language
+			mono  string
+			trans string
+			res   *core.Result
+		}{
+			{cq.PT, wiki.Portuguese, "Pt", "Pt→En", resPt},
+			{cq.VN, wiki.Vietnamese, "Vn", "Vn→En", resVn},
+		} {
+			q, err := Parse(side.text)
+			if err != nil {
+				return nil, fmt.Errorf("query %d (%s): %w", cq.ID, side.lang, err)
+			}
+			add(sums[side.mono], oracle.QueryGain(engines[side.lang], q, cq.Intent, k))
+			tr := Translate(q, side.res)
+			if !tr.Untranslatable {
+				add(sums[side.trans], oracle.QueryGain(engines[wiki.English], tr.Query, cq.Intent, k))
+			}
+		}
+	}
+	var out []CGSeries
+	for _, name := range []string{"Pt", "Pt→En", "Vn", "Vn→En"} {
+		out = append(out, CGSeries{Name: name, CG: eval.CumulativeGain(sums[name])})
+	}
+	return out, nil
+}

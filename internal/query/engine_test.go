@@ -1,0 +1,121 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/wiki"
+)
+
+// miniCorpus builds a tiny, fully controlled corpus for operator tests.
+func miniCorpus(t *testing.T) *wiki.Corpus {
+	t.Helper()
+	c := wiki.NewCorpus()
+	add := func(title string, attrs ...wiki.AttributeValue) {
+		c.MustAdd(&wiki.Article{Language: wiki.English, Title: title, Type: "film",
+			Infobox: &wiki.Infobox{Template: "Infobox film", Attrs: attrs}})
+	}
+	add("Old", wiki.AttributeValue{Name: "released", Text: "May 2, 1960"},
+		wiki.AttributeValue{Name: "gross", Text: "$5 million"})
+	add("New", wiki.AttributeValue{Name: "released", Text: "May 2, 1999"},
+		wiki.AttributeValue{Name: "gross", Text: "$2 billion"})
+	add("NoGross", wiki.AttributeValue{Name: "released", Text: "May 2, 1980"})
+	return c
+}
+
+func run(t *testing.T, c *wiki.Corpus, src string) []Answer {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return NewEngine(c, wiki.English).Run(q, 10)
+}
+
+func titles(answers []Answer) []string {
+	out := make([]string, len(answers))
+	for i, a := range answers {
+		out[i] = a.Article.Title
+	}
+	return out
+}
+
+func TestEngineComparisonOperators(t *testing.T) {
+	c := miniCorpus(t)
+	cases := []struct {
+		query string
+		want  []string
+	}{
+		{`film(released<1970)`, []string{"Old"}},
+		{`film(released>1990)`, []string{"New"}},
+		{`film(released<=1980)`, []string{"NoGross", "Old"}},
+		{`film(released>=1980)`, []string{"New", "NoGross"}},
+		{`film(gross>1000000000)`, []string{"New"}},
+		{`film(gross<10000000)`, []string{"Old"}},
+		{`film(gross>1)`, []string{"New", "Old"}}, // NoGross lacks the attribute
+	}
+	for _, cs := range cases {
+		got := titles(run(t, c, cs.query))
+		if len(got) != len(cs.want) {
+			t.Errorf("%s → %v, want %v", cs.query, got, cs.want)
+			continue
+		}
+		seen := map[string]bool{}
+		for _, g := range got {
+			seen[g] = true
+		}
+		for _, w := range cs.want {
+			if !seen[w] {
+				t.Errorf("%s missing %s (got %v)", cs.query, w, got)
+			}
+		}
+	}
+}
+
+func TestEngineProjectionPopulatesAnswers(t *testing.T) {
+	c := miniCorpus(t)
+	answers := run(t, c, `film(gross=?)`)
+	for _, a := range answers {
+		if a.Article.Title == "NoGross" {
+			continue
+		}
+		if a.Projected["gross"] == "" {
+			t.Errorf("answer %s missing projected gross", a.Article.Title)
+		}
+	}
+}
+
+func TestEngineUnknownTypeReturnsNothing(t *testing.T) {
+	c := miniCorpus(t)
+	if got := run(t, c, `spaceship(name=?)`); len(got) != 0 {
+		t.Errorf("answers = %v", titles(got))
+	}
+}
+
+func TestEngineEqMatchesLinkTargets(t *testing.T) {
+	c := wiki.NewCorpus()
+	c.MustAdd(&wiki.Article{Language: wiki.English, Title: "F", Type: "film",
+		Infobox: &wiki.Infobox{Template: "Infobox film", Attrs: []wiki.AttributeValue{
+			{Name: "country", Text: "USA", Links: []wiki.Link{{Target: "United States", Anchor: "USA"}}},
+		}}})
+	// The alias anchor differs from the canonical title; equality must
+	// match either.
+	if got := run(t, c, `film(country="United States")`); len(got) != 1 {
+		t.Errorf("match by link target failed: %v", titles(got))
+	}
+	if got := run(t, c, `film(country="USA")`); len(got) != 1 {
+		t.Errorf("match by anchor failed: %v", titles(got))
+	}
+}
+
+func TestEngineRankingDeterministic(t *testing.T) {
+	c := miniCorpus(t)
+	a := titles(run(t, c, `film(released>1900)`))
+	for i := 0; i < 3; i++ {
+		b := titles(run(t, c, `film(released>1900)`))
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("ranking unstable: %v vs %v", a, b)
+			}
+		}
+	}
+}

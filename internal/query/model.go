@@ -1,0 +1,192 @@
+// Package query implements WikiQuery (Nguyen et al., WebDB 2010), the
+// structured-query system used in the paper's case study (Section 5):
+// c-queries over infoboxes, their execution against a corpus, their
+// translation into another language through WikiMatch's derived attribute
+// correspondences (with relaxation of untranslatable constraints), and
+// the cumulative-gain evaluation of Figure 4.
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/text"
+)
+
+// Op is a constraint operator.
+type Op int
+
+// Constraint operators. OpProject ("attr = ?") asks for the attribute's
+// value in the answer instead of filtering.
+const (
+	OpProject Op = iota
+	OpEq
+	OpLt
+	OpGt
+	OpLe
+	OpGe
+)
+
+// String renders the operator in c-query syntax.
+func (o Op) String() string {
+	switch o {
+	case OpProject:
+		return "=?"
+	case OpEq:
+		return "="
+	case OpLt:
+		return "<"
+	case OpGt:
+		return ">"
+	case OpLe:
+		return "<="
+	case OpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// Constraint restricts one attribute of a block. Attrs lists alternative
+// attribute names ("nascimento|data de nascimento"), normalized.
+type Constraint struct {
+	Attrs []string
+	Op    Op
+	Value string
+}
+
+// IsProjection reports whether the constraint only projects a value.
+func (c Constraint) IsProjection() bool { return c.Op == OpProject }
+
+// Block constrains one entity type ("filme(título=?, receita>10)").
+// Type is normalized.
+type Block struct {
+	Type        string
+	Constraints []Constraint
+}
+
+// Query is a conjunction of blocks. The first block's entities are the
+// answers; the remaining blocks filter them through link relationships.
+type Query struct {
+	Blocks []Block
+}
+
+// String renders the query in c-query syntax.
+func (q *Query) String() string {
+	var blocks []string
+	for _, b := range q.Blocks {
+		var cs []string
+		for _, c := range b.Constraints {
+			attr := strings.Join(c.Attrs, "|")
+			if c.IsProjection() {
+				cs = append(cs, attr+"=?")
+			} else {
+				cs = append(cs, fmt.Sprintf("%s%s%q", attr, c.Op, c.Value))
+			}
+		}
+		blocks = append(blocks, fmt.Sprintf("%s(%s)", b.Type, strings.Join(cs, ", ")))
+	}
+	return strings.Join(blocks, " and ")
+}
+
+// Parse reads a c-query: blocks of the form `type(constraint, …)` joined
+// by ` and `. Constraints are `attr=?`, `attr="value"`, or
+// `attr1|attr2 op value` with op ∈ {=, <, >, <=, >=}.
+func Parse(s string) (*Query, error) {
+	q := &Query{}
+	for _, part := range strings.Split(s, " and ") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		open := strings.IndexByte(part, '(')
+		if open < 0 || !strings.HasSuffix(part, ")") {
+			return nil, fmt.Errorf("query: malformed block %q", part)
+		}
+		b := Block{Type: text.Normalize(part[:open])}
+		if b.Type == "" {
+			return nil, fmt.Errorf("query: empty type in block %q", part)
+		}
+		body := part[open+1 : len(part)-1]
+		for _, cs := range splitConstraints(body) {
+			cs = strings.TrimSpace(cs)
+			if cs == "" {
+				continue
+			}
+			c, err := parseConstraint(cs)
+			if err != nil {
+				return nil, fmt.Errorf("query: block %q: %w", b.Type, err)
+			}
+			b.Constraints = append(b.Constraints, c)
+		}
+		q.Blocks = append(q.Blocks, b)
+	}
+	if len(q.Blocks) == 0 {
+		return nil, fmt.Errorf("query: no blocks in %q", s)
+	}
+	return q, nil
+}
+
+// splitConstraints splits on commas outside quotes.
+func splitConstraints(s string) []string {
+	var parts []string
+	inQuote := false
+	last := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				parts = append(parts, s[last:i])
+				last = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[last:])
+	return parts
+}
+
+// parseConstraint reads one constraint.
+func parseConstraint(s string) (Constraint, error) {
+	ops := []struct {
+		tok string
+		op  Op
+	}{{"<=", OpLe}, {">=", OpGe}, {"=", OpEq}, {"<", OpLt}, {">", OpGt}}
+	for _, o := range ops {
+		idx := strings.Index(s, o.tok)
+		if idx < 0 {
+			continue
+		}
+		attrPart := strings.TrimSpace(s[:idx])
+		valPart := strings.TrimSpace(s[idx+len(o.tok):])
+		if attrPart == "" {
+			return Constraint{}, fmt.Errorf("missing attribute in %q", s)
+		}
+		c := Constraint{}
+		for _, a := range strings.Split(attrPart, "|") {
+			if n := text.Normalize(a); n != "" {
+				c.Attrs = append(c.Attrs, n)
+			}
+		}
+		if len(c.Attrs) == 0 {
+			return Constraint{}, fmt.Errorf("no valid attributes in %q", s)
+		}
+		if o.op == OpEq && valPart == "?" {
+			c.Op = OpProject
+			return c, nil
+		}
+		c.Op = o.op
+		c.Value = strings.Trim(valPart, "\"")
+		if c.Value == "" {
+			return Constraint{}, fmt.Errorf("missing value in %q", s)
+		}
+		if c.Op != OpEq {
+			if _, err := strconv.ParseFloat(strings.ReplaceAll(c.Value, " ", ""), 64); err != nil {
+				return Constraint{}, fmt.Errorf("non-numeric comparison value %q", c.Value)
+			}
+		}
+		return c, nil
+	}
+	return Constraint{}, fmt.Errorf("no operator in %q", s)
+}

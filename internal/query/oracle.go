@@ -1,0 +1,215 @@
+package query
+
+import (
+	"strconv"
+
+	"repro/internal/synth"
+	"repro/internal/text"
+	"repro/internal/wiki"
+)
+
+// Oracle is the deterministic stand-in for the paper's two human
+// evaluators: it judges an answer against a query's canonical intent
+// using the generator's ground-truth entity records, on the paper's
+// five-point relevance scale (0–4). Two grader perspectives — one
+// rounding, one strict — play the role of the two evaluators; the
+// cumulative-gain computation averages them.
+type Oracle struct {
+	truth   *synth.GroundTruth
+	byTitle map[wiki.Key]*synth.Entity
+	// refs maps an entity ID to the entities referencing it through
+	// KindWork atoms (films referencing their starring actors, …).
+	refs map[string][]*synth.Entity
+}
+
+// NewOracle indexes the ground truth for scoring.
+func NewOracle(truth *synth.GroundTruth) *Oracle {
+	o := &Oracle{
+		truth:   truth,
+		byTitle: make(map[wiki.Key]*synth.Entity),
+		refs:    make(map[string][]*synth.Entity),
+	}
+	for _, ents := range truth.Entities {
+		for _, e := range ents {
+			for lang := range e.Langs {
+				o.byTitle[wiki.Key{Language: lang, Title: e.Titles[lang]}] = e
+			}
+			for _, atoms := range e.Values {
+				for _, a := range atoms {
+					if a.Work != nil {
+						o.refs[a.Work.ID] = append(o.refs[a.Work.ID], e)
+					}
+				}
+			}
+		}
+	}
+	return o
+}
+
+// Relevance scores an answer article against an intent: the fraction of
+// satisfied canonical conditions scaled to the 0–4 relevance scale.
+// Answers that do not correspond to an entity of the intended type score
+// 0.
+func (o *Oracle) Relevance(lang wiki.Language, title string, intent Intent) float64 {
+	e, ok := o.byTitle[wiki.Key{Language: lang, Title: title}]
+	if !ok || e.Type != intent.MainType {
+		return 0
+	}
+	total, satisfied := 0, 0
+	for _, cond := range intent.Main {
+		total++
+		if entitySatisfies(e, cond) {
+			satisfied++
+		}
+	}
+	if intent.JoinType != "" {
+		total++
+		if o.joinSatisfied(e, intent) {
+			satisfied++
+		}
+	}
+	if total == 0 {
+		return 4
+	}
+	return 4 * float64(satisfied) / float64(total)
+}
+
+// GraderScores returns the two evaluators' integer scores for a
+// relevance value.
+func GraderScores(rel float64) (a, b int) {
+	a = int(rel + 0.5) // rounding grader
+	b = int(rel)       // strict grader
+	if a > 4 {
+		a = 4
+	}
+	return a, b
+}
+
+// joinSatisfied checks whether some entity of the intent's join type,
+// related to e in either reference direction, satisfies every join
+// condition.
+func (o *Oracle) joinSatisfied(e *synth.Entity, intent Intent) bool {
+	check := func(candidate *synth.Entity) bool {
+		if candidate.Type != intent.JoinType {
+			return false
+		}
+		for _, cond := range intent.Join {
+			if !entitySatisfies(candidate, cond) {
+				return false
+			}
+		}
+		return true
+	}
+	// Forward: e references the join entity.
+	for _, atoms := range e.Values {
+		for _, a := range atoms {
+			if a.Work != nil && check(a.Work) {
+				return true
+			}
+		}
+	}
+	// Reverse: the join entity references e.
+	for _, other := range o.refs[e.ID] {
+		if check(other) {
+			return true
+		}
+	}
+	return false
+}
+
+// entitySatisfies evaluates a canonical condition against an entity's
+// ground-truth values.
+func entitySatisfies(e *synth.Entity, cond CanonCond) bool {
+	atoms := e.Values[cond.Attr]
+	switch cond.Op {
+	case OpEq:
+		want := text.Normalize(cond.Value)
+		for _, a := range atoms {
+			if text.Normalize(atomEnglish(a)) == want {
+				return true
+			}
+		}
+		return false
+	case OpLt, OpGt, OpLe, OpGe:
+		bound, err := strconv.ParseFloat(cond.Value, 64)
+		if err != nil {
+			return false
+		}
+		for _, a := range atoms {
+			v, ok := atomNumber(a)
+			if !ok {
+				continue
+			}
+			switch cond.Op {
+			case OpLt:
+				if v < bound {
+					return true
+				}
+			case OpGt:
+				if v > bound {
+					return true
+				}
+			case OpLe:
+				if v <= bound {
+					return true
+				}
+			case OpGe:
+				if v >= bound {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// atomEnglish renders an atom's canonical English form.
+func atomEnglish(a synth.Atom) string {
+	switch {
+	case a.Ref != nil:
+		return a.Ref.Title(wiki.English)
+	case a.Work != nil:
+		return a.Work.Title(wiki.English)
+	case a.Term.EN != "" || a.Term.PT != "" || a.Term.VN != "":
+		return a.Term.EN
+	}
+	return a.Lit
+}
+
+// atomNumber extracts the comparable number behind an atom: dates yield
+// their year, other literals parse directly.
+func atomNumber(a synth.Atom) (float64, bool) {
+	lit := a.Lit
+	if lit == "" {
+		return 0, false
+	}
+	if len(lit) == 10 && lit[4] == '-' && lit[7] == '-' {
+		y, err := strconv.Atoi(lit[:4])
+		return float64(y), err == nil
+	}
+	v, err := strconv.ParseFloat(lit, 64)
+	return v, err == nil
+}
+
+// CGPoint pairs an answer rank with cumulative gain.
+type CGSeries struct {
+	Name string
+	CG   []float64 // CG[k-1] = cumulative gain of the top k answers
+}
+
+// QueryGain runs one query through an engine and scores the top answers,
+// returning the per-rank relevance (averaged over the two graders) padded
+// with zeros to k entries.
+func (o *Oracle) QueryGain(e *Engine, q *Query, intent Intent, k int) []float64 {
+	rel := make([]float64, k)
+	if q == nil || len(q.Blocks) == 0 {
+		return rel
+	}
+	answers := e.Run(q, k)
+	for i, ans := range answers {
+		r := o.Relevance(e.Lang(), ans.Article.Title, intent)
+		ga, gb := GraderScores(r)
+		rel[i] = float64(ga+gb) / 2
+	}
+	return rel
+}

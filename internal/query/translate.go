@@ -1,0 +1,98 @@
+package query
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/text"
+)
+
+// Translation is a query rendered into the target language through
+// derived attribute correspondences, with a record of what had to be
+// relaxed (Section 5: constraints on attributes without a translation
+// are dropped; blocks whose type has no correspondence are dropped).
+type Translation struct {
+	Query          *Query
+	RelaxedAttrs   []string // constraints dropped for lack of correspondences
+	DroppedBlocks  []string // block types without a type correspondence
+	Untranslatable bool     // the main block itself had no correspondence
+}
+
+// Translate renders q (written in res.Pair.A's language) into res.Pair.B's
+// language: entity types through the type matching, attribute names
+// through the derived correspondences, and values through the
+// cross-language-link dictionary.
+func Translate(q *Query, res *core.Result) Translation {
+	tr := Translation{Query: &Query{}}
+	for bi, b := range q.Blocks {
+		var typeB string
+		var typeRes *core.TypeResult
+		for tp, tres := range res.PerType {
+			if text.Normalize(tp[0]) == b.Type {
+				typeB = text.Normalize(tp[1])
+				typeRes = tres
+				break
+			}
+		}
+		if typeB == "" {
+			tr.DroppedBlocks = append(tr.DroppedBlocks, b.Type)
+			if bi == 0 {
+				tr.Untranslatable = true
+				return tr
+			}
+			continue
+		}
+		nb := Block{Type: typeB}
+		for _, c := range b.Constraints {
+			attrSet := map[string]bool{}
+			for _, a := range c.Attrs {
+				for bAttr := range typeRes.Cross[a] {
+					attrSet[bAttr] = true
+				}
+			}
+			if len(attrSet) == 0 {
+				tr.RelaxedAttrs = append(tr.RelaxedAttrs, b.Type+"."+c.Attrs[0])
+				continue
+			}
+			nc := Constraint{Op: c.Op}
+			for a := range attrSet {
+				nc.Attrs = append(nc.Attrs, a)
+			}
+			// Order alternatives by correspondence confidence (highest
+			// first), so the engine prefers well-supported translations;
+			// names break ties deterministically.
+			sort.Slice(nc.Attrs, func(x, y int) bool {
+				cx := bestConfidence(typeRes, c.Attrs, nc.Attrs[x])
+				cy := bestConfidence(typeRes, c.Attrs, nc.Attrs[y])
+				if cx != cy {
+					return cx > cy
+				}
+				return nc.Attrs[x] < nc.Attrs[y]
+			})
+			if !c.IsProjection() {
+				nc.Value = c.Value
+				if c.Op == OpEq && res.Dict != nil {
+					nc.Value = res.Dict.TranslateOrKeep(c.Value)
+				}
+			}
+			nb.Constraints = append(nb.Constraints, nc)
+		}
+		tr.Query.Blocks = append(tr.Query.Blocks, nb)
+	}
+	if len(tr.Query.Blocks) == 0 {
+		tr.Untranslatable = true
+	}
+	return tr
+}
+
+// bestConfidence returns the highest correspondence confidence linking
+// any of the source attributes to the target attribute.
+func bestConfidence(tr *core.TypeResult, sources []string, target string) float64 {
+	var best float64
+	for _, src := range sources {
+		if c := tr.Confidence(src, target); c > best {
+			best = c
+		}
+	}
+	return best
+}

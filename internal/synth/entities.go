@@ -1,0 +1,219 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/wiki"
+)
+
+// RefEntity is a referenceable stub entity (person, place, organization,
+// genre, language name, day-month): it has translated titles, optional
+// anchor aliases, and becomes a stub article with cross-language links in
+// every language edition.
+type RefEntity struct {
+	ID      string
+	Kind    Kind
+	Titles  map[wiki.Language]string
+	Aliases map[wiki.Language]string
+}
+
+// Title returns the entity's title in a language (English fallback).
+func (r *RefEntity) Title(l wiki.Language) string {
+	if t, ok := r.Titles[l]; ok && t != "" {
+		return t
+	}
+	return r.Titles[wiki.English]
+}
+
+// Atom is one canonical value component of an attribute. Exactly one of
+// Ref, Work, Term or Lit is meaningful, according to Kind.
+type Atom struct {
+	Kind Kind
+	Ref  *RefEntity // ref kinds (person, place, org, genre, langname, date link)
+	Work *Entity    // KindWork: reference to another generated entity
+	Term Tri        // KindTerm: translated vocabulary entry
+	Lit  string     // literal kinds: canonical form ("1950-12-18", "160", …)
+}
+
+// Entity is one generated subject: an article per language edition it
+// exists in, with canonical attribute values shared across languages.
+type Entity struct {
+	ID     string
+	Type   string // canonical type id
+	Titles map[wiki.Language]string
+	Langs  map[wiki.Language]bool
+	Values map[string][]Atom // canonical attribute → atoms
+
+	// force marks attributes planted by the query-target seeder; presence
+	// sampling always keeps them so the case-study queries have answers.
+	force map[string]bool
+}
+
+// Title returns the entity's article title in a language.
+func (e *Entity) Title(l wiki.Language) string {
+	if t, ok := e.Titles[l]; ok {
+		return t
+	}
+	return e.Titles[wiki.English]
+}
+
+// refFromSpec instantiates a RefEntity from lexicon data.
+func refFromSpec(id string, kind Kind, spec RefSpec) *RefEntity {
+	r := &RefEntity{
+		ID:   id,
+		Kind: kind,
+		Titles: map[wiki.Language]string{
+			en: spec.Titles.EN, pt: spec.Titles.PT, vn: spec.Titles.VN,
+		},
+		Aliases: map[wiki.Language]string{},
+	}
+	for l, t := range r.Titles {
+		if t == "" {
+			r.Titles[l] = spec.Titles.EN
+		}
+		_ = l
+	}
+	if spec.Aliases.EN != "" {
+		r.Aliases[en] = spec.Aliases.EN
+	}
+	if spec.Aliases.PT != "" {
+		r.Aliases[pt] = spec.Aliases.PT
+	}
+	if spec.Aliases.VN != "" {
+		r.Aliases[vn] = spec.Aliases.VN
+	}
+	return r
+}
+
+// samePerson makes a person RefEntity whose name is identical in every
+// language (proper names are not translated).
+func samePerson(id, name string) *RefEntity {
+	return &RefEntity{
+		ID:   id,
+		Kind: KindPerson,
+		Titles: map[wiki.Language]string{
+			en: name, pt: name, vn: name,
+		},
+	}
+}
+
+// sameOrg makes an organization RefEntity, identical across languages.
+func sameOrg(id, name string) *RefEntity {
+	return &RefEntity{
+		ID:   id,
+		Kind: KindOrg,
+		Titles: map[wiki.Language]string{
+			en: name, pt: name, vn: name,
+		},
+	}
+}
+
+// dayMonthRef builds the day-month stub entity for a date ("December 18" /
+// "18 de dezembro" / "18 tháng 12").
+func dayMonthRef(day, month int) *RefEntity {
+	m := monthNames[month-1]
+	return &RefEntity{
+		ID:   fmt.Sprintf("daymonth-%02d-%02d", month, day),
+		Kind: KindDate,
+		Titles: map[wiki.Language]string{
+			en: fmt.Sprintf("%s %d", m.EN, day),
+			pt: fmt.Sprintf("%d de %s", day, m.PT),
+			vn: fmt.Sprintf("%d %s", day, m.VN),
+		},
+	}
+}
+
+// pools holds every referenceable entity bank for one generation run.
+type pools struct {
+	persons   []*RefEntity
+	placesP   []*RefEntity
+	orgs      []*RefEntity
+	genresP   []*RefEntity
+	langsP    []*RefEntity
+	terms     map[string][]*RefEntity // entity-backed vocabularies
+	special   map[string]*RefEntity   // name → entity, for query-targeted persons
+	dayMonths map[string]*RefEntity   // id → entity, created lazily
+}
+
+// newPools instantiates all static reference banks.
+func newPools(rng *rand.Rand) *pools {
+	p := &pools{
+		terms:     make(map[string][]*RefEntity),
+		special:   make(map[string]*RefEntity),
+		dayMonths: make(map[string]*RefEntity),
+	}
+	for vocab := range entityVocabs {
+		for i, t := range vocabs[vocab] {
+			if t.EN == "" {
+				continue
+			}
+			p.terms[vocab] = append(p.terms[vocab],
+				refFromSpec(fmt.Sprintf("term-%s-%02d", vocab, i), KindTerm, RefSpec{Titles: t}))
+		}
+	}
+	for i, s := range places {
+		p.placesP = append(p.placesP, refFromSpec(fmt.Sprintf("place-%02d", i), KindPlace, s))
+	}
+	for i, s := range genres {
+		p.genresP = append(p.genresP, refFromSpec(fmt.Sprintf("genre-%02d", i), KindGenre, s))
+	}
+	for i, s := range langNames {
+		p.langsP = append(p.langsP, refFromSpec(fmt.Sprintf("lang-%02d", i), KindLangName, s))
+	}
+	for i, name := range orgNames {
+		p.orgs = append(p.orgs, sameOrg(fmt.Sprintf("org-%02d", i), name))
+	}
+	// Generated person bank: shuffled first×last combinations, plus the
+	// named individuals the case-study queries reference.
+	var combos []string
+	for _, f := range firstNames {
+		for _, l := range lastNames {
+			combos = append(combos, f+" "+l)
+		}
+	}
+	rng.Shuffle(len(combos), func(i, j int) { combos[i], combos[j] = combos[j], combos[i] })
+	const personPool = 220
+	for i := 0; i < personPool && i < len(combos); i++ {
+		p.persons = append(p.persons, samePerson(fmt.Sprintf("person-%03d", i), combos[i]))
+	}
+	for i, name := range specialPersons {
+		r := samePerson(fmt.Sprintf("special-%02d", i), name)
+		p.persons = append(p.persons, r)
+		p.special[name] = r
+	}
+	return p
+}
+
+// dayMonth returns (creating if needed) the day-month stub for a date.
+func (p *pools) dayMonth(day, month int) *RefEntity {
+	id := fmt.Sprintf("daymonth-%02d-%02d", month, day)
+	if r, ok := p.dayMonths[id]; ok {
+		return r
+	}
+	r := dayMonthRef(day, month)
+	p.dayMonths[id] = r
+	return r
+}
+
+// pick selects a uniform random element.
+func pick[T any](rng *rand.Rand, s []T) T { return s[rng.Intn(len(s))] }
+
+// pickName draws a surface name from a weighted list.
+func pickName(rng *rand.Rand, ns []WeightedName) string {
+	if len(ns) == 1 {
+		return ns[0].Name
+	}
+	var total float64
+	for _, n := range ns {
+		total += n.W
+	}
+	x := rng.Float64() * total
+	for _, n := range ns {
+		x -= n.W
+		if x <= 0 {
+			return n.Name
+		}
+	}
+	return ns[len(ns)-1].Name
+}

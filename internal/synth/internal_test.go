@@ -1,0 +1,250 @@
+package synth
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/wiki"
+)
+
+func TestSolveOverlapBasic(t *testing.T) {
+	spec := &TypeSpec{
+		Canon:   "t",
+		Overlap: map[string]float64{"pt-en": 0.5},
+		Attrs: []AttrSpec{
+			{Canon: "a", Freq: 1, Names: names{en: N("a"), pt: N("a-pt")}},
+			{Canon: "b", Freq: 1, Names: names{en: N("b"), pt: N("b-pt")}},
+		},
+	}
+	o, m := solveOverlap(spec, wiki.PtEn)
+	// No single-language attributes: o equals the target exactly.
+	if o != 0.5 || m != 1 {
+		t.Errorf("o = %v, m = %v; want 0.5, 1", o, m)
+	}
+}
+
+func TestSolveOverlapAccountsForSingles(t *testing.T) {
+	spec := &TypeSpec{
+		Canon:   "t",
+		Overlap: map[string]float64{"pt-en": 0.4},
+		Attrs: []AttrSpec{
+			{Canon: "a", Freq: 1, Names: names{en: N("a"), pt: N("a-pt")}},
+			{Canon: "en-only", Freq: 1, Names: names{en: N("x")}},
+		},
+	}
+	o, m := solveOverlap(spec, wiki.PtEn)
+	// s = 1, u = 1 → o = 0.4·2 = 0.8.
+	if o != 0.8 || m != 1 {
+		t.Errorf("o = %v, m = %v; want 0.8, 1", o, m)
+	}
+}
+
+func TestSolveOverlapSuppressesSinglesWhenCapped(t *testing.T) {
+	spec := &TypeSpec{
+		Canon:   "t",
+		Overlap: map[string]float64{"pt-en": 0.9},
+		Attrs: []AttrSpec{
+			{Canon: "a", Freq: 1, Names: names{en: N("a"), pt: N("a-pt")}},
+			{Canon: "en-only", Freq: 1, Names: names{en: N("x")}},
+		},
+	}
+	o, m := solveOverlap(spec, wiki.PtEn)
+	if o != 0.97 {
+		t.Errorf("o = %v, want cap 0.97", o)
+	}
+	if m >= 1 || m <= 0 {
+		t.Errorf("m = %v, want suppression in (0, 1)", m)
+	}
+	// Sanity: o·s/(s+m·u) ≈ target.
+	got := 0.97 / (1 + m)
+	if got < 0.88 || got > 0.92 {
+		t.Errorf("implied overlap = %v, want ≈0.9", got)
+	}
+}
+
+func TestRenderMoney(t *testing.T) {
+	cases := []struct {
+		lit  string
+		lang wiki.Language
+		want string
+	}{
+		{"23000000", wiki.English, "$23 million"},
+		{"23000000", wiki.Portuguese, "US$ 23 milhões"},
+		{"23000000", wiki.Vietnamese, "23 triệu USD"},
+		{"12000000000", wiki.English, "$12 billion"},
+		{"12000000000", wiki.Portuguese, "US$ 12 bilhões"},
+		{"12000000000", wiki.Vietnamese, "12 tỷ USD"},
+	}
+	for _, c := range cases {
+		if got := renderMoney(c.lit, c.lang); got != c.want {
+			t.Errorf("renderMoney(%s, %s) = %q, want %q", c.lit, c.lang, got, c.want)
+		}
+	}
+}
+
+func TestParseDateLit(t *testing.T) {
+	y, m, d := parseDateLit("1950-12-18")
+	if y != 1950 || m != 12 || d != 18 {
+		t.Errorf("parseDateLit = %d-%d-%d", y, m, d)
+	}
+}
+
+func TestWithOrdinal(t *testing.T) {
+	if got := withOrdinal("X", 1); got != "X" {
+		t.Errorf("ord 1 = %q", got)
+	}
+	if got := withOrdinal("X", 3); got != "X (3)" {
+		t.Errorf("ord 3 = %q", got)
+	}
+}
+
+func TestAnchorAlias(t *testing.T) {
+	person := samePerson("p", "James Silva")
+	if got := anchorAlias(person, wiki.English); got != "J. Silva" {
+		t.Errorf("person alias = %q", got)
+	}
+	org := sameOrg("o", "Meridian Pictures")
+	if got := anchorAlias(org, wiki.Portuguese); got != "Meridian" {
+		t.Errorf("org alias = %q", got)
+	}
+	us := refFromSpec("us", KindPlace, places[0])
+	if got := anchorAlias(us, wiki.English); got != "USA" {
+		t.Errorf("curated alias = %q", got)
+	}
+	plainPlace := refFromSpec("br", KindPlace, places[2])
+	if got := anchorAlias(plainPlace, wiki.English); got != "" {
+		t.Errorf("place without alias = %q", got)
+	}
+}
+
+func TestDayMonthRefTitles(t *testing.T) {
+	r := dayMonthRef(18, 12)
+	if r.Titles[wiki.English] != "December 18" {
+		t.Errorf("en = %q", r.Titles[wiki.English])
+	}
+	if r.Titles[wiki.Portuguese] != "18 de dezembro" {
+		t.Errorf("pt = %q", r.Titles[wiki.Portuguese])
+	}
+	if r.Titles[wiki.Vietnamese] != "18 tháng 12" {
+		t.Errorf("vn = %q", r.Titles[wiki.Vietnamese])
+	}
+}
+
+func TestPickNameWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ns := N2("heavy", 0.9, "light", 0.1)
+	heavy := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if pickName(rng, ns) == "heavy" {
+			heavy++
+		}
+	}
+	frac := float64(heavy) / n
+	if frac < 0.85 || frac > 0.95 {
+		t.Errorf("heavy fraction = %v, want ≈0.9", frac)
+	}
+	if got := pickName(rng, N("only")); got != "only" {
+		t.Errorf("single name = %q", got)
+	}
+}
+
+func TestSlug(t *testing.T) {
+	if got := slug("The Crimson River (2)"); got != "thecrimsonriver2" {
+		t.Errorf("slug = %q", got)
+	}
+	if got := slug("!!!"); got != "entity" {
+		t.Errorf("empty slug fallback = %q", got)
+	}
+}
+
+func TestTypeSpecsConsistency(t *testing.T) {
+	specs := TypeSpecs()
+	if len(specs) != 14 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	seen := map[string]bool{}
+	for i := range specs {
+		spec := &specs[i]
+		if seen[spec.Canon] {
+			t.Errorf("duplicate type %s", spec.Canon)
+		}
+		seen[spec.Canon] = true
+		if !spec.HasLanguage(en) {
+			t.Errorf("type %s missing English template", spec.Canon)
+		}
+		if !spec.HasLanguage(pt) {
+			t.Errorf("type %s missing Portuguese template", spec.Canon)
+		}
+		if spec.Overlap["pt-en"] == 0 {
+			t.Errorf("type %s missing pt-en overlap target", spec.Canon)
+		}
+		for j := range spec.Attrs {
+			attr := &spec.Attrs[j]
+			if attr.MinAtoms < 1 || attr.MaxAtoms < attr.MinAtoms {
+				t.Errorf("%s.%s: bad atom bounds %d..%d", spec.Canon, attr.Canon, attr.MinAtoms, attr.MaxAtoms)
+			}
+			if attr.Kind == KindTerm && attr.Vocab == "" {
+				t.Errorf("%s.%s: term attribute without vocabulary", spec.Canon, attr.Canon)
+			}
+			if attr.Kind == KindTerm && len(vocabs[attr.Vocab]) == 0 {
+				t.Errorf("%s.%s: unknown vocabulary %q", spec.Canon, attr.Canon, attr.Vocab)
+			}
+			if len(attr.Names[en]) == 0 && len(attr.Names[pt]) == 0 && len(attr.Names[vn]) == 0 {
+				t.Errorf("%s.%s: no surface names", spec.Canon, attr.Canon)
+			}
+			for lang, names := range attr.Names {
+				for _, n := range names {
+					if strings.TrimSpace(n.Name) == "" {
+						t.Errorf("%s.%s: empty %s name", spec.Canon, attr.Canon, lang)
+					}
+					if n.W <= 0 {
+						t.Errorf("%s.%s: non-positive weight for %q", spec.Canon, attr.Canon, n.Name)
+					}
+				}
+			}
+		}
+	}
+	// The four Vn-En types are exactly the paper's.
+	vnTypes := map[string]bool{}
+	for i := range specs {
+		if specs[i].HasLanguage(vn) {
+			vnTypes[specs[i].Canon] = true
+		}
+	}
+	for _, want := range []string{"film", "show", "actor", "artist"} {
+		if !vnTypes[want] {
+			t.Errorf("type %s missing Vietnamese edition", want)
+		}
+	}
+	if len(vnTypes) != 4 {
+		t.Errorf("vn types = %v, want exactly 4", vnTypes)
+	}
+}
+
+func TestVocabTranslationsNonEmpty(t *testing.T) {
+	for name, entries := range vocabs {
+		if len(entries) == 0 {
+			t.Errorf("vocabulary %s is empty", name)
+		}
+		for _, e := range entries {
+			if e.EN == "" && e.PT == "" && e.VN == "" {
+				t.Errorf("vocabulary %s has an all-empty entry", name)
+			}
+		}
+	}
+}
+
+func TestEntityVocabsResolvable(t *testing.T) {
+	for v := range entityVocabs {
+		if len(vocabs[v]) == 0 {
+			t.Errorf("entity vocabulary %q has no entries", v)
+		}
+		for _, e := range vocabs[v] {
+			if e.EN == "" {
+				t.Errorf("entity vocabulary %q entry lacks an English title (needed for stub articles)", v)
+			}
+		}
+	}
+}

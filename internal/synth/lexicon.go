@@ -1,0 +1,773 @@
+package synth
+
+import "repro/internal/wiki"
+
+// Tri is a term with its English, Portuguese and Vietnamese forms.
+type Tri struct {
+	EN, PT, VN string
+}
+
+// In returns the term's form in the given language, falling back to
+// English for unknown languages.
+func (t Tri) In(l wiki.Language) string {
+	switch l {
+	case wiki.Portuguese:
+		if t.PT != "" {
+			return t.PT
+		}
+	case wiki.Vietnamese:
+		if t.VN != "" {
+			return t.VN
+		}
+	}
+	return t.EN
+}
+
+// RefSpec seeds a referenceable entity: translated titles and optional
+// per-language aliases (alternative anchor texts, e.g. "USA").
+type RefSpec struct {
+	Titles  Tri
+	Aliases Tri
+}
+
+// places is the gazetteer of country/region entities. Each becomes a stub
+// article per language with cross-language links, so place-valued
+// attributes feed both the translation dictionary and lsim.
+var places = []RefSpec{
+	{Titles: Tri{"United States", "Estados Unidos", "Hoa Kỳ"}, Aliases: Tri{"USA", "EUA", "Mỹ"}},
+	{Titles: Tri{"United Kingdom", "Reino Unido", "Vương quốc Anh"}, Aliases: Tri{"UK", "", ""}},
+	{Titles: Tri{"Brazil", "Brasil", "Brasil"}},
+	{Titles: Tri{"France", "França", "Pháp"}},
+	{Titles: Tri{"Italy", "Itália", "Ý"}},
+	{Titles: Tri{"Germany", "Alemanha", "Đức"}},
+	{Titles: Tri{"Spain", "Espanha", "Tây Ban Nha"}},
+	{Titles: Tri{"Portugal", "Portugal", "Bồ Đào Nha"}},
+	{Titles: Tri{"Ireland", "Irlanda", "Ireland"}},
+	{Titles: Tri{"Japan", "Japão", "Nhật Bản"}},
+	{Titles: Tri{"China", "China", "Trung Quốc"}},
+	{Titles: Tri{"Vietnam", "Vietnã", "Việt Nam"}},
+	{Titles: Tri{"India", "Índia", "Ấn Độ"}},
+	{Titles: Tri{"Canada", "Canadá", "Canada"}},
+	{Titles: Tri{"Australia", "Austrália", "Úc"}},
+	{Titles: Tri{"Mexico", "México", "México"}},
+	{Titles: Tri{"Argentina", "Argentina", "Argentina"}},
+	{Titles: Tri{"Russia", "Rússia", "Nga"}},
+	{Titles: Tri{"England", "Inglaterra", "Anh"}},
+	{Titles: Tri{"Sweden", "Suécia", "Thụy Điển"}},
+}
+
+// genres become stub entities with translated titles.
+var genres = []RefSpec{
+	{Titles: Tri{"Drama", "Drama", "Chính kịch"}},
+	{Titles: Tri{"Comedy", "Comédia", "Hài kịch"}},
+	{Titles: Tri{"Horror", "Terror", "Kinh dị"}},
+	{Titles: Tri{"Action", "Ação", "Hành động"}},
+	{Titles: Tri{"Romance", "Romance", "Lãng mạn"}},
+	{Titles: Tri{"Thriller", "Suspense", "Giật gân"}},
+	{Titles: Tri{"Documentary", "Documentário", "Tài liệu"}},
+	{Titles: Tri{"Animation", "Animação", "Hoạt hình"}},
+	{Titles: Tri{"Science Fiction", "Ficção Científica", "Khoa học viễn tưởng"}},
+	{Titles: Tri{"Western", "Faroeste", "Viễn Tây"}},
+	{Titles: Tri{"Musical", "Musical", "Nhạc kịch"}},
+	{Titles: Tri{"Rock", "Rock", "Rock"}},
+	{Titles: Tri{"Jazz", "Jazz", "Jazz"}},
+	{Titles: Tri{"Progressive Rock", "Rock Progressivo", "Progressive Rock"}},
+	{Titles: Tri{"Pop", "Pop", "Pop"}},
+	{Titles: Tri{"Blues", "Blues", "Blues"}},
+	{Titles: Tri{"Samba", "Samba", "Samba"}},
+	{Titles: Tri{"Folk", "Folk", "Dân ca"}},
+}
+
+// langNames are language-name entities used by "language"-style attributes.
+var langNames = []RefSpec{
+	{Titles: Tri{"English", "Inglês", "Tiếng Anh"}},
+	{Titles: Tri{"Portuguese", "Português", "Tiếng Bồ Đào Nha"}},
+	{Titles: Tri{"Vietnamese", "Vietnamita", "Tiếng Việt"}},
+	{Titles: Tri{"French", "Francês", "Tiếng Pháp"}},
+	{Titles: Tri{"Spanish", "Espanhol", "Tiếng Tây Ban Nha"}},
+	{Titles: Tri{"Italian", "Italiano", "Tiếng Ý"}},
+	{Titles: Tri{"German", "Alemão", "Tiếng Đức"}},
+	{Titles: Tri{"Japanese", "Japonês", "Tiếng Nhật"}},
+}
+
+// monthNames drive per-language date rendering and day-month stub titles.
+var monthNames = [12]Tri{
+	{"January", "janeiro", "tháng 1"},
+	{"February", "fevereiro", "tháng 2"},
+	{"March", "março", "tháng 3"},
+	{"April", "abril", "tháng 4"},
+	{"May", "maio", "tháng 5"},
+	{"June", "junho", "tháng 6"},
+	{"July", "julho", "tháng 7"},
+	{"August", "agosto", "tháng 8"},
+	{"September", "setembro", "tháng 9"},
+	{"October", "outubro", "tháng 10"},
+	{"November", "novembro", "tháng 11"},
+	{"December", "dezembro", "tháng 12"},
+}
+
+// vocabs are the small translated vocabularies backing KindTerm
+// attributes. Keys are referenced by AttrSpec.Vocab.
+var vocabs = map[string][]Tri{
+	"occupation": {
+		{"actor", "ator", "diễn viên"},
+		{"politician", "político", "chính khách"},
+		{"director", "diretor", "đạo diễn"},
+		{"writer", "escritor", "nhà văn"},
+		{"singer", "cantor", "ca sĩ"},
+		{"producer", "produtor", "nhà sản xuất"},
+		{"comedian", "comediante", "diễn viên hài"},
+		{"model", "modelo", "người mẫu"},
+		{"dancer", "dançarino", "vũ công"},
+		{"painter", "pintor", "họa sĩ"},
+		{"journalist", "jornalista", "nhà báo"},
+		{"teacher", "professor", "giáo viên"},
+		{"athlete", "atleta", "vận động viên"},
+		{"musician", "músico", "nhạc sĩ"},
+		{"presenter", "apresentador", "người dẫn chương trình"},
+		{"photographer", "fotógrafo", "nhiếp ảnh gia"},
+	},
+	"instrument": {
+		{"guitar", "guitarra", "ghi-ta"},
+		{"piano", "piano", "dương cầm"},
+		{"drums", "bateria", "trống"},
+		{"bass", "baixo", "ghi-ta bass"},
+		{"vocals", "vocal", "giọng hát"},
+		{"violin", "violino", "vĩ cầm"},
+	},
+	"background": {
+		{"solo singer", "", ""},
+		{"group or band", "", ""},
+		{"non-performing personnel", "", ""},
+	},
+	"companytype": {
+		{"public", "pública", ""},
+		{"private", "privada", ""},
+		{"subsidiary", "subsidiária", ""},
+	},
+	"industry": {
+		{"entertainment", "entretenimento", ""},
+		{"publishing", "editorial", ""},
+		{"broadcasting", "radiodifusão", ""},
+		{"technology", "tecnologia", ""},
+		{"retail", "varejo", ""},
+	},
+	"powers": {
+		{"flight", "voo", ""},
+		{"super strength", "superforça", ""},
+		{"telepathy", "telepatia", ""},
+		{"invisibility", "invisibilidade", ""},
+		{"healing", "cura", ""},
+	},
+	"schedule": {
+		{"monthly", "mensal", ""},
+		{"weekly", "semanal", ""},
+		{"bimonthly", "bimestral", ""},
+	},
+	"format": {
+		{"ongoing series", "série contínua", ""},
+		{"limited series", "minissérie", ""},
+		{"one-shot", "edição única", ""},
+	},
+	"species": {
+		{"human", "humano", ""},
+		{"android", "andróide", ""},
+		{"alien", "alienígena", ""},
+	},
+	"gender": {
+		{"male", "masculino", ""},
+		{"female", "feminino", ""},
+	},
+	"eyecolor": {
+		{"brown", "castanhos", ""},
+		{"blue", "azuis", ""},
+		{"green", "verdes", ""},
+	},
+	"haircolor": {
+		{"black", "pretos", ""},
+		{"blonde", "loiros", ""},
+		{"brown", "castanhos", ""},
+		{"red", "ruivos", ""},
+	},
+	"measurements": {
+		{"34-24-34", "34-24-34", ""},
+		{"36-26-36", "36-26-36", ""},
+	},
+	"issue": {
+		{"Amazing Tales #1", "Amazing Tales #1", ""},
+		{"Midnight Stories #4", "Midnight Stories #4", ""},
+		{"Cosmic Annual #2", "Cosmic Annual #2", ""},
+		{"Harbor City Comics #7", "Harbor City Comics #7", ""},
+		{"Strange Worlds #12", "Strange Worlds #12", ""},
+	},
+	"alias": {
+		{"J. Rivers", "J. Rivers", "J. Rivers"},
+		{"The Duke", "The Duke", "The Duke"},
+		{"Max Steel", "Max Steel", "Max Steel"},
+		{"Kitty West", "Kitty West", "Kitty West"},
+		{"Lou Santos", "Lou Santos", "Lou Santos"},
+		{"Ray Moon", "Ray Moon", "Ray Moon"},
+	},
+	"pictureformat": {
+		{"1080i HDTV", "", ""},
+		{"576i SDTV", "", ""},
+		{"4K UHDTV", "", ""},
+	},
+	"slogan": {
+		{"", "sempre com você", ""},
+		{"", "a sua tela", ""},
+		{"", "perto de você", ""},
+	},
+}
+
+// titleAdjectives and titleNouns compose article titles for non-person
+// entity types. English composes "The {Adj} {Noun}", Portuguese
+// "O {Noun} {Adj}", Vietnamese "{Noun} {adj}".
+var titleAdjectives = []Tri{
+	{"Crimson", "Carmesim", "đỏ thẫm"},
+	{"Silent", "Silencioso", "lặng lẽ"},
+	{"Golden", "Dourado", "vàng"},
+	{"Dark", "Escuro", "tối"},
+	{"Lost", "Perdido", "đã mất"},
+	{"Eternal", "Eterno", "vĩnh cửu"},
+	{"Hidden", "Oculto", "ẩn giấu"},
+	{"Burning", "Ardente", "rực cháy"},
+	{"Distant", "Distante", "xa xôi"},
+	{"Broken", "Quebrado", "tan vỡ"},
+	{"Sacred", "Sagrado", "thiêng liêng"},
+	{"Frozen", "Congelado", "băng giá"},
+	{"Final", "Final", "cuối cùng"},
+	{"First", "Primeiro", "đầu tiên"},
+	{"Quiet", "Quieto", "yên tĩnh"},
+	{"Ancient", "Antigo", "cổ xưa"},
+	{"Wild", "Selvagem", "hoang dã"},
+	{"Gentle", "Gentil", "dịu dàng"},
+}
+
+var titleNouns = []Tri{
+	{"River", "Rio", "Dòng sông"},
+	{"Mountain", "Montanha", "Ngọn núi"},
+	{"Emperor", "Imperador", "Hoàng đế"},
+	{"Garden", "Jardim", "Khu vườn"},
+	{"Night", "Noite", "Đêm"},
+	{"Ocean", "Oceano", "Đại dương"},
+	{"Shadow", "Sombra", "Bóng tối"},
+	{"Kingdom", "Reino", "Vương quốc"},
+	{"Journey", "Jornada", "Hành trình"},
+	{"Secret", "Segredo", "Bí mật"},
+	{"Dream", "Sonho", "Giấc mơ"},
+	{"Island", "Ilha", "Hòn đảo"},
+	{"Forest", "Floresta", "Khu rừng"},
+	{"Star", "Estrela", "Ngôi sao"},
+	{"Winter", "Inverno", "Mùa đông"},
+	{"Letter", "Carta", "Lá thư"},
+	{"City", "Cidade", "Thành phố"},
+	{"Voice", "Voz", "Giọng nói"},
+	{"Bridge", "Ponte", "Cây cầu"},
+	{"Tiger", "Tigre", "Con hổ"},
+	{"Harbor", "Porto", "Bến cảng"},
+	{"Mirror", "Espelho", "Tấm gương"},
+	{"Tower", "Torre", "Tòa tháp"},
+	{"Road", "Estrada", "Con đường"},
+}
+
+// firstNames and lastNames compose person names, identical across
+// languages (proper names are not translated).
+var firstNames = []string{
+	"James", "Maria", "John", "Ana", "Robert", "Sofia", "Michael", "Helena",
+	"David", "Clara", "Thomas", "Laura", "Daniel", "Alice", "Carlos", "Marta",
+	"Peter", "Julia", "Paulo", "Nina", "Hugo", "Teresa", "Victor", "Irene",
+}
+
+var lastNames = []string{
+	"Silva", "Johnson", "Costa", "Williams", "Santos", "Brown", "Oliveira",
+	"Miller", "Pereira", "Davis", "Almeida", "Wilson", "Ferreira", "Moore",
+	"Ribeiro", "Taylor", "Martins", "Anderson", "Barbosa", "Reed", "Campos",
+	"Hart", "Nogueira", "Blake",
+}
+
+// specialPersons are named individuals the case-study queries (Table 4)
+// reference explicitly; they are guaranteed to exist in every generated
+// corpus and to appear as film directors.
+var specialPersons = []string{
+	"Francis Ford Coppola",
+	"Eric Kripke",
+}
+
+// orgNames are studio/label/network/publisher entities, identical across
+// languages.
+var orgNames = []string{
+	"Meridian Pictures", "Atlas Studios", "Blue Harbor Films",
+	"Northlight Entertainment", "Vela Records", "Horizon Books",
+	"Crescent Network", "Pioneer Broadcasting", "Summit Comics",
+	"Aurora Publishing", "Beacon Media", "Stellar Arts",
+	"Ironwood Press", "Gateway Channel", "Riverbend Records",
+}
+
+const (
+	en = wiki.English
+	pt = wiki.Portuguese
+	vn = wiki.Vietnamese
+)
+
+// names is shorthand for the per-language surface-name map.
+type names = map[wiki.Language][]WeightedName
+
+// TypeSpecs returns the full catalog of entity types: the 14 types of the
+// paper's Portuguese–English dataset, of which the first four also exist
+// in Vietnamese (the Vn-En dataset). Overlap targets follow Table 5.
+func TypeSpecs() []TypeSpec {
+	return []TypeSpec{
+		{
+			Canon: "film",
+			Template: map[wiki.Language]string{
+				en: "Infobox film", pt: "Infobox filme", vn: "Infobox phim",
+			},
+			Overlap: map[string]float64{"pt-en": 0.36, "vi-en": 0.87},
+			Attrs: []AttrSpec{
+				{Canon: "title", Literal: "title", Kind: KindSelf, MinAtoms: 1, MaxAtoms: 1, Freq: 0.95,
+					Names: names{en: N("name"), pt: N2("título", 0.7, "nome", 0.3), vn: N("tên")}},
+				{Canon: "directed by", Literal: "direction", Kind: KindPerson, MinAtoms: 1, MaxAtoms: 2, Freq: 0.9,
+					Names: names{en: N("directed by"), pt: N("direção"), vn: N("đạo diễn")}},
+				{Canon: "produced by", Literal: "production", Kind: KindPerson, MinAtoms: 1, MaxAtoms: 3, Freq: 0.65,
+					Names: names{en: N("produced by"), pt: N("produção"), vn: N("sản xuất")}},
+				{Canon: "written by", Literal: "script", Kind: KindPerson, MinAtoms: 1, MaxAtoms: 2, Freq: 0.8,
+					Names: names{en: N("written by"), pt: N("roteiro"), vn: N("kịch bản")}},
+				{Canon: "story by", Literal: "story", Kind: KindPerson, MinAtoms: 1, MaxAtoms: 1, Freq: 0.25,
+					Names: names{en: N("story by"), pt: N("história"), vn: N("kịch bản")}},
+				{Canon: "starring", Literal: "original cast", Kind: KindWork, MinAtoms: 2, MaxAtoms: 5, Freq: 0.95, Vocab: "actor",
+					Names: names{en: N("starring"), pt: N2("elenco original", 0.7, "elenco", 0.3), vn: N("diễn viên")}},
+				{Canon: "music by", Literal: "music", Kind: KindPerson, MinAtoms: 1, MaxAtoms: 2, Freq: 0.6,
+					Names: names{en: N("music by"), pt: N("música"), vn: N("âm nhạc")}},
+				{Canon: "cinematography", Literal: "photography", Kind: KindPerson, MinAtoms: 1, MaxAtoms: 1, Freq: 0.5,
+					Names: names{en: N("cinematography"), pt: N("fotografia")}},
+				{Canon: "editing by", Literal: "editing", Kind: KindPerson, MinAtoms: 1, MaxAtoms: 1, Freq: 0.4,
+					Names: names{en: N("editing by"), pt: N("edição")}},
+				{Canon: "distributed by", Literal: "distribution", Kind: KindOrg, MinAtoms: 1, MaxAtoms: 2, Freq: 0.5,
+					Names: names{en: N("distributed by"), pt: N("distribuição")}},
+				{Canon: "studio", Kind: KindOrg, MinAtoms: 1, MaxAtoms: 1, Freq: 0.55,
+					Names: names{en: N("studio"), pt: N("estúdio"), vn: N("hãng sản xuất")}},
+				{Canon: "release date", Literal: "launch", Kind: KindDate, MinAtoms: 1, MaxAtoms: 1, Freq: 0.85,
+					Names: names{en: N("release date"), pt: N("lançamento"), vn: N2("ngày phát hành", 0.6, "công chiếu", 0.4)}},
+				{Canon: "running time", Literal: "duration", Kind: KindDuration, MinAtoms: 1, MaxAtoms: 1, Freq: 0.8,
+					Names: names{en: N("running time"), pt: N("duração"), vn: N("thời lượng")}},
+				{Canon: "country", Kind: KindPlace, MinAtoms: 1, MaxAtoms: 2, Freq: 0.85,
+					Names: names{en: N("country"), pt: N("país"), vn: N2("quốc gia", 0.7, "nước", 0.3)}},
+				{Canon: "language", Kind: KindLangName, MinAtoms: 1, MaxAtoms: 2, Freq: 0.8,
+					Names: names{en: N("language"), pt: N2("idioma original", 0.6, "idioma", 0.4), vn: N("ngôn ngữ")}},
+				{Canon: "budget", Literal: "funding", Kind: KindMoney, MinAtoms: 1, MaxAtoms: 1, Freq: 0.45,
+					Names: names{en: N("budget"), vn: N("kinh phí")}},
+				{Canon: "gross revenue", Literal: "income", Kind: KindMoney, MinAtoms: 1, MaxAtoms: 1, Freq: 0.4,
+					Names: names{en: N2("gross revenue", 0.6, "gross", 0.4), pt: N("receita"), vn: N2("doanh thu", 0.6, "thu nhập", 0.4)}},
+				{Canon: "genre", Kind: KindGenre, MinAtoms: 1, MaxAtoms: 2, Freq: 0.5,
+					Names: names{pt: N("gênero"), vn: N("thể loại")}},
+				{Canon: "awards", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 1, Freq: 0.08, Vocab: "award", NoCooccur: true,
+					Names: names{en: N("awards"), pt: N("prêmios")}},
+				{Canon: "website", Kind: KindURL, MinAtoms: 1, MaxAtoms: 1, Freq: 0.15,
+					Names: names{en: N("website"), pt: N("website")}},
+			},
+		},
+		{
+			Canon: "show",
+			Template: map[wiki.Language]string{
+				en: "Infobox television", pt: "Infobox programa de televisão", vn: "Infobox chương trình truyền hình",
+			},
+			Overlap: map[string]float64{"pt-en": 0.45, "vi-en": 0.75},
+			Attrs: []AttrSpec{
+				{Canon: "title", Literal: "title", Kind: KindSelf, MinAtoms: 1, MaxAtoms: 1, Freq: 0.95,
+					Names: names{en: N("show name"), pt: N2("título", 0.6, "nome", 0.4), vn: N("tên")}},
+				{Canon: "genre", Kind: KindGenre, MinAtoms: 1, MaxAtoms: 2, Freq: 0.7,
+					Names: names{en: N("genre"), pt: N("gênero"), vn: N("thể loại")}},
+				{Canon: "created by", Kind: KindPerson, MinAtoms: 1, MaxAtoms: 2, Freq: 0.6,
+					Names: names{en: N("created by"), pt: N("criado por")}},
+				{Canon: "starring", Literal: "original cast", Kind: KindWork, MinAtoms: 2, MaxAtoms: 4, Freq: 0.8, Vocab: "actor",
+					Names: names{en: N("starring"), pt: N("elenco"), vn: N("diễn viên")}},
+				{Canon: "country", Kind: KindPlace, MinAtoms: 1, MaxAtoms: 1, Freq: 0.8,
+					Names: names{en: N("country of origin"), pt: N("país"), vn: N("quốc gia")}},
+				{Canon: "language", Kind: KindLangName, MinAtoms: 1, MaxAtoms: 1, Freq: 0.7,
+					Names: names{en: N("language"), pt: N("idioma"), vn: N("ngôn ngữ")}},
+				{Canon: "network", Literal: "broadcaster", Kind: KindOrg, MinAtoms: 1, MaxAtoms: 1, Freq: 0.75,
+					Names: names{en: N("network"), pt: N("emissora"), vn: N("kênh trình chiếu")}},
+				{Canon: "first aired", Literal: "premiere", Kind: KindDate, MinAtoms: 1, MaxAtoms: 1, Freq: 0.7,
+					Names: names{en: N("first aired"), pt: N("estreia"), vn: N("phát sóng")}},
+				{Canon: "last aired", Literal: "ending", Kind: KindDate, MinAtoms: 1, MaxAtoms: 1, Freq: 0.4,
+					Names: names{en: N("last aired"), pt: N("término")}},
+				{Canon: "seasons", Kind: KindNumber, MinAtoms: 1, MaxAtoms: 1, Freq: 0.55,
+					Names: names{en: N("no. of seasons"), pt: N("temporadas"), vn: N("số mùa")}},
+				{Canon: "episodes", Kind: KindNumber, MinAtoms: 1, MaxAtoms: 1, Freq: 0.6,
+					Names: names{en: N("no. of episodes"), pt: N("episódios"), vn: N("số tập")}},
+				{Canon: "theme composer", Kind: KindPerson, MinAtoms: 1, MaxAtoms: 1, Freq: 0.3,
+					Names: names{en: N("theme music composer")}},
+				{Canon: "executive producer", Literal: "executive production", Kind: KindPerson, MinAtoms: 1, MaxAtoms: 2, Freq: 0.35,
+					Names: names{en: N("executive producer"), pt: N("produção executiva")}},
+			},
+		},
+		{
+			Canon:        "actor",
+			PersonTitled: true,
+			Template: map[wiki.Language]string{
+				en: "Infobox actor", pt: "Infobox ator", vn: "Infobox diễn viên",
+			},
+			Overlap: map[string]float64{"pt-en": 0.42, "vi-en": 0.46},
+			Attrs: []AttrSpec{
+				{Canon: "name", Kind: KindSelf, MinAtoms: 1, MaxAtoms: 1, Freq: 0.9,
+					Names: names{en: N("name"), pt: N("nome"), vn: N("tên")}},
+				{Canon: "birth date", Literal: "birth", Kind: KindDate, MinAtoms: 1, MaxAtoms: 1, Freq: 0.9,
+					Names: names{en: N("born"), pt: N2("nascimento", 0.6, "data de nascimento", 0.4), vn: N2("sinh", 0.6, "ngày sinh", 0.4)}},
+				{Canon: "birth place", Literal: "place of birth", Kind: KindPlace, MinAtoms: 1, MaxAtoms: 1, Freq: 0.5,
+					Names: names{en: N("born"), pt: N2("local de nascimento", 0.6, "país de nascimento", 0.4), vn: N("nơi sinh")}},
+				{Canon: "death date", Literal: "death", Kind: KindDate, MinAtoms: 1, MaxAtoms: 1, Freq: 0.5,
+					Names: names{en: N("died"), pt: N2("falecimento", 0.55, "morte", 0.45), vn: N2("mất", 0.7, "qua đời", 0.3)}},
+				{Canon: "other names", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 2, Freq: 0.3, Vocab: "alias",
+					Names: names{en: N("other names"), pt: N("outros nomes"), vn: N("tên khác")}},
+				{Canon: "spouse", Kind: KindPerson, MinAtoms: 1, MaxAtoms: 1, Freq: 0.45,
+					Names: names{en: N("spouse"), pt: N("cônjuge"), vn: N2("vợ", 0.5, "chồng", 0.5)}},
+				{Canon: "occupation", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 2, Freq: 0.7, Vocab: "occupation",
+					Names: names{en: N("occupation"), pt: N("ocupação"), vn: N2("vai trò", 0.5, "công việc", 0.5)}},
+				{Canon: "years active", Literal: "activity period", Kind: KindSpan, MinAtoms: 1, MaxAtoms: 1, Freq: 0.5,
+					Names: names{en: N("years active"), pt: N("período de atividade"), vn: N("năm hoạt động")}},
+				{Canon: "website", Kind: KindURL, MinAtoms: 1, MaxAtoms: 1, Freq: 0.3,
+					Names: names{en: N("website"), pt: N("website"), vn: N("trang web")}},
+				{Canon: "children", Kind: KindNumber, MinAtoms: 1, MaxAtoms: 1, Freq: 0.3,
+					Names: names{en: N("children"), pt: N("filhos"), vn: N("con")}},
+				{Canon: "nationality", Kind: KindPlace, MinAtoms: 1, MaxAtoms: 1, Freq: 0.4,
+					Names: names{en: N("nationality"), pt: N("nacionalidade"), vn: N("quốc tịch")}},
+				{Canon: "height", Kind: KindNumber, MinAtoms: 1, MaxAtoms: 1, Freq: 0.25,
+					Names: names{en: N("height"), pt: N("altura")}},
+			},
+		},
+		{
+			Canon:        "artist",
+			PersonTitled: true,
+			Template: map[wiki.Language]string{
+				en: "Infobox musical artist", pt: "Infobox artista", vn: "Infobox nghệ sĩ",
+			},
+			Overlap: map[string]float64{"pt-en": 0.52, "vi-en": 0.67},
+			Attrs: []AttrSpec{
+				{Canon: "name", Kind: KindSelf, MinAtoms: 1, MaxAtoms: 1, Freq: 0.9,
+					Names: names{en: N("name"), pt: N("nome"), vn: N("tên")}},
+				{Canon: "background", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 1, Freq: 0.4, Vocab: "background",
+					Names: names{en: N("background")}},
+				{Canon: "origin", Kind: KindPlace, MinAtoms: 1, MaxAtoms: 1, Freq: 0.6,
+					Names: names{en: N("origin"), pt: N("origem"), vn: N("quê quán")}},
+				{Canon: "birth date", Literal: "birth", Kind: KindDate, MinAtoms: 1, MaxAtoms: 1, Freq: 0.6,
+					Names: names{en: N("born"), pt: N2("nascimento", 0.6, "data de nascimento", 0.4), vn: N("sinh")}},
+				{Canon: "genre", Kind: KindGenre, MinAtoms: 1, MaxAtoms: 3, Freq: 0.8,
+					Names: names{en: N("genre"), pt: N("gênero"), vn: N("thể loại")}},
+				{Canon: "years active", Literal: "activity period", Kind: KindSpan, MinAtoms: 1, MaxAtoms: 1, Freq: 0.5,
+					Names: names{en: N("years active"), pt: N("período em atividade"), vn: N("năm hoạt động")}},
+				{Canon: "label", Literal: "record label", Kind: KindOrg, MinAtoms: 1, MaxAtoms: 2, Freq: 0.6,
+					Names: names{en: N("label"), pt: N("gravadora"), vn: N("hãng đĩa")}},
+				{Canon: "instrument", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 2, Freq: 0.5, Vocab: "instrument",
+					Names: names{en: N("instrument"), pt: N("instrumento"), vn: N("nhạc cụ")}},
+				{Canon: "associated acts", Literal: "associates", Kind: KindWork, MinAtoms: 1, MaxAtoms: 2, Freq: 0.3, Vocab: "artist",
+					Names: names{en: N("associated acts"), pt: N("associados")}},
+				{Canon: "website", Kind: KindURL, MinAtoms: 1, MaxAtoms: 1, Freq: 0.3,
+					Names: names{en: N("website"), pt: N("website"), vn: N("trang web")}},
+			},
+		},
+		{
+			Canon: "channel",
+			Template: map[wiki.Language]string{
+				en: "Infobox TV channel", pt: "Infobox canal de televisão",
+			},
+			Overlap: map[string]float64{"pt-en": 0.15},
+			Attrs: []AttrSpec{
+				{Canon: "name", Kind: KindSelf, MinAtoms: 1, MaxAtoms: 1, Freq: 0.9,
+					Names: names{en: N("name"), pt: N("nome")}},
+				{Canon: "launched", Kind: KindDate, MinAtoms: 1, MaxAtoms: 1, Freq: 0.7,
+					Names: names{en: N("launched"), pt: N("lançamento")}},
+				{Canon: "owner", Kind: KindOrg, MinAtoms: 1, MaxAtoms: 1, Freq: 0.6,
+					Names: names{en: N("owner"), pt: N("proprietário")}},
+				{Canon: "country", Kind: KindPlace, MinAtoms: 1, MaxAtoms: 1, Freq: 0.7,
+					Names: names{en: N("country"), pt: N("país")}},
+				{Canon: "language", Kind: KindLangName, MinAtoms: 1, MaxAtoms: 1, Freq: 0.6,
+					Names: names{en: N("language"), pt: N("idioma")}},
+				{Canon: "website", Kind: KindURL, MinAtoms: 1, MaxAtoms: 1, Freq: 0.4,
+					Names: names{en: N("website"), pt: N("website")}},
+				{Canon: "headquarters", Kind: KindPlace, MinAtoms: 1, MaxAtoms: 1, Freq: 0.4,
+					Names: names{en: N("headquarters"), pt: N("sede")}},
+				{Canon: "sister channels", Kind: KindWork, MinAtoms: 1, MaxAtoms: 2, Freq: 0.3, Vocab: "channel",
+					Names: names{en: N("sister channels")}},
+				{Canon: "slogan", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 1, Freq: 0.3, Vocab: "slogan",
+					Names: names{pt: N("slogan")}},
+				{Canon: "picture format", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 1, Freq: 0.4, Vocab: "pictureformat",
+					Names: names{en: N("picture format")}},
+				{Canon: "broadcast area", Kind: KindPlace, MinAtoms: 1, MaxAtoms: 2, Freq: 0.3,
+					Names: names{en: N("broadcast area"), pt: N("área de transmissão")}},
+			},
+		},
+		{
+			Canon: "company",
+			Template: map[wiki.Language]string{
+				en: "Infobox company", pt: "Infobox empresa",
+			},
+			Overlap: map[string]float64{"pt-en": 0.31},
+			Attrs: []AttrSpec{
+				{Canon: "name", Kind: KindSelf, MinAtoms: 1, MaxAtoms: 1, Freq: 0.9,
+					Names: names{en: N("name"), pt: N("nome")}},
+				{Canon: "type", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 1, Freq: 0.6, Vocab: "companytype",
+					Names: names{en: N("type"), pt: N("tipo")}},
+				{Canon: "founded", Literal: "foundation", Kind: KindDate, MinAtoms: 1, MaxAtoms: 1, Freq: 0.7,
+					Names: names{en: N("founded"), pt: N("fundação")}},
+				{Canon: "founder", Kind: KindPerson, MinAtoms: 1, MaxAtoms: 2, Freq: 0.5,
+					Names: names{en: N("founder"), pt: N("fundador")}},
+				{Canon: "headquarters", Kind: KindPlace, MinAtoms: 1, MaxAtoms: 1, Freq: 0.7,
+					Names: names{en: N("headquarters"), pt: N("sede")}},
+				{Canon: "industry", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 1, Freq: 0.6, Vocab: "industry",
+					Names: names{en: N("industry"), pt: N("indústria")}},
+				{Canon: "revenue", Literal: "income", Kind: KindMoney, MinAtoms: 1, MaxAtoms: 1, Freq: 0.5,
+					Names: names{en: N("revenue"), pt: N2("faturamento", 0.6, "receita", 0.4)}},
+				{Canon: "employees", Kind: KindNumber, MinAtoms: 1, MaxAtoms: 1, Freq: 0.4,
+					Names: names{en: N("employees"), pt: N("funcionários")}},
+				{Canon: "website", Kind: KindURL, MinAtoms: 1, MaxAtoms: 1, Freq: 0.5,
+					Names: names{en: N("website"), pt: N("website")}},
+				{Canon: "key people", Kind: KindPerson, MinAtoms: 1, MaxAtoms: 2, Freq: 0.35,
+					Names: names{en: N("key people")}},
+				{Canon: "products", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 2, Freq: 0.4, Vocab: "industry",
+					Names: names{en: N("products"), pt: N("produtos")}},
+			},
+		},
+		{
+			Canon: "comics character",
+			Template: map[wiki.Language]string{
+				en: "Infobox comics character", pt: "Infobox personagem de banda desenhada",
+			},
+			Overlap: map[string]float64{"pt-en": 0.59},
+			Attrs: []AttrSpec{
+				{Canon: "name", Kind: KindSelf, MinAtoms: 1, MaxAtoms: 1, Freq: 0.9,
+					Names: names{en: N("character name"), pt: N("nome")}},
+				{Canon: "publisher", Kind: KindOrg, MinAtoms: 1, MaxAtoms: 1, Freq: 0.7,
+					Names: names{en: N("publisher"), pt: N("editora")}},
+				{Canon: "first appearance", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 1, Freq: 0.6, Vocab: "issue",
+					Names: names{en: N("first appearance"), pt: N("primeira aparição")}},
+				{Canon: "created by", Kind: KindPerson, MinAtoms: 1, MaxAtoms: 2, Freq: 0.7,
+					Names: names{en: N("created by"), pt: N("criado por")}},
+				{Canon: "powers", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 3, Freq: 0.5, Vocab: "powers",
+					Names: names{en: N("powers"), pt: N("poderes")}},
+				{Canon: "alter ego", Kind: KindPerson, MinAtoms: 1, MaxAtoms: 1, Freq: 0.35,
+					Names: names{en: N("alter ego"), pt: N("alter ego")}},
+				{Canon: "alliances", Literal: "affiliations", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 2, Freq: 0.4, Vocab: "issue",
+					Names: names{en: N("alliances"), pt: N("afiliações")}},
+				{Canon: "species", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 1, Freq: 0.2, Vocab: "species",
+					Names: names{pt: N("espécie")}},
+			},
+		},
+		{
+			Canon: "album",
+			Template: map[wiki.Language]string{
+				en: "Infobox album", pt: "Infobox álbum",
+			},
+			Overlap: map[string]float64{"pt-en": 0.52},
+			Attrs: []AttrSpec{
+				{Canon: "name", Kind: KindSelf, MinAtoms: 1, MaxAtoms: 1, Freq: 0.9,
+					Names: names{en: N("name"), pt: N("nome")}},
+				{Canon: "artist", Kind: KindWork, MinAtoms: 1, MaxAtoms: 1, Freq: 0.85, Vocab: "artist",
+					Names: names{en: N("artist"), pt: N("artista")}},
+				{Canon: "released", Kind: KindDate, MinAtoms: 1, MaxAtoms: 1, Freq: 0.8,
+					Names: names{en: N("released"), pt: N("lançamento")}},
+				{Canon: "recorded", Kind: KindDate, MinAtoms: 1, MaxAtoms: 1, Freq: 0.5,
+					Names: names{en: N("recorded"), pt: N("gravado em")}},
+				{Canon: "genre", Kind: KindGenre, MinAtoms: 1, MaxAtoms: 2, Freq: 0.8,
+					Names: names{en: N("genre"), pt: N("gênero")}},
+				{Canon: "length", Literal: "duration", Kind: KindDuration, MinAtoms: 1, MaxAtoms: 1, Freq: 0.6,
+					Names: names{en: N("length"), pt: N("duração")}},
+				{Canon: "label", Literal: "record label", Kind: KindOrg, MinAtoms: 1, MaxAtoms: 1, Freq: 0.7,
+					Names: names{en: N("label"), pt: N("gravadora")}},
+				{Canon: "producer", Kind: KindPerson, MinAtoms: 1, MaxAtoms: 2, Freq: 0.5,
+					Names: names{en: N("producer"), pt: N("produtor")}},
+			},
+		},
+		{
+			Canon:        "adult actor",
+			PersonTitled: true,
+			Template: map[wiki.Language]string{
+				en: "Infobox adult biography", pt: "Infobox ator pornográfico",
+			},
+			Overlap: map[string]float64{"pt-en": 0.47},
+			Attrs: []AttrSpec{
+				{Canon: "name", Kind: KindSelf, MinAtoms: 1, MaxAtoms: 1, Freq: 0.9,
+					Names: names{en: N("name"), pt: N("nome")}},
+				{Canon: "birth date", Literal: "birth", Kind: KindDate, MinAtoms: 1, MaxAtoms: 1, Freq: 0.7,
+					Names: names{en: N("born"), pt: N("nascimento")}},
+				{Canon: "measurements", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 1, Freq: 0.4, Vocab: "measurements",
+					Names: names{en: N("measurements"), pt: N("medidas")}},
+				{Canon: "height", Kind: KindNumber, MinAtoms: 1, MaxAtoms: 1, Freq: 0.5,
+					Names: names{en: N("height"), pt: N("altura")}},
+				{Canon: "alias", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 2, Freq: 0.4, Vocab: "alias",
+					Names: names{en: N("alias"), pt: N("outros nomes")}},
+				{Canon: "films", Kind: KindNumber, MinAtoms: 1, MaxAtoms: 1, Freq: 0.35,
+					Names: names{en: N("no. of films"), pt: N("número de filmes")}},
+				{Canon: "eye color", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 1, Freq: 0.3, Vocab: "eyecolor",
+					Names: names{en: N("eye color")}},
+				{Canon: "hair color", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 1, Freq: 0.3, Vocab: "haircolor",
+					Names: names{en: N("hair color")}},
+				{Canon: "website", Kind: KindURL, MinAtoms: 1, MaxAtoms: 1, Freq: 0.25,
+					Names: names{en: N("website"), pt: N("website")}},
+			},
+		},
+		{
+			Canon: "book",
+			Template: map[wiki.Language]string{
+				en: "Infobox book", pt: "Infobox livro",
+			},
+			Overlap: map[string]float64{"pt-en": 0.38},
+			Attrs: []AttrSpec{
+				{Canon: "name", Kind: KindSelf, MinAtoms: 1, MaxAtoms: 1, Freq: 0.9,
+					Names: names{en: N("name"), pt: N("nome")}},
+				{Canon: "author", Kind: KindWork, MinAtoms: 1, MaxAtoms: 1, Freq: 0.85, Vocab: "writer",
+					Names: names{en: N("author"), pt: N("autor")}},
+				{Canon: "country", Kind: KindPlace, MinAtoms: 1, MaxAtoms: 1, Freq: 0.5,
+					Names: names{en: N("country"), pt: N("país")}},
+				{Canon: "language", Kind: KindLangName, MinAtoms: 1, MaxAtoms: 1, Freq: 0.6,
+					Names: names{en: N("language"), pt: N("idioma")}},
+				{Canon: "genre", Kind: KindGenre, MinAtoms: 1, MaxAtoms: 2, Freq: 0.6,
+					Names: names{en: N("genre"), pt: N("gênero")}},
+				{Canon: "publisher", Kind: KindOrg, MinAtoms: 1, MaxAtoms: 1, Freq: 0.6,
+					Names: names{en: N("publisher"), pt: N("editora")}},
+				{Canon: "publication date", Kind: KindDate, MinAtoms: 1, MaxAtoms: 1, Freq: 0.6,
+					Names: names{en: N("publication date"), pt: N("data de publicação")}},
+				{Canon: "pages", Kind: KindNumber, MinAtoms: 1, MaxAtoms: 1, Freq: 0.5,
+					Names: names{en: N("pages"), pt: N("páginas")}},
+				{Canon: "isbn", Kind: KindSpan, MinAtoms: 1, MaxAtoms: 1, Freq: 0.45,
+					Names: names{en: N("isbn"), pt: N("isbn")}},
+			},
+		},
+		{
+			Canon: "episode",
+			Template: map[wiki.Language]string{
+				en: "Infobox television episode", pt: "Infobox episódio",
+			},
+			Overlap: map[string]float64{"pt-en": 0.31},
+			Attrs: []AttrSpec{
+				{Canon: "title", Literal: "title", Kind: KindSelf, MinAtoms: 1, MaxAtoms: 1, Freq: 0.9,
+					Names: names{en: N("title"), pt: N("título")}},
+				{Canon: "series", Kind: KindWork, MinAtoms: 1, MaxAtoms: 1, Freq: 0.8, Vocab: "show",
+					Names: names{en: N("series"), pt: N("série")}},
+				{Canon: "season", Kind: KindNumber, MinAtoms: 1, MaxAtoms: 1, Freq: 0.7,
+					Names: names{en: N("season"), pt: N("temporada")}},
+				{Canon: "episode no", Literal: "number", Kind: KindNumber, MinAtoms: 1, MaxAtoms: 1, Freq: 0.6,
+					Names: names{en: N("episode"), pt: N("número")}},
+				{Canon: "airdate", Literal: "display date", Kind: KindDate, MinAtoms: 1, MaxAtoms: 1, Freq: 0.6,
+					Names: names{en: N("airdate"), pt: N("data de exibição")}},
+				{Canon: "written by", Literal: "script", Kind: KindPerson, MinAtoms: 1, MaxAtoms: 2, Freq: 0.5,
+					Names: names{en: N("written by"), pt: N("escrito por")}},
+				{Canon: "directed by", Literal: "direction", Kind: KindPerson, MinAtoms: 1, MaxAtoms: 1, Freq: 0.5,
+					Names: names{en: N("directed by"), pt: N("dirigido por")}},
+				{Canon: "preceded by", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 1, Freq: 0.3, Vocab: "issue",
+					Names: names{en: N("preceded by")}},
+				{Canon: "followed by", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 1, Freq: 0.3, Vocab: "issue",
+					Names: names{en: N("followed by")}},
+				{Canon: "guests", Kind: KindPerson, MinAtoms: 1, MaxAtoms: 2, Freq: 0.2,
+					Names: names{pt: N("convidados")}},
+			},
+		},
+		{
+			Canon:        "writer",
+			PersonTitled: true,
+			Template: map[wiki.Language]string{
+				en: "Infobox writer", pt: "Infobox escritor",
+			},
+			Overlap: map[string]float64{"pt-en": 0.63},
+			Attrs: []AttrSpec{
+				{Canon: "name", Kind: KindSelf, MinAtoms: 1, MaxAtoms: 1, Freq: 0.9,
+					Names: names{en: N("name"), pt: N("nome")}},
+				{Canon: "birth date", Literal: "birth", Kind: KindDate, MinAtoms: 1, MaxAtoms: 1, Freq: 0.8,
+					Names: names{en: N("born"), pt: N2("nascimento", 0.6, "data de nascimento", 0.4)}},
+				{Canon: "death date", Literal: "death", Kind: KindDate, MinAtoms: 1, MaxAtoms: 1, Freq: 0.4,
+					Names: names{en: N("died"), pt: N2("falecimento", 0.55, "morte", 0.45)}},
+				{Canon: "occupation", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 2, Freq: 0.6, Vocab: "occupation",
+					Names: names{en: N("occupation"), pt: N("ocupação")}},
+				{Canon: "nationality", Kind: KindPlace, MinAtoms: 1, MaxAtoms: 1, Freq: 0.5,
+					Names: names{en: N("nationality"), pt: N("nacionalidade")}},
+				{Canon: "period", Kind: KindSpan, MinAtoms: 1, MaxAtoms: 1, Freq: 0.4,
+					Names: names{en: N("period"), pt: N("período")}},
+				{Canon: "genre", Kind: KindGenre, MinAtoms: 1, MaxAtoms: 2, Freq: 0.5,
+					Names: names{en: N("genre"), pt: N("gênero")}},
+				{Canon: "notable works", Kind: KindWork, MinAtoms: 1, MaxAtoms: 2, Freq: 0.4, Vocab: "book",
+					Names: names{en: N("notable works"), pt: N("obras notáveis")}},
+				{Canon: "spouse", Kind: KindPerson, MinAtoms: 1, MaxAtoms: 1, Freq: 0.3,
+					Names: names{en: N("spouse"), pt: N("cônjuge")}},
+				{Canon: "website", Kind: KindURL, MinAtoms: 1, MaxAtoms: 1, Freq: 0.2,
+					Names: names{en: N("website")}},
+			},
+		},
+		{
+			Canon: "comics",
+			Template: map[wiki.Language]string{
+				en: "Infobox comic book series", pt: "Infobox banda desenhada",
+			},
+			Overlap: map[string]float64{"pt-en": 0.47},
+			Attrs: []AttrSpec{
+				{Canon: "title", Literal: "title", Kind: KindSelf, MinAtoms: 1, MaxAtoms: 1, Freq: 0.9,
+					Names: names{en: N("title"), pt: N("título")}},
+				{Canon: "publisher", Kind: KindOrg, MinAtoms: 1, MaxAtoms: 1, Freq: 0.8,
+					Names: names{en: N("publisher"), pt: N("editora")}},
+				{Canon: "schedule", Literal: "periodicity", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 1, Freq: 0.5, Vocab: "schedule",
+					Names: names{en: N("schedule"), pt: N("periodicidade")}},
+				{Canon: "format", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 1, Freq: 0.5, Vocab: "format",
+					Names: names{en: N("format"), pt: N("formato")}},
+				{Canon: "genre", Kind: KindGenre, MinAtoms: 1, MaxAtoms: 2, Freq: 0.5,
+					Names: names{en: N("genre"), pt: N("gênero")}},
+				{Canon: "date", Kind: KindDate, MinAtoms: 1, MaxAtoms: 1, Freq: 0.5,
+					Names: names{en: N("date"), pt: N("data de publicação")}},
+				{Canon: "issues", Literal: "editions", Kind: KindNumber, MinAtoms: 1, MaxAtoms: 1, Freq: 0.5,
+					Names: names{en: N("issues"), pt: N("edições")}},
+				{Canon: "writers", Literal: "screenwriters", Kind: KindPerson, MinAtoms: 1, MaxAtoms: 2, Freq: 0.6,
+					Names: names{en: N("writers"), pt: N("roteiristas")}},
+				{Canon: "artists", Literal: "cartoonists", Kind: KindPerson, MinAtoms: 1, MaxAtoms: 2, Freq: 0.4,
+					Names: names{en: N("artists"), pt: N("desenhistas")}},
+			},
+		},
+		{
+			Canon: "fictional character",
+			Template: map[wiki.Language]string{
+				en: "Infobox character", pt: "Infobox personagem fictícia",
+			},
+			Overlap: map[string]float64{"pt-en": 0.32},
+			Attrs: []AttrSpec{
+				{Canon: "name", Kind: KindSelf, MinAtoms: 1, MaxAtoms: 1, Freq: 0.9,
+					Names: names{en: N("name"), pt: N("nome")}},
+				{Canon: "series", Kind: KindWork, MinAtoms: 1, MaxAtoms: 1, Freq: 0.7, Vocab: "show",
+					Names: names{en: N("series"), pt: N("série")}},
+				{Canon: "first appearance", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 1, Freq: 0.6, Vocab: "issue",
+					Names: names{en: N("first appearance"), pt: N("primeira aparição")}},
+				{Canon: "created by", Kind: KindPerson, MinAtoms: 1, MaxAtoms: 1, Freq: 0.7,
+					Names: names{en: N("created by"), pt: N("criado por")}},
+				{Canon: "portrayed by", Literal: "interpreted by", Kind: KindWork, MinAtoms: 1, MaxAtoms: 1, Freq: 0.6, Vocab: "actor",
+					Names: names{en: N("portrayed by"), pt: N("interpretado por")}},
+				{Canon: "species", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 1, Freq: 0.3, Vocab: "species",
+					Names: names{en: N("species"), pt: N("espécie")}},
+				{Canon: "gender", Literal: "sex", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 1, Freq: 0.4, Vocab: "gender",
+					Names: names{en: N("gender"), pt: N("sexo")}},
+				{Canon: "occupation", Kind: KindTerm, MinAtoms: 1, MaxAtoms: 2, Freq: 0.4, Vocab: "occupation",
+					Names: names{en: N("occupation"), pt: N("ocupação")}},
+				{Canon: "family", Kind: KindPerson, MinAtoms: 1, MaxAtoms: 2, Freq: 0.3,
+					Names: names{en: N("family")}},
+			},
+		},
+	}
+}
+
+func init() {
+	// The "award" vocabulary backs the NoCooccur awards attribute.
+	vocabs["award"] = []Tri{
+		{"Academy Award for Best Picture", "Oscar de melhor filme", ""},
+		{"Golden Globe", "Globo de Ouro", ""},
+		{"BAFTA Award", "Prêmio BAFTA", ""},
+	}
+}
+
+// entityVocabs lists the term vocabularies whose entries are themselves
+// Wikipedia articles ("Politician" ↔ "Político"): their values become
+// linked reference entities with stub articles and cross-language links,
+// so they feed the translation dictionary and lsim like places and
+// genres do.
+var entityVocabs = map[string]bool{
+	"occupation": true,
+	"instrument": true,
+	"industry":   true,
+	"powers":     true,
+	"species":    true,
+	"award":      true,
+}

@@ -1,0 +1,113 @@
+package text
+
+// Levenshtein returns the edit distance between a and b, counting
+// insertions, deletions and substitutions each as cost 1. The comparison
+// is over runes, not bytes.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// EditSimilarity converts edit distance to a similarity in [0, 1]:
+// 1 − distance/max(len). Two empty strings are maximally similar.
+func EditSimilarity(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	maxLen := la
+	if lb > maxLen {
+		maxLen = lb
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(maxLen)
+}
+
+// TrigramSimilarity is the Dice coefficient over padded character
+// trigrams — the classic COMA/SecondString n-gram matcher. It returns a
+// value in [0, 1].
+func TrigramSimilarity(a, b string) float64 {
+	return NGramSimilarity(a, b, 3)
+}
+
+// NGramSimilarity is the Dice coefficient over padded character n-grams:
+// 2·|A∩B| / (|A|+|B|), with multiset intersection.
+func NGramSimilarity(a, b string, n int) float64 {
+	ga, gb := NGrams(a, n), NGrams(b, n)
+	if len(ga) == 0 && len(gb) == 0 {
+		return 1
+	}
+	if len(ga) == 0 || len(gb) == 0 {
+		return 0
+	}
+	counts := make(map[string]int, len(ga))
+	for _, g := range ga {
+		counts[g]++
+	}
+	common := 0
+	for _, g := range gb {
+		if counts[g] > 0 {
+			counts[g]--
+			common++
+		}
+	}
+	return 2 * float64(common) / float64(len(ga)+len(gb))
+}
+
+// JaccardTokens is the Jaccard coefficient over the two strings' token
+// sets: |A∩B| / |A∪B|.
+func JaccardTokens(a, b string) float64 {
+	sa := make(map[string]bool)
+	for _, t := range Tokenize(a) {
+		sa[t] = true
+	}
+	sb := make(map[string]bool)
+	for _, t := range Tokenize(b) {
+		sb[t] = true
+	}
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,220 @@
+package text
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Direção", "direcao"},
+		{"NASCIMENTO", "nascimento"},
+		{"đạo diễn", "dao dien"},
+		{"ngôn ngữ", "ngon ngu"},
+		{"  multiple   spaces  ", "multiple spaces"},
+		{"Cônjuge", "conjuge"},
+		{"elenco original", "elenco original"},
+		{"Thể loại", "the loai"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFoldDiacriticsUppercase(t *testing.T) {
+	if got := FoldDiacritics("ÉÃÇ"); got != "EAC" {
+		t.Errorf("FoldDiacritics uppercase = %q", got)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("John Lone, Joan Chen (1987)")
+	want := []string{"john", "lone", "joan", "chen", "1987"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if toks := Tokenize(""); len(toks) != 0 {
+		t.Errorf("Tokenize(\"\") = %v", toks)
+	}
+}
+
+func TestNGrams(t *testing.T) {
+	grams := NGrams("ab", 3)
+	want := []string{"#ab", "ab#"}
+	if len(grams) != len(want) {
+		t.Fatalf("NGrams = %v", grams)
+	}
+	for i := range want {
+		if grams[i] != want[i] {
+			t.Errorf("gram[%d] = %q, want %q", i, grams[i], want[i])
+		}
+	}
+	if g := NGrams("", 0); g != nil {
+		t.Errorf("NGrams n=0 = %v, want nil", g)
+	}
+	if g := NGrams("x", 5); len(g) != 1 || g[0] != "#x#" {
+		t.Errorf("short string grams = %v", g)
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"kitten", "sitting", 3},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"same", "same", 0},
+		{"editora", "editor", 1},
+		{"ação", "acao", 2},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	symmetric := func(a, b string) bool { return Levenshtein(a, b) == Levenshtein(b, a) }
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Errorf("symmetry: %v", err)
+	}
+	identity := func(a string) bool { return Levenshtein(a, a) == 0 }
+	if err := quick.Check(identity, nil); err != nil {
+		t.Errorf("identity: %v", err)
+	}
+	triangle := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(triangle, &quick.Config{MaxCount: 50}); err != nil {
+		t.Errorf("triangle inequality: %v", err)
+	}
+}
+
+func TestEditSimilarity(t *testing.T) {
+	if got := EditSimilarity("", ""); got != 1 {
+		t.Errorf("empty-empty = %v", got)
+	}
+	if got := EditSimilarity("editora", "editor"); got < 0.85 {
+		t.Errorf("editora/editor = %v, want high (false cognate risk)", got)
+	}
+	if got := EditSimilarity("abc", "xyz"); got != 0 {
+		t.Errorf("disjoint = %v", got)
+	}
+}
+
+func TestTrigramSimilarity(t *testing.T) {
+	if got := TrigramSimilarity("starring", "starring"); got != 1 {
+		t.Errorf("identical = %v", got)
+	}
+	if got := TrigramSimilarity("starring", "estrelando"); got > 0.5 {
+		t.Errorf("starring/estrelando = %v, should be low", got)
+	}
+	if got := TrigramSimilarity("", "x"); got != 0 {
+		// "" pads to "##": single gram, no overlap with "#x#".
+		t.Errorf("empty/x = %v", got)
+	}
+}
+
+func TestSimilarityBoundsProperty(t *testing.T) {
+	inRange := func(a, b string) bool {
+		for _, s := range []float64{EditSimilarity(a, b), TrigramSimilarity(a, b), JaccardTokens(a, b)} {
+			if s < 0 || s > 1 || math.IsNaN(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(inRange, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("similarity out of [0,1]: %v", err)
+	}
+}
+
+func TestJaccardTokens(t *testing.T) {
+	if got := JaccardTokens("united states", "United States"); got != 1 {
+		t.Errorf("case-insensitive jaccard = %v", got)
+	}
+	if got := JaccardTokens("a b", "b c"); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("jaccard = %v, want 1/3", got)
+	}
+}
+
+func TestTFCosine(t *testing.T) {
+	// Paper Example 1: translated nascimento vector vs born vector.
+	va := NewTF([]string{"1963", "Ireland", "December 18 1950", "United States"})
+	vb := NewTF([]string{"1963", "Ireland", "June 4 1975", "United States", "United States"})
+	got := va.Cosine(vb)
+	// dot = 1 + 1 + 2 = 4; |va| = 2; |vb| = sqrt(1+1+1+4) = sqrt(7)
+	want := 4 / (2 * math.Sqrt(7))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("cosine = %v, want %v", got, want)
+	}
+	if math.Abs(want-0.71) > 0.05 {
+		t.Errorf("paper example value drifted: %v", want)
+	}
+}
+
+func TestTFCosineProperties(t *testing.T) {
+	type pair struct{ A, B []string }
+	prop := func(p pair) bool {
+		va, vb := NewTF(p.A), NewTF(p.B)
+		c1, c2 := va.Cosine(vb), vb.Cosine(va)
+		if math.Abs(c1-c2) > 1e-12 {
+			return false
+		}
+		return c1 >= 0 && c1 <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("cosine properties: %v", err)
+	}
+	selfOne := func(terms []string) bool {
+		v := NewTF(terms)
+		if len(v) == 0 {
+			return v.Cosine(v) == 0
+		}
+		return math.Abs(v.Cosine(v)-1) < 1e-12
+	}
+	if err := quick.Check(selfOne, &quick.Config{MaxCount: 100}); err != nil {
+		t.Errorf("self-cosine: %v", err)
+	}
+}
+
+func TestTFOps(t *testing.T) {
+	v := NewTF([]string{"a", "b", "a", ""})
+	if v["a"] != 2 || v["b"] != 1 {
+		t.Errorf("NewTF = %v", v)
+	}
+	if _, ok := v[""]; ok {
+		t.Error("empty term stored")
+	}
+	v.Add("c", 3)
+	v.Add("", 9)
+	if v["c"] != 3 || len(v) != 3 {
+		t.Errorf("Add = %v", v)
+	}
+	cp := v.Clone()
+	cp.Add("a", 10)
+	if v["a"] != 2 {
+		t.Error("Clone not independent")
+	}
+	w := NewTF([]string{"a", "d"})
+	v.Merge(w)
+	if v["a"] != 3 || v["d"] != 1 {
+		t.Errorf("Merge = %v", v)
+	}
+	top := v.Top(2)
+	if len(top) != 2 || top[0] != "a" || top[1] != "c" {
+		t.Errorf("Top = %v", top)
+	}
+}

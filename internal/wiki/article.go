@@ -1,0 +1,208 @@
+package wiki
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Link is a hyperlink inside an attribute value, written in wikitext as
+// [[Target]] or [[Target|anchor text]]. Target is the title of the landing
+// article in the same language edition; Anchor is the visible text.
+type Link struct {
+	Target string
+	Anchor string
+}
+
+// String renders the link back to its wikitext form.
+func (l Link) String() string {
+	if l.Anchor == "" || l.Anchor == l.Target {
+		return "[[" + l.Target + "]]"
+	}
+	return "[[" + l.Target + "|" + l.Anchor + "]]"
+}
+
+// AttributeValue is one attribute–value pair ⟨a, v⟩ of an infobox.
+// Text is the raw value with link markup stripped to anchor text; Links
+// holds the hyperlinks that appeared inside the value.
+type AttributeValue struct {
+	Name  string
+	Text  string
+	Links []Link
+}
+
+// Clone returns a deep copy of the attribute–value pair.
+func (av AttributeValue) Clone() AttributeValue {
+	cp := av
+	cp.Links = append([]Link(nil), av.Links...)
+	return cp
+}
+
+// Infobox is the structured record attached to an article: an ordered set
+// of attribute–value pairs plus the template name it was instantiated from
+// (e.g. "Infobox film").
+type Infobox struct {
+	Template string
+	Attrs    []AttributeValue
+}
+
+// Get returns the value of the named attribute and whether it is present.
+// Attribute names are compared exactly; callers that need normalization
+// should normalize before storing.
+func (ib *Infobox) Get(name string) (AttributeValue, bool) {
+	for _, av := range ib.Attrs {
+		if av.Name == name {
+			return av, true
+		}
+	}
+	return AttributeValue{}, false
+}
+
+// Has reports whether the named attribute is present.
+func (ib *Infobox) Has(name string) bool {
+	_, ok := ib.Get(name)
+	return ok
+}
+
+// Set replaces the value of the named attribute, appending it if absent.
+func (ib *Infobox) Set(name, text string, links ...Link) {
+	for i := range ib.Attrs {
+		if ib.Attrs[i].Name == name {
+			ib.Attrs[i].Text = text
+			ib.Attrs[i].Links = links
+			return
+		}
+	}
+	ib.Attrs = append(ib.Attrs, AttributeValue{Name: name, Text: text, Links: links})
+}
+
+// Schema returns the infobox's attribute names in order of appearance —
+// the schema S_I of Section 2.
+func (ib *Infobox) Schema() []string {
+	names := make([]string, len(ib.Attrs))
+	for i, av := range ib.Attrs {
+		names[i] = av.Name
+	}
+	return names
+}
+
+// Len returns the number of attribute–value pairs.
+func (ib *Infobox) Len() int { return len(ib.Attrs) }
+
+// Clone returns a deep copy of the infobox.
+func (ib *Infobox) Clone() *Infobox {
+	cp := &Infobox{Template: ib.Template, Attrs: make([]AttributeValue, len(ib.Attrs))}
+	for i, av := range ib.Attrs {
+		cp.Attrs[i] = av.Clone()
+	}
+	return cp
+}
+
+// Article is a Wikipedia page: a title in a language edition, an optional
+// infobox, the entity type it describes, its categories, and its
+// cross-language links (language → title of the equivalent article).
+type Article struct {
+	Language   Language
+	Title      string
+	Type       string
+	Infobox    *Infobox
+	Categories []string
+	CrossLinks map[Language]string
+}
+
+// Key identifies an article uniquely within a corpus.
+type Key struct {
+	Language Language
+	Title    string
+}
+
+// String renders the key as "en:Title".
+func (k Key) String() string { return fmt.Sprintf("%s:%s", k.Language, k.Title) }
+
+// Key returns the article's corpus key.
+func (a *Article) Key() Key { return Key{Language: a.Language, Title: a.Title} }
+
+// CrossLink returns the title of the equivalent article in lang, if any.
+func (a *Article) CrossLink(lang Language) (string, bool) {
+	t, ok := a.CrossLinks[lang]
+	return t, ok
+}
+
+// SetCrossLink records that the article links to title in lang.
+func (a *Article) SetCrossLink(lang Language, title string) {
+	if a.CrossLinks == nil {
+		a.CrossLinks = make(map[Language]string)
+	}
+	a.CrossLinks[lang] = title
+}
+
+// SortedCrossLinks returns the article's cross-language links in a stable
+// order, for deterministic rendering.
+func (a *Article) SortedCrossLinks() []struct {
+	Language Language
+	Title    string
+} {
+	out := make([]struct {
+		Language Language
+		Title    string
+	}, 0, len(a.CrossLinks))
+	for l, t := range a.CrossLinks {
+		out = append(out, struct {
+			Language Language
+			Title    string
+		}{l, t})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Language < out[j].Language })
+	return out
+}
+
+// Clone returns a deep copy of the article.
+func (a *Article) Clone() *Article {
+	cp := &Article{
+		Language:   a.Language,
+		Title:      a.Title,
+		Type:       a.Type,
+		Categories: append([]string(nil), a.Categories...),
+	}
+	if a.Infobox != nil {
+		cp.Infobox = a.Infobox.Clone()
+	}
+	if a.CrossLinks != nil {
+		cp.CrossLinks = make(map[Language]string, len(a.CrossLinks))
+		for l, t := range a.CrossLinks {
+			cp.CrossLinks[l] = t
+		}
+	}
+	return cp
+}
+
+// Validate reports the first structural problem with the article, or nil.
+func (a *Article) Validate() error {
+	if !a.Language.Valid() {
+		return fmt.Errorf("article %q: invalid language %q", a.Title, a.Language)
+	}
+	if strings.TrimSpace(a.Title) == "" {
+		return fmt.Errorf("article in %s: empty title", a.Language)
+	}
+	if a.Infobox != nil {
+		seen := make(map[string]bool, len(a.Infobox.Attrs))
+		for _, av := range a.Infobox.Attrs {
+			if strings.TrimSpace(av.Name) == "" {
+				return fmt.Errorf("article %s: infobox attribute with empty name", a.Key())
+			}
+			if seen[av.Name] {
+				return fmt.Errorf("article %s: duplicate infobox attribute %q", a.Key(), av.Name)
+			}
+			seen[av.Name] = true
+		}
+	}
+	for l := range a.CrossLinks {
+		if !l.Valid() {
+			return fmt.Errorf("article %s: invalid cross-link language %q", a.Key(), l)
+		}
+		if l == a.Language {
+			return fmt.Errorf("article %s: cross-link to own language", a.Key())
+		}
+	}
+	return nil
+}

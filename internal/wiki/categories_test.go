@@ -1,0 +1,57 @@
+package wiki
+
+import "testing"
+
+func TestAssignTypesFromCategories(t *testing.T) {
+	c := NewCorpus()
+	typed := &Article{Language: English, Title: "Typed", Type: "film",
+		Categories: []string{"film"},
+		Infobox:    &Infobox{Template: "Infobox film", Attrs: []AttributeValue{{Name: "x"}}}}
+	untyped := &Article{Language: English, Title: "Untyped",
+		Categories: []string{"noise", "film"},
+		Infobox:    &Infobox{Template: "Box", Attrs: []AttributeValue{{Name: "y"}}}}
+	unknown := &Article{Language: English, Title: "Unknown",
+		Categories: []string{"something else"}}
+	c.MustAdd(typed)
+	c.MustAdd(untyped)
+	c.MustAdd(unknown)
+
+	n := c.AssignTypesFromCategories(CategoryTypeMap{
+		English: {"film": "film"},
+	})
+	if n != 1 {
+		t.Fatalf("assigned = %d, want 1", n)
+	}
+	if untyped.Type != "film" {
+		t.Errorf("untyped article type = %q", untyped.Type)
+	}
+	if unknown.Type != "" {
+		t.Errorf("unknown article typed as %q", unknown.Type)
+	}
+	// The type index now includes the newly typed article.
+	if got := len(c.OfType(English, "film")); got != 2 {
+		t.Errorf("OfType = %d, want 2", got)
+	}
+	// Already-typed articles are untouched and not double-indexed.
+	if typed.Type != "film" {
+		t.Errorf("typed article type changed: %q", typed.Type)
+	}
+}
+
+func TestAssignTypesMissingLanguage(t *testing.T) {
+	c := NewCorpus()
+	c.MustAdd(&Article{Language: Portuguese, Title: "X", Categories: []string{"filme"}})
+	if n := c.AssignTypesFromCategories(CategoryTypeMap{English: {"film": "film"}}); n != 0 {
+		t.Errorf("assigned = %d, want 0", n)
+	}
+}
+
+func TestCategoryIndex(t *testing.T) {
+	c := NewCorpus()
+	c.MustAdd(&Article{Language: English, Title: "A", Categories: []string{"x", "y"}})
+	c.MustAdd(&Article{Language: English, Title: "B", Categories: []string{"x"}})
+	idx := c.CategoryIndex(English)
+	if len(idx) != 2 || idx[0].Category != "x" || idx[0].Count != 2 {
+		t.Errorf("index = %v", idx)
+	}
+}

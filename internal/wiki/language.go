@@ -1,0 +1,73 @@
+// Package wiki defines the Wikipedia data model used throughout the
+// repository: articles, infoboxes, attribute–value pairs, hyperlinks,
+// cross-language links, and the Corpus container with its indices.
+//
+// The model follows Section 2 of Nguyen et al., "Multilingual Schema
+// Matching for Wikipedia Infoboxes" (PVLDB 5(2), 2011): an article A in
+// language L describes an entity E, carries an infobox I (a structured
+// record of attribute–value pairs), and may link to articles describing
+// the same entity in other languages through cross-language links.
+package wiki
+
+import "fmt"
+
+// Language identifies a Wikipedia language edition by its subdomain code
+// (e.g. "en" for English, "pt" for Portuguese, "vi" for Vietnamese).
+type Language string
+
+// The three language editions used in the paper's evaluation.
+const (
+	English    Language = "en"
+	Portuguese Language = "pt"
+	Vietnamese Language = "vi"
+)
+
+// String returns the language code.
+func (l Language) String() string { return string(l) }
+
+// Valid reports whether l is a non-empty language code consisting of
+// lowercase ASCII letters (the form used by interlanguage link prefixes).
+func (l Language) Valid() bool {
+	if len(l) == 0 {
+		return false
+	}
+	for _, r := range l {
+		if r < 'a' || r > 'z' {
+			return false
+		}
+	}
+	return true
+}
+
+// LanguagePair names an ordered pair of language editions whose infobox
+// schemas are being matched, e.g. Portuguese–English.
+type LanguagePair struct {
+	A, B Language
+}
+
+// String renders the pair as "pt-en".
+func (p LanguagePair) String() string { return fmt.Sprintf("%s-%s", p.A, p.B) }
+
+// Reverse returns the pair with the two languages swapped.
+func (p LanguagePair) Reverse() LanguagePair { return LanguagePair{A: p.B, B: p.A} }
+
+// Contains reports whether l is one of the pair's languages.
+func (p LanguagePair) Contains(l Language) bool { return p.A == l || p.B == l }
+
+// Other returns the pair's other language given one of them; it returns
+// the empty Language if l is not part of the pair.
+func (p LanguagePair) Other(l Language) Language {
+	switch l {
+	case p.A:
+		return p.B
+	case p.B:
+		return p.A
+	}
+	return ""
+}
+
+// PtEn and VnEn are the two language pairs evaluated in the paper.
+var (
+	PtEn = LanguagePair{A: Portuguese, B: English}
+	VnEn = LanguagePair{A: Vietnamese, B: English}
+)

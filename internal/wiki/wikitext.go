@@ -1,0 +1,435 @@
+package wiki
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParsePage parses the wikitext of a page into an Article: it extracts the
+// first infobox template, the page's categories, and its interlanguage
+// links. The entity type is derived from the infobox template name
+// ("Infobox film" → "film"); if the page has no infobox the type is left
+// empty and Infobox is nil.
+//
+// The parser is tolerant: malformed markup degrades to plain text rather
+// than failing, and only structurally impossible input (unbalanced
+// template braces at the very start of the infobox) yields an error.
+func ParsePage(lang Language, title, wikitext string) (*Article, error) {
+	a := &Article{Language: lang, Title: title}
+	start, end, ok, err := findInfobox(wikitext)
+	if err != nil {
+		return nil, fmt.Errorf("page %s:%s: %w", lang, title, err)
+	}
+	if ok {
+		ib, err := parseInfoboxTemplate(wikitext[start:end])
+		if err != nil {
+			return nil, fmt.Errorf("page %s:%s: %w", lang, title, err)
+		}
+		a.Infobox = ib
+		a.Type = TemplateType(ib.Template)
+	}
+	for _, l := range topLevelLinks(wikitext) {
+		if idx := strings.Index(l.Target, ":"); idx > 0 {
+			prefix := l.Target[:idx]
+			rest := l.Target[idx+1:]
+			switch {
+			case strings.EqualFold(prefix, "Category") || strings.EqualFold(prefix, "Categoria") || strings.EqualFold(prefix, "Thể loại"):
+				if rest != "" {
+					a.Categories = append(a.Categories, rest)
+				}
+			case Language(prefix).Valid() && rest != "":
+				a.SetCrossLink(Language(prefix), rest)
+			}
+		}
+	}
+	return a, nil
+}
+
+// TemplateType derives the entity type from an infobox template name:
+// "Infobox film" → "film". The comparison with the "Infobox" prefix is
+// case-insensitive; a bare "Infobox" or an unrelated template name is
+// returned lowercased as-is.
+func TemplateType(template string) string {
+	t := strings.TrimSpace(template)
+	lower := strings.ToLower(t)
+	if strings.HasPrefix(lower, "infobox") {
+		t = strings.TrimSpace(t[len("infobox"):])
+		lower = strings.ToLower(t)
+	}
+	return strings.TrimSpace(lower)
+}
+
+// findInfobox locates the first {{Infobox ...}} template in the wikitext,
+// returning the byte offsets of the full balanced template (including the
+// outer braces). An infobox opener whose braces never balance is the one
+// malformation reported as an error rather than tolerated, because it
+// swallows the rest of the page.
+func findInfobox(s string) (start, end int, ok bool, err error) {
+	for i := 0; i+2 <= len(s); i++ {
+		if s[i] != '{' || i+1 >= len(s) || s[i+1] != '{' {
+			continue
+		}
+		inner := s[i+2:]
+		if !hasFoldPrefix(strings.TrimLeft(inner, " \t\n"), "infobox") {
+			continue
+		}
+		if e, balanced := matchBraces(s, i); balanced {
+			return i, e, true, nil
+		}
+		return 0, 0, false, fmt.Errorf("unbalanced infobox template at byte %d", i)
+	}
+	return 0, 0, false, nil
+}
+
+// hasFoldPrefix reports whether s starts with prefix, ASCII case-insensitively.
+func hasFoldPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix)
+}
+
+// matchBraces finds the end (exclusive) of the {{...}} block opening at
+// index i, honoring nested {{ }} pairs.
+func matchBraces(s string, i int) (end int, ok bool) {
+	depth := 0
+	for j := i; j < len(s); j++ {
+		switch {
+		case j+1 < len(s) && s[j] == '{' && s[j+1] == '{':
+			depth++
+			j++
+		case j+1 < len(s) && s[j] == '}' && s[j+1] == '}':
+			depth--
+			j++
+			if depth == 0 {
+				return j + 1, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// parseInfoboxTemplate parses the body of a balanced {{Infobox ...}}
+// template into an Infobox.
+func parseInfoboxTemplate(tpl string) (*Infobox, error) {
+	if !strings.HasPrefix(tpl, "{{") || !strings.HasSuffix(tpl, "}}") {
+		return nil, fmt.Errorf("infobox template not brace-delimited")
+	}
+	body := tpl[2 : len(tpl)-2]
+	parts := splitTopLevel(body, '|')
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("empty infobox template")
+	}
+	ib := &Infobox{Template: strings.TrimSpace(parts[0])}
+	for _, part := range parts[1:] {
+		eq := topLevelIndex(part, '=')
+		if eq < 0 {
+			// A positional parameter; infoboxes use named fields only, so
+			// tolerate and skip.
+			continue
+		}
+		name := strings.TrimSpace(part[:eq])
+		raw := strings.TrimSpace(part[eq+1:])
+		if name == "" {
+			continue
+		}
+		if ib.Has(name) {
+			// Last occurrence wins, matching MediaWiki behaviour.
+			ib.Set(name, StripMarkup(raw), ExtractLinks(raw)...)
+			continue
+		}
+		ib.Attrs = append(ib.Attrs, AttributeValue{
+			Name:  name,
+			Text:  StripMarkup(raw),
+			Links: ExtractLinks(raw),
+		})
+	}
+	return ib, nil
+}
+
+// splitTopLevel splits s on sep occurrences that are not inside [[ ]] or
+// {{ }} pairs.
+func splitTopLevel(s string, sep byte) []string {
+	var parts []string
+	depthBrace, depthBracket := 0, 0
+	last := 0
+	for i := 0; i < len(s); i++ {
+		switch {
+		case i+1 < len(s) && s[i] == '{' && s[i+1] == '{':
+			depthBrace++
+			i++
+		case i+1 < len(s) && s[i] == '}' && s[i+1] == '}':
+			if depthBrace > 0 {
+				depthBrace--
+			}
+			i++
+		case i+1 < len(s) && s[i] == '[' && s[i+1] == '[':
+			depthBracket++
+			i++
+		case i+1 < len(s) && s[i] == ']' && s[i+1] == ']':
+			if depthBracket > 0 {
+				depthBracket--
+			}
+			i++
+		case s[i] == sep && depthBrace == 0 && depthBracket == 0:
+			parts = append(parts, s[last:i])
+			last = i + 1
+		}
+	}
+	parts = append(parts, s[last:])
+	return parts
+}
+
+// topLevelIndex returns the index of the first sep not nested inside
+// [[ ]] or {{ }}, or -1.
+func topLevelIndex(s string, sep byte) int {
+	depthBrace, depthBracket := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch {
+		case i+1 < len(s) && s[i] == '{' && s[i+1] == '{':
+			depthBrace++
+			i++
+		case i+1 < len(s) && s[i] == '}' && s[i+1] == '}':
+			if depthBrace > 0 {
+				depthBrace--
+			}
+			i++
+		case i+1 < len(s) && s[i] == '[' && s[i+1] == '[':
+			depthBracket++
+			i++
+		case i+1 < len(s) && s[i] == ']' && s[i+1] == ']':
+			if depthBracket > 0 {
+				depthBracket--
+			}
+			i++
+		case s[i] == sep && depthBrace == 0 && depthBracket == 0:
+			return i
+		}
+	}
+	return -1
+}
+
+// ExtractLinks returns the [[Target]] / [[Target|anchor]] links in a value.
+func ExtractLinks(s string) []Link {
+	var links []Link
+	for i := 0; i+1 < len(s); i++ {
+		if s[i] != '[' || s[i+1] != '[' {
+			continue
+		}
+		end := strings.Index(s[i+2:], "]]")
+		if end < 0 {
+			break
+		}
+		inner := s[i+2 : i+2+end]
+		target, anchor := inner, inner
+		if pipe := strings.IndexByte(inner, '|'); pipe >= 0 {
+			target, anchor = inner[:pipe], inner[pipe+1:]
+		}
+		target = strings.TrimSpace(target)
+		if target != "" && !strings.Contains(target, ":") {
+			links = append(links, Link{Target: target, Anchor: strings.TrimSpace(anchor)})
+		}
+		i += 2 + end + 1 // continue after "]]"
+	}
+	return links
+}
+
+// topLevelLinks extracts every [[...]] link in the text, including
+// namespace-prefixed ones (categories, interlanguage links).
+func topLevelLinks(s string) []Link {
+	var links []Link
+	for i := 0; i+1 < len(s); i++ {
+		if s[i] != '[' || s[i+1] != '[' {
+			continue
+		}
+		end := strings.Index(s[i+2:], "]]")
+		if end < 0 {
+			break
+		}
+		inner := s[i+2 : i+2+end]
+		target, anchor := inner, inner
+		if pipe := strings.IndexByte(inner, '|'); pipe >= 0 {
+			target, anchor = inner[:pipe], inner[pipe+1:]
+		}
+		target = strings.TrimSpace(target)
+		if target != "" {
+			links = append(links, Link{Target: target, Anchor: strings.TrimSpace(anchor)})
+		}
+		i += 2 + end + 1
+	}
+	return links
+}
+
+// StripMarkup reduces wikitext value markup to plain text: links become
+// their anchor text, bold/italic quotes are removed, nested templates are
+// flattened to their space-joined arguments, and <ref>…</ref> spans and
+// HTML comments are dropped.
+func StripMarkup(s string) string {
+	s = dropSpans(s, "<ref", "</ref>")
+	s = dropSpans(s, "<!--", "-->")
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch {
+		case i+1 < len(s) && s[i] == '[' && s[i+1] == '[':
+			end := strings.Index(s[i+2:], "]]")
+			if end < 0 {
+				b.WriteString(s[i:])
+				return cleanSpaces(b.String())
+			}
+			inner := s[i+2 : i+2+end]
+			if pipe := strings.IndexByte(inner, '|'); pipe >= 0 {
+				inner = inner[pipe+1:]
+			}
+			if idx := strings.Index(inner, ":"); idx > 0 && Language(inner[:idx]).Valid() {
+				// Interlanguage link in a value position; skip it.
+			} else {
+				b.WriteString(inner)
+			}
+			i += 2 + end + 1
+		case i+1 < len(s) && s[i] == '{' && s[i+1] == '{':
+			end, ok := matchBraces(s, i)
+			if !ok {
+				b.WriteString(s[i:])
+				return cleanSpaces(b.String())
+			}
+			args := splitTopLevel(s[i+2:end-2], '|')
+			for j, arg := range args {
+				if j == 0 {
+					continue // template name
+				}
+				arg = strings.TrimSpace(arg)
+				if eq := strings.IndexByte(arg, '='); eq >= 0 {
+					arg = strings.TrimSpace(arg[eq+1:])
+				}
+				if arg != "" {
+					if b.Len() > 0 {
+						b.WriteByte(' ')
+					}
+					b.WriteString(arg)
+				}
+			}
+			i = end - 1
+		case s[i] == '\'':
+			// Collapse '' and ''' emphasis markers.
+			j := i
+			for j < len(s) && s[j] == '\'' {
+				j++
+			}
+			if j-i == 1 {
+				b.WriteByte('\'')
+			}
+			i = j - 1
+		case s[i] == '<':
+			if end := strings.IndexByte(s[i:], '>'); end >= 0 {
+				tag := s[i : i+end+1]
+				if strings.EqualFold(tag, "<br>") || strings.EqualFold(tag, "<br/>") || strings.EqualFold(tag, "<br />") {
+					b.WriteByte(' ')
+					i += end
+					continue
+				}
+			}
+			b.WriteByte(s[i])
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return cleanSpaces(b.String())
+}
+
+// dropSpans removes every span starting with open (case-insensitive) and
+// ending with close, inclusive.
+func dropSpans(s, open, close string) string {
+	lower := strings.ToLower(s)
+	lowOpen, lowClose := strings.ToLower(open), strings.ToLower(close)
+	var b strings.Builder
+	for {
+		i := strings.Index(lower, lowOpen)
+		if i < 0 {
+			b.WriteString(s)
+			return b.String()
+		}
+		j := strings.Index(lower[i:], lowClose)
+		if j < 0 {
+			b.WriteString(s[:i])
+			return b.String()
+		}
+		b.WriteString(s[:i])
+		cut := i + j + len(close)
+		s = s[cut:]
+		lower = lower[cut:]
+	}
+}
+
+// cleanSpaces collapses runs of whitespace into single spaces and trims.
+func cleanSpaces(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// RenderPage renders an article back to wikitext: the infobox template,
+// a one-line body, category links and interlanguage links. ParsePage on
+// the output reconstructs the article (round-trip property, tested).
+func RenderPage(a *Article) string {
+	var b strings.Builder
+	if a.Infobox != nil {
+		b.WriteString("{{")
+		b.WriteString(a.Infobox.Template)
+		b.WriteString("\n")
+		for _, av := range a.Infobox.Attrs {
+			b.WriteString("| ")
+			b.WriteString(av.Name)
+			b.WriteString(" = ")
+			b.WriteString(renderValue(av))
+			b.WriteString("\n")
+		}
+		b.WriteString("}}\n\n")
+	}
+	b.WriteString("'''")
+	b.WriteString(a.Title)
+	b.WriteString("''' is an article in the ")
+	b.WriteString(string(a.Language))
+	b.WriteString(" edition.\n\n")
+	for _, cat := range a.Categories {
+		b.WriteString("[[Category:")
+		b.WriteString(cat)
+		b.WriteString("]]\n")
+	}
+	for _, cl := range a.SortedCrossLinks() {
+		b.WriteString("[[")
+		b.WriteString(string(cl.Language))
+		b.WriteString(":")
+		b.WriteString(cl.Title)
+		b.WriteString("]]\n")
+	}
+	return b.String()
+}
+
+// renderValue writes an attribute value back to wikitext, re-linking the
+// portions of the text that correspond to recorded links.
+func renderValue(av AttributeValue) string {
+	text := av.Text
+	if len(av.Links) == 0 {
+		return text
+	}
+	// Replace each link's anchor occurrence (first match) with the link
+	// markup. Anchors that no longer appear in the text are appended.
+	var b strings.Builder
+	remaining := text
+	var trailing []Link
+	for _, l := range av.Links {
+		anchor := l.Anchor
+		if anchor == "" {
+			anchor = l.Target
+		}
+		idx := strings.Index(remaining, anchor)
+		if idx < 0 {
+			trailing = append(trailing, l)
+			continue
+		}
+		b.WriteString(remaining[:idx])
+		b.WriteString(l.String())
+		remaining = remaining[idx+len(anchor):]
+	}
+	b.WriteString(remaining)
+	for _, l := range trailing {
+		b.WriteByte(' ')
+		b.WriteString(l.String())
+	}
+	return b.String()
+}

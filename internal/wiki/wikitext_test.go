@@ -1,0 +1,225 @@
+package wiki
+
+import (
+	"strings"
+	"testing"
+)
+
+const lastEmperorWikitext = `{{Infobox film
+| name = The Last Emperor
+| directed by = [[Bernardo Bertolucci]]
+| produced by = [[Jeremy Thomas]]
+| written by = [[Mark Peploe]], [[Bernardo Bertolucci]]
+| starring = [[John Lone]], [[Joan Chen]], [[Peter O'Toole]]
+| music by = [[Ryuichi Sakamoto]], [[David Byrne]]
+| release date = {{start date|1987|10|4}}
+| running time = 160 minutes
+| country = Italy, United Kingdom, China
+| language = English
+| budget = $23 million<ref>Box Office Mojo</ref>
+}}
+
+'''The Last Emperor''' is a 1987 epic biographical drama film.
+
+[[Category:1987 films]]
+[[Category:Films directed by Bernardo Bertolucci]]
+[[pt:O Último Imperador]]
+[[vi:Hoàng đế cuối cùng]]
+`
+
+func TestParsePageFilm(t *testing.T) {
+	a, err := ParsePage(English, "The Last Emperor", lastEmperorWikitext)
+	if err != nil {
+		t.Fatalf("ParsePage: %v", err)
+	}
+	if a.Type != "film" {
+		t.Errorf("type = %q, want film", a.Type)
+	}
+	if a.Infobox == nil {
+		t.Fatal("no infobox parsed")
+	}
+	if got := a.Infobox.Len(); got != 11 {
+		t.Errorf("attribute count = %d, want 11 (schema: %v)", got, a.Infobox.Schema())
+	}
+	dir, ok := a.Infobox.Get("directed by")
+	if !ok {
+		t.Fatal("missing attribute 'directed by'")
+	}
+	if dir.Text != "Bernardo Bertolucci" {
+		t.Errorf("directed by text = %q", dir.Text)
+	}
+	if len(dir.Links) != 1 || dir.Links[0].Target != "Bernardo Bertolucci" {
+		t.Errorf("directed by links = %v", dir.Links)
+	}
+	star, _ := a.Infobox.Get("starring")
+	if len(star.Links) != 3 {
+		t.Errorf("starring links = %v, want 3", star.Links)
+	}
+	if star.Text != "John Lone, Joan Chen, Peter O'Toole" {
+		t.Errorf("starring text = %q", star.Text)
+	}
+	rel, _ := a.Infobox.Get("release date")
+	if rel.Text != "1987 10 4" {
+		t.Errorf("release date text = %q, want flattened template args", rel.Text)
+	}
+	budget, _ := a.Infobox.Get("budget")
+	if budget.Text != "$23 million" {
+		t.Errorf("budget text = %q, want ref stripped", budget.Text)
+	}
+	if len(a.Categories) != 2 {
+		t.Errorf("categories = %v", a.Categories)
+	}
+	if pt, ok := a.CrossLink(Portuguese); !ok || pt != "O Último Imperador" {
+		t.Errorf("pt cross-link = %q, %v", pt, ok)
+	}
+	if vi, ok := a.CrossLink(Vietnamese); !ok || vi != "Hoàng đế cuối cùng" {
+		t.Errorf("vi cross-link = %q, %v", vi, ok)
+	}
+}
+
+func TestParsePageNoInfobox(t *testing.T) {
+	a, err := ParsePage(English, "Plain", "Just text with a [[Link]].\n[[Category:Things]]")
+	if err != nil {
+		t.Fatalf("ParsePage: %v", err)
+	}
+	if a.Infobox != nil {
+		t.Error("expected nil infobox")
+	}
+	if a.Type != "" {
+		t.Errorf("type = %q, want empty", a.Type)
+	}
+	if len(a.Categories) != 1 || a.Categories[0] != "Things" {
+		t.Errorf("categories = %v", a.Categories)
+	}
+}
+
+func TestParsePageUnbalancedInfobox(t *testing.T) {
+	_, err := ParsePage(English, "Broken", "{{Infobox film\n| name = X\n")
+	if err == nil {
+		t.Fatal("expected error for unbalanced infobox braces")
+	}
+}
+
+func TestParsePagePortugueseCategories(t *testing.T) {
+	text := "{{Infobox filme\n| título = O Último Imperador\n}}\n[[Categoria:Filmes de 1987]]\n[[en:The Last Emperor]]"
+	a, err := ParsePage(Portuguese, "O Último Imperador", text)
+	if err != nil {
+		t.Fatalf("ParsePage: %v", err)
+	}
+	if a.Type != "filme" {
+		t.Errorf("type = %q", a.Type)
+	}
+	if len(a.Categories) != 1 || a.Categories[0] != "Filmes de 1987" {
+		t.Errorf("categories = %v", a.Categories)
+	}
+	if en, ok := a.CrossLink(English); !ok || en != "The Last Emperor" {
+		t.Errorf("en cross-link = %q, %v", en, ok)
+	}
+}
+
+func TestTemplateType(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Infobox film", "film"},
+		{"infobox Film", "film"},
+		{"Infobox comics character", "comics character"},
+		{"Infobox", ""},
+		{"Taxobox", "taxobox"},
+		{"  Infobox   album  ", "album"},
+	}
+	for _, c := range cases {
+		if got := TemplateType(c.in); got != c.want {
+			t.Errorf("TemplateType(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStripMarkup(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"[[United States]]", "United States"},
+		{"[[United States|USA]]", "USA"},
+		{"'''bold''' and ''italic''", "bold and italic"},
+		{"a<br>b", "a b"},
+		{"{{convert|160|min}}", "160 min"},
+		{"plain", "plain"},
+		{"x<ref name=a>cite</ref>y", "xy"},
+		{"before<!-- hidden -->after", "beforeafter"},
+		{"[[John Lone]], [[Joan Chen]]", "John Lone, Joan Chen"},
+		{"it's", "it's"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := StripMarkup(c.in); got != c.want {
+			t.Errorf("StripMarkup(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestExtractLinks(t *testing.T) {
+	links := ExtractLinks("[[A]], [[B|bee]], [[Category:skip]] and [[C]]")
+	if len(links) != 3 {
+		t.Fatalf("links = %v, want 3", links)
+	}
+	if links[1].Target != "B" || links[1].Anchor != "bee" {
+		t.Errorf("links[1] = %v", links[1])
+	}
+}
+
+func TestRenderParseRoundTrip(t *testing.T) {
+	orig := &Article{
+		Language: Portuguese,
+		Title:    "O Último Imperador",
+		Type:     "filme",
+		Infobox: &Infobox{
+			Template: "Infobox filme",
+			Attrs: []AttributeValue{
+				{Name: "título", Text: "O Último Imperador"},
+				{Name: "direção", Text: "Bernardo Bertolucci", Links: []Link{{Target: "Bernardo Bertolucci", Anchor: "Bernardo Bertolucci"}}},
+				{Name: "elenco original", Text: "John Lone, Joan Chen", Links: []Link{
+					{Target: "John Lone", Anchor: "John Lone"},
+					{Target: "Joan Chen", Anchor: "Joan Chen"},
+				}},
+				{Name: "duração", Text: "165 min"},
+			},
+		},
+		Categories: []string{"Filmes de 1987"},
+		CrossLinks: map[Language]string{English: "The Last Emperor", Vietnamese: "Hoàng đế cuối cùng"},
+	}
+	text := RenderPage(orig)
+	got, err := ParsePage(orig.Language, orig.Title, text)
+	if err != nil {
+		t.Fatalf("ParsePage(rendered): %v", err)
+	}
+	if got.Type != orig.Type {
+		t.Errorf("type = %q, want %q", got.Type, orig.Type)
+	}
+	if got.Infobox == nil || got.Infobox.Len() != orig.Infobox.Len() {
+		t.Fatalf("infobox = %+v", got.Infobox)
+	}
+	for _, want := range orig.Infobox.Attrs {
+		av, ok := got.Infobox.Get(want.Name)
+		if !ok {
+			t.Errorf("missing attribute %q after round-trip", want.Name)
+			continue
+		}
+		if av.Text != want.Text {
+			t.Errorf("attr %q text = %q, want %q", want.Name, av.Text, want.Text)
+		}
+		if len(av.Links) != len(want.Links) {
+			t.Errorf("attr %q links = %v, want %v", want.Name, av.Links, want.Links)
+		}
+	}
+	if len(got.CrossLinks) != 2 {
+		t.Errorf("cross-links = %v", got.CrossLinks)
+	}
+	if len(got.Categories) != 1 {
+		t.Errorf("categories = %v", got.Categories)
+	}
+}
+
+func TestRenderPageContainsInterlanguageLinks(t *testing.T) {
+	a := &Article{Language: English, Title: "X", CrossLinks: map[Language]string{Portuguese: "Xis"}}
+	text := RenderPage(a)
+	if !strings.Contains(text, "[[pt:Xis]]") {
+		t.Errorf("rendered page missing interlanguage link:\n%s", text)
+	}
+}

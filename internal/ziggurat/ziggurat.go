@@ -1,0 +1,250 @@
+// Package ziggurat implements a Ziggurat-style self-supervised
+// cross-language infobox aligner (Adar, Skinner and Weld, WSDM 2009) —
+// the system the paper compares against only qualitatively because its
+// code and datasets were unavailable (Section 6). Having an
+// implementation lets this repository run that missing comparison.
+//
+// Like the original, the matcher (i) extracts a feature vector per
+// candidate attribute pair (name equality and n-gram similarity, value
+// overlap, translation hits, link overlap, co-occurrence statistics),
+// (ii) self-labels training examples with high-precision heuristics
+// (equal names or near-identical value sets → positive; fully disjoint
+// evidence → negative), and (iii) trains a logistic-regression
+// classifier on them. Its two documented limitations follow from the
+// design and are reproduced here: it needs enough self-labeled examples
+// per language pair, and its reliance on syntactic (n-gram) features
+// favors language pairs with similar roots.
+package ziggurat
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/eval"
+	"repro/internal/sim"
+	"repro/internal/text"
+)
+
+// NumFeatures is the dimensionality of the feature vector.
+const NumFeatures = 12
+
+// Config tunes self-supervision and training.
+type Config struct {
+	Epochs       int
+	LearningRate float64
+	L2           float64
+	Seed         int64
+	// PosValueSim is the raw value-cosine above which a pair self-labels
+	// positive; NegPerPos bounds the negative sample ratio.
+	PosValueSim float64
+	NegPerPos   int
+	// Threshold is the classification probability cutoff at match time.
+	Threshold float64
+}
+
+// DefaultConfig returns reasonable training parameters.
+func DefaultConfig() Config {
+	return Config{
+		Epochs:       60,
+		LearningRate: 0.1,
+		L2:           1e-4,
+		Seed:         42,
+		PosValueSim:  0.8,
+		NegPerPos:    2,
+		Threshold:    0.5,
+	}
+}
+
+// Features extracts the classifier's evidence for a cross-language
+// attribute pair. All features lie in [0, 1].
+func Features(td *sim.TypeData, i, j int) []float64 {
+	nameA, nameB := td.Attrs[i].Name, td.Attrs[j].Name
+	f := make([]float64, 0, NumFeatures)
+	// 1: exact name equality (rare across languages, decisive within).
+	if nameA == nameB {
+		f = append(f, 1)
+	} else {
+		f = append(f, 0)
+	}
+	// 2–3: syntactic name similarity (the n-gram features Adar et al.
+	// acknowledge tie Ziggurat to similar-rooted languages).
+	f = append(f, text.TrigramSimilarity(nameA, nameB))
+	f = append(f, text.EditSimilarity(nameA, nameB))
+	// 4: raw value cosine (no translation).
+	f = append(f, td.RawVSim(i, j, false))
+	// 5: dictionary-translated value cosine (cross-link translation hits).
+	f = append(f, td.RawVSim(i, j, true))
+	// 6: canonicalized value cosine.
+	f = append(f, td.VSim(i, j))
+	// 7: link-structure overlap.
+	f = append(f, td.LSim(i, j))
+	// 8: dual co-occurrence rate.
+	minOcc := td.Occurrences(i)
+	if td.Occurrences(j) < minOcc {
+		minOcc = td.Occurrences(j)
+	}
+	if minOcc > 0 {
+		f = append(f, float64(td.CoOccurDual(i, j))/float64(minOcc))
+	} else {
+		f = append(f, 0)
+	}
+	// 9: occurrence-frequency ratio.
+	oa, ob := float64(td.Occurrences(i)), float64(td.Occurrences(j))
+	if oa > 0 && ob > 0 {
+		f = append(f, math.Min(oa, ob)/math.Max(oa, ob))
+	} else {
+		f = append(f, 0)
+	}
+	// 10: numeric-content agreement: |numFrac(A) − numFrac(B)| inverted.
+	f = append(f, 1-math.Abs(numericFraction(td.ValueVector(i))-numericFraction(td.ValueVector(j))))
+	// 11: value-vocabulary size ratio.
+	va, vb := float64(len(td.ValueVector(i))), float64(len(td.ValueVector(j)))
+	if va > 0 && vb > 0 {
+		f = append(f, math.Min(va, vb)/math.Max(va, vb))
+	} else {
+		f = append(f, 0)
+	}
+	// 12: token-level name overlap (multi-word names like "data de
+	// nascimento" vs "date of birth" share translated stopwords rarely,
+	// but within-language synonyms often overlap).
+	f = append(f, text.JaccardTokens(nameA, nameB))
+	return f
+}
+
+func numericFraction(v map[string]float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	num := 0
+	for term := range v {
+		hasDigit := false
+		for _, r := range term {
+			if r >= '0' && r <= '9' {
+				hasDigit = true
+				break
+			}
+		}
+		if hasDigit {
+			num++
+		}
+	}
+	return float64(num) / float64(len(v))
+}
+
+// Model is a trained logistic-regression classifier.
+type Model struct {
+	W                    []float64
+	B                    float64
+	Positives, Negatives int // self-labeled training-set sizes
+}
+
+// example is one self-labeled training instance.
+type example struct {
+	x []float64
+	y float64
+}
+
+// selfLabel harvests training examples from one type's candidate pairs
+// using Ziggurat's heuristic style: near-identical raw value vectors or
+// equal normalized names are positives; pairs with no shared evidence
+// at all are negatives.
+func selfLabel(td *sim.TypeData, cfg Config, rng *rand.Rand) []example {
+	var pos, neg []example
+	for _, p := range td.CrossPairs() {
+		i, j := p[0], p[1]
+		rawSim := td.RawVSim(i, j, false)
+		nameEq := td.Attrs[i].Name == td.Attrs[j].Name
+		switch {
+		case rawSim >= cfg.PosValueSim || nameEq:
+			pos = append(pos, example{x: Features(td, i, j), y: 1})
+		case rawSim == 0 && td.LSim(i, j) == 0 && td.CoOccurDual(i, j) == 0:
+			neg = append(neg, example{x: Features(td, i, j), y: 0})
+		}
+	}
+	rng.Shuffle(len(neg), func(a, b int) { neg[a], neg[b] = neg[b], neg[a] })
+	if limit := len(pos) * cfg.NegPerPos; len(neg) > limit {
+		neg = neg[:limit]
+	}
+	return append(pos, neg...)
+}
+
+// Train self-labels examples over the given types (typically all types
+// of one language pair — Ziggurat trains per domain and language pair)
+// and fits the classifier by stochastic gradient descent.
+func Train(cases []*sim.TypeData, cfg Config) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var examples []example
+	m := &Model{W: make([]float64, NumFeatures)}
+	for _, td := range cases {
+		for _, ex := range selfLabel(td, cfg, rng) {
+			examples = append(examples, ex)
+			if ex.y == 1 {
+				m.Positives++
+			} else {
+				m.Negatives++
+			}
+		}
+	}
+	if len(examples) == 0 {
+		return m
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(examples), func(a, b int) { examples[a], examples[b] = examples[b], examples[a] })
+		for _, ex := range examples {
+			p := m.prob(ex.x)
+			g := p - ex.y
+			for k := range m.W {
+				m.W[k] -= cfg.LearningRate * (g*ex.x[k] + cfg.L2*m.W[k])
+			}
+			m.B -= cfg.LearningRate * g
+		}
+	}
+	return m
+}
+
+// prob is the logistic output.
+func (m *Model) prob(x []float64) float64 {
+	s := m.B
+	for k := range m.W {
+		s += m.W[k] * x[k]
+	}
+	return 1 / (1 + math.Exp(-s))
+}
+
+// Score returns the classifier probability for a pair.
+func (m *Model) Score(td *sim.TypeData, i, j int) float64 {
+	return m.prob(Features(td, i, j))
+}
+
+// Match classifies every cross-language pair of a type and keeps, per
+// source attribute, the candidates above the threshold that score within
+// 5% of the row maximum.
+func (m *Model) Match(td *sim.TypeData, threshold float64) eval.Correspondences {
+	type scored struct {
+		i, j int
+		p    float64
+	}
+	var all []scored
+	rowMax := map[int]float64{}
+	for _, pr := range td.CrossPairs() {
+		p := m.Score(td, pr[0], pr[1])
+		all = append(all, scored{i: pr[0], j: pr[1], p: p})
+		if p > rowMax[pr[0]] {
+			rowMax[pr[0]] = p
+		}
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		if all[a].i != all[b].i {
+			return all[a].i < all[b].i
+		}
+		return all[a].j < all[b].j
+	})
+	out := make(eval.Correspondences)
+	for _, s := range all {
+		if s.p >= threshold && s.p >= rowMax[s.i]*0.95 {
+			out.Add(td.Attrs[s.i].Name, td.Attrs[s.j].Name)
+		}
+	}
+	return out
+}

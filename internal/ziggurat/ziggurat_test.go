@@ -1,0 +1,136 @@
+package ziggurat
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dict"
+	"repro/internal/eval"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/wiki"
+)
+
+type fixtures struct {
+	corpus *wiki.Corpus
+	truth  *synth.GroundTruth
+	cases  map[wiki.LanguagePair][]*sim.TypeData
+	truths map[wiki.LanguagePair]map[string]eval.Correspondences // typeA → G
+}
+
+var shared *fixtures
+
+func load(t *testing.T) *fixtures {
+	t.Helper()
+	if shared != nil {
+		return shared
+	}
+	c, g, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	f := &fixtures{
+		corpus: c, truth: g,
+		cases:  make(map[wiki.LanguagePair][]*sim.TypeData),
+		truths: make(map[wiki.LanguagePair]map[string]eval.Correspondences),
+	}
+	for _, pair := range []wiki.LanguagePair{wiki.PtEn, wiki.VnEn} {
+		d := dict.Build(c, pair.A, pair.B)
+		f.truths[pair] = make(map[string]eval.Correspondences)
+		for _, tp := range core.MatchEntityTypes(c, pair) {
+			td := sim.BuildTypeData(c, pair, tp[0], tp[1], d)
+			f.cases[pair] = append(f.cases[pair], td)
+			canon, _ := g.CanonType(pair.A, tp[0])
+			freqA, freqB := eval.AttributeFrequencies(c, pair, tp[0], tp[1])
+			f.truths[pair][tp[0]] = eval.TruthPairs(freqA, freqB, pair, g.Types[canon].Correct)
+		}
+	}
+	shared = f
+	return f
+}
+
+func macroAvg(t *testing.T, f *fixtures, pair wiki.LanguagePair, m *Model) eval.PRF {
+	t.Helper()
+	var rows []eval.PRF
+	for _, td := range f.cases[pair] {
+		derived := m.Match(td, DefaultConfig().Threshold)
+		rows = append(rows, eval.Macro(derived, f.truths[pair][td.TypeA]))
+	}
+	return eval.Average(rows)
+}
+
+func TestFeaturesBounded(t *testing.T) {
+	f := load(t)
+	td := f.cases[wiki.PtEn][0]
+	for _, p := range td.CrossPairs() {
+		feats := Features(td, p[0], p[1])
+		if len(feats) != NumFeatures {
+			t.Fatalf("feature count = %d", len(feats))
+		}
+		for k, v := range feats {
+			if v < -1e-9 || v > 1+1e-9 {
+				t.Fatalf("feature %d out of range: %v", k, v)
+			}
+		}
+	}
+}
+
+func TestSelfSupervisionHarvestsExamples(t *testing.T) {
+	f := load(t)
+	m := Train(f.cases[wiki.PtEn], DefaultConfig())
+	if m.Positives == 0 || m.Negatives == 0 {
+		t.Fatalf("self-labeling produced %d positives, %d negatives", m.Positives, m.Negatives)
+	}
+	if m.Negatives > m.Positives*DefaultConfig().NegPerPos {
+		t.Errorf("negative cap violated: %d > %d×%d", m.Negatives, m.Positives, DefaultConfig().NegPerPos)
+	}
+}
+
+func TestClassifierIsCompetitivePtEn(t *testing.T) {
+	f := load(t)
+	m := Train(f.cases[wiki.PtEn], DefaultConfig())
+	prf := macroAvg(t, f, wiki.PtEn, m)
+	t.Logf("ziggurat pt-en macro: P=%.2f R=%.2f F=%.2f (train: %d+/%d−)",
+		prf.Precision, prf.Recall, prf.F, m.Positives, m.Negatives)
+	if prf.F < 0.5 {
+		t.Errorf("ziggurat pt-en F = %.2f, expected a competitive classifier", prf.F)
+	}
+}
+
+// TestTrainingDataDependence reproduces the paper's Section 6 argument:
+// Ziggurat's effectiveness depends on the amount of (self-)training
+// data, so the under-represented Vietnamese pair yields fewer examples
+// than Portuguese.
+func TestTrainingDataDependence(t *testing.T) {
+	f := load(t)
+	mPt := Train(f.cases[wiki.PtEn], DefaultConfig())
+	mVn := Train(f.cases[wiki.VnEn], DefaultConfig())
+	t.Logf("training examples: pt-en %d+/%d−, vn-en %d+/%d−",
+		mPt.Positives, mPt.Negatives, mVn.Positives, mVn.Negatives)
+	if mVn.Positives+mVn.Negatives >= mPt.Positives+mPt.Negatives {
+		t.Errorf("vn-en should yield fewer self-labeled examples (%d vs %d)",
+			mVn.Positives+mVn.Negatives, mPt.Positives+mPt.Negatives)
+	}
+}
+
+func TestModelDeterministic(t *testing.T) {
+	f := load(t)
+	m1 := Train(f.cases[wiki.PtEn], DefaultConfig())
+	m2 := Train(f.cases[wiki.PtEn], DefaultConfig())
+	for k := range m1.W {
+		if m1.W[k] != m2.W[k] {
+			t.Fatalf("weights differ at %d: %v vs %v", k, m1.W[k], m2.W[k])
+		}
+	}
+}
+
+func TestEmptyTraining(t *testing.T) {
+	m := Train(nil, DefaultConfig())
+	if m.Positives != 0 || m.Negatives != 0 {
+		t.Errorf("empty training = %d/%d", m.Positives, m.Negatives)
+	}
+	f := load(t)
+	// An untrained model must not blow up at match time.
+	out := m.Match(f.cases[wiki.PtEn][0], 0.5)
+	_ = out
+}

@@ -1,0 +1,233 @@
+// Package repro is a from-scratch Go implementation of WikiMatch, the
+// multilingual infobox schema-matching system of Nguyen, Moreira, Nguyen,
+// Nguyen and Freire, "Multilingual Schema Matching for Wikipedia
+// Infoboxes" (PVLDB 5(2), 2011).
+//
+// The package is a facade over the repository's subsystems:
+//
+//   - a Wikipedia data model with wikitext and XML-dump parsing
+//     (internal/wiki, internal/dump);
+//   - a seeded synthetic multilingual Wikipedia standing in for the
+//     paper's Portuguese/Vietnamese/English dumps (internal/synth);
+//   - the WikiMatch matcher — LSI-ordered candidate alignment with
+//     IntegrateMatches and ReviseUncertain (internal/core, internal/lsi,
+//     internal/sim, internal/dict);
+//   - the paper's baselines: LSI top-k, Bouma, and a COMA++-style
+//     framework (internal/baselines);
+//   - the evaluation machinery and the WikiQuery case study
+//     (internal/eval, internal/query);
+//   - runners for every table and figure in the paper
+//     (internal/experiments).
+//
+// Quick start:
+//
+//	corpus, truth, _ := repro.GenerateCorpus(repro.SmallCorpus())
+//	result := repro.Match(corpus, repro.PtEn)
+//	for _, tr := range result.PerType {
+//	    fmt.Println(tr.TypeA, "→", tr.CrossPairsSorted())
+//	}
+//	_ = truth
+package repro
+
+import (
+	"io"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dict"
+	"repro/internal/dump"
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/query"
+	"repro/internal/synth"
+	"repro/internal/text"
+	"repro/internal/wiki"
+)
+
+// Normalize lowercases, folds diacritics and collapses whitespace — the
+// canonical form the matcher keys attribute names and titles by.
+func Normalize(s string) string { return text.Normalize(s) }
+
+// Core data model.
+type (
+	// Language is a Wikipedia language edition code ("en", "pt", "vi").
+	Language = wiki.Language
+	// LanguagePair names the two editions being matched.
+	LanguagePair = wiki.LanguagePair
+	// Article is a Wikipedia page with its infobox and cross-language
+	// links.
+	Article = wiki.Article
+	// Infobox is the structured record of attribute–value pairs.
+	Infobox = wiki.Infobox
+	// Corpus is a multi-language article collection with the indices the
+	// matcher needs.
+	Corpus = wiki.Corpus
+)
+
+// Language editions and pairs used in the paper.
+var (
+	English    = wiki.English
+	Portuguese = wiki.Portuguese
+	Vietnamese = wiki.Vietnamese
+	PtEn       = wiki.PtEn
+	VnEn       = wiki.VnEn
+)
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus { return wiki.NewCorpus() }
+
+// ParsePage parses wikitext into an Article (infobox, categories,
+// interlanguage links).
+func ParsePage(lang Language, title, wikitext string) (*Article, error) {
+	return wiki.ParsePage(lang, title, wikitext)
+}
+
+// Synthetic corpus generation.
+type (
+	// CorpusConfig controls the synthetic multilingual Wikipedia.
+	CorpusConfig = synth.Config
+	// GroundTruth carries the generator's alignment labels and entity
+	// records.
+	GroundTruth = synth.GroundTruth
+)
+
+// DefaultCorpus is the full-scale experiment configuration (the paper's
+// dataset proportions at laptop scale).
+func DefaultCorpus() CorpusConfig { return synth.DefaultConfig() }
+
+// SmallCorpus is a fast configuration for tests and demos.
+func SmallCorpus() CorpusConfig { return synth.SmallConfig() }
+
+// GenerateCorpus builds the synthetic corpus and its ground truth.
+func GenerateCorpus(cfg CorpusConfig) (*Corpus, *GroundTruth, error) {
+	return synth.Generate(cfg)
+}
+
+// Dump I/O.
+
+// LoadDump parses a MediaWiki XML dump into the corpus; lang overrides
+// the dump's own language hint when non-empty.
+func LoadDump(c *Corpus, r io.Reader, lang Language) (dump.LoadResult, error) {
+	return dump.LoadCorpus(c, r, lang)
+}
+
+// WriteDump renders one language edition as a MediaWiki XML dump.
+func WriteDump(w io.Writer, c *Corpus, lang Language) error {
+	return dump.WriteCorpus(w, c, lang)
+}
+
+// Matching.
+type (
+	// MatcherConfig holds WikiMatch's thresholds and ablation switches.
+	MatcherConfig = core.Config
+	// Matcher runs WikiMatch.
+	Matcher = core.Matcher
+	// MatchResult is a full run over one language pair.
+	MatchResult = core.Result
+	// TypeMatchResult is the alignment outcome for one entity type.
+	TypeMatchResult = core.TypeResult
+	// Dictionary is a cross-language-link title dictionary.
+	Dictionary = dict.Dictionary
+)
+
+// DefaultMatcherConfig returns the paper's configuration (Tsim = 0.6,
+// TLSI = 0.1).
+func DefaultMatcherConfig() MatcherConfig { return core.DefaultConfig() }
+
+// NewMatcher creates a matcher.
+func NewMatcher(cfg MatcherConfig) *Matcher { return core.NewMatcher(cfg) }
+
+// Match runs WikiMatch with the paper's default configuration.
+func Match(c *Corpus, pair LanguagePair) *MatchResult {
+	return core.NewMatcher(core.DefaultConfig()).Match(c, pair)
+}
+
+// MatchEntityTypes identifies equivalent entity types across a pair via
+// cross-language-link voting (Section 3.1).
+func MatchEntityTypes(c *Corpus, pair LanguagePair) [][2]string {
+	return core.MatchEntityTypes(c, pair)
+}
+
+// BuildDictionary derives the title-translation dictionary from the
+// corpus's cross-language links.
+func BuildDictionary(c *Corpus, from, to Language) *Dictionary {
+	return dict.Build(c, from, to)
+}
+
+// Baselines.
+type (
+	// BoumaConfig tunes the Bouma et al. aligner.
+	BoumaConfig = baselines.BoumaConfig
+	// COMAConfig selects a COMA++-style configuration.
+	COMAConfig = baselines.COMAConfig
+)
+
+// Evaluation.
+type (
+	// Correspondences maps source attributes to their aligned targets.
+	Correspondences = eval.Correspondences
+	// PRF bundles precision, recall and F-measure.
+	PRF = eval.PRF
+)
+
+// WeightedScores computes the paper's weighted precision/recall/F
+// (Equations 1–4).
+func WeightedScores(derived, truth Correspondences, freqA, freqB map[string]float64) PRF {
+	return eval.Weighted(derived, truth, freqA, freqB)
+}
+
+// MacroScores computes the unweighted variant (Appendix B).
+func MacroScores(derived, truth Correspondences) PRF {
+	return eval.Macro(derived, truth)
+}
+
+// Querying (the Section 5 case study).
+type (
+	// Query is a parsed c-query.
+	Query = query.Query
+	// QueryEngine executes c-queries over one language edition.
+	QueryEngine = query.Engine
+	// QueryAnswer is one ranked result.
+	QueryAnswer = query.Answer
+	// CGSeries is a named cumulative-gain curve.
+	CGSeries = query.CGSeries
+)
+
+// ParseQuery parses c-query syntax: `filme(título=?, receita>10000000)
+// and ator(ocupação="político")`.
+func ParseQuery(s string) (*Query, error) { return query.Parse(s) }
+
+// NewQueryEngine indexes a corpus for querying in one language.
+func NewQueryEngine(c *Corpus, lang Language) *QueryEngine {
+	return query.NewEngine(c, lang)
+}
+
+// TranslateQuery renders a query into the match result's target language
+// through the derived correspondences, relaxing untranslatable
+// constraints (Section 5).
+func TranslateQuery(q *Query, res *MatchResult) query.Translation {
+	return query.Translate(q, res)
+}
+
+// CaseStudy runs the Table 4 workload monolingually and translated, and
+// returns the four cumulative-gain curves of Figure 4.
+func CaseStudy(c *Corpus, truth *GroundTruth, resPt, resVn *MatchResult, k int) ([]CGSeries, error) {
+	return query.RunCaseStudy(c, truth, resPt, resVn, k)
+}
+
+// Experiments.
+type (
+	// Experiments is the harness reproducing every table and figure.
+	Experiments = experiments.Setup
+)
+
+// NewExperiments generates a corpus and prepares the per-type evaluation
+// units for all experiments.
+func NewExperiments(cfg CorpusConfig) (*Experiments, error) {
+	return experiments.NewSetup(cfg)
+}
+
+// RenderAllExperiments writes every table and figure to w.
+func RenderAllExperiments(w io.Writer, s *Experiments, cfg MatcherConfig) error {
+	return experiments.RenderAll(w, s, cfg)
+}
