@@ -256,6 +256,87 @@ func rankName(r int) string {
 
 // ---------------------------------------------------------------- substrate
 
+// biggestDuals returns the largest dual-language infobox set across the
+// full-scale corpus — the occurrence matrix WikiMatch actually has to
+// decompose on its hottest type.
+func biggestDuals(b *testing.B) []lsi.Dual {
+	b.Helper()
+	s := fullSetup(b)
+	var duals []lsi.Dual
+	for _, pair := range []wiki.LanguagePair{wiki.PtEn, wiki.VnEn} {
+		for _, tc := range s.Cases(pair) {
+			if len(tc.TD.Duals) > len(duals) {
+				duals = tc.TD.Duals
+			}
+		}
+	}
+	return duals
+}
+
+// BenchmarkTruncatedSVD compares the seed's dense-Jacobi-then-truncate
+// path against the sparse randomized path on the full-corpus occurrence
+// matrix (the acceptance gate for the fast-LSI swap is ≥2× here).
+func BenchmarkTruncatedSVD(b *testing.B) {
+	duals := biggestDuals(b)
+	_, index := lsi.IndexAttrs(duals)
+	sp := lsi.OccurrenceMatrix(duals, index)
+	svdComparison(b, sp)
+}
+
+// svdComparison benchmarks the seed's dense path against the sparse
+// subsystem on one occurrence matrix: "sparse-auto" is what lsi.Build
+// calls (routing to Gram-exact or randomized by shape) and
+// "randomized-sparse" forces the sketch-and-iterate path.
+func svdComparison(b *testing.B, sp *linalg.Sparse) {
+	b.Helper()
+	dense := sp.Dense()
+	b.Run("dense-jacobi", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if d := linalg.TruncatedSVD(dense, lsi.DefaultRank); d.Rank() != lsi.DefaultRank {
+				b.Fatal("bad rank")
+			}
+		}
+	})
+	b.Run("sparse-auto", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if d := linalg.SparseTruncatedSVD(sp, lsi.DefaultRank); d.Rank() != lsi.DefaultRank {
+				b.Fatal("bad rank")
+			}
+		}
+	})
+	b.Run("randomized-sparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if d := linalg.RandomizedSVD(sp, lsi.DefaultRank, linalg.RSVDOptions{}); d.Rank() != lsi.DefaultRank {
+				b.Fatal("bad rank")
+			}
+		}
+	})
+}
+
+// BenchmarkTruncatedSVDDumpScale runs the same comparison on a
+// dump-scale occurrence matrix (hundreds of attributes over thousands of
+// dual infoboxes, ~4% dense) where the asymptotic gap dominates.
+func BenchmarkTruncatedSVDDumpScale(b *testing.B) {
+	const (
+		attrs   = 200
+		duals   = 1500
+		perDual = 8
+	)
+	var entries []linalg.Entry
+	state := uint64(1)
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	for j := 0; j < duals; j++ {
+		for t := 0; t < perDual; t++ {
+			entries = append(entries, linalg.Entry{Row: next(attrs), Col: j, Val: 1})
+		}
+	}
+	sp := linalg.NewSparse(attrs, duals, entries)
+	svdComparison(b, sp)
+}
+
 func BenchmarkSVD(b *testing.B) {
 	m := linalg.NewMatrix(60, 300)
 	for i := range m.Data {

@@ -1,25 +1,30 @@
 // Command benchall regenerates every table and figure of the paper's
 // evaluation and prints them in the same row/series layout the paper
-// reports.
+// reports. The extra "svd" experiment times the LSI substrate: the
+// seed's dense-Jacobi-then-truncate decomposition against the sparse
+// subsystem, over every type's occurrence matrix in the corpus.
 //
 // Usage:
 //
-//	benchall [-scale small|full] [-run all|table1|table2|table3|table5|table6|table7|figure3|figure4|figure5|figure6|figure7]
+//	benchall [-scale small|full] [-run all|table1|table2|table3|table5|table6|table7|figure3|figure4|figure5|figure6|figure7|svd]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/linalg"
+	"repro/internal/lsi"
 	"repro/internal/synth"
 )
 
 func main() {
 	scale := flag.String("scale", "full", "corpus scale: small or full")
-	run := flag.String("run", "all", "experiment to run (all, table1..table7, figure3..figure7)")
+	run := flag.String("run", "all", "experiment to run (all, table1..table7, figure3..figure7, svd)")
 	flag.Parse()
 
 	cfg := synth.DefaultConfig()
@@ -71,8 +76,45 @@ func main() {
 		experiments.RenderOverlapCorrelations(w, s.OverlapCorrelations(mcfg))
 	case "extensions":
 		experiments.RenderExtensions(w, s.Extensions(mcfg))
+	case "svd":
+		renderSVDTimings(s)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
 		os.Exit(2)
 	}
+}
+
+// renderSVDTimings compares the seed's dense Jacobi SVD with the sparse
+// path lsi.Build uses today, per entity type, on the type's real
+// dual-occurrence matrix.
+func renderSVDTimings(s *experiments.Setup) {
+	fmt.Printf("%-6s %-22s %10s %9s %12s %12s %8s\n",
+		"pair", "type", "matrix", "nnz", "dense-jacobi", "sparse-auto", "speedup")
+	for _, pair := range s.Pairs() {
+		for _, tc := range s.Cases(pair) {
+			_, index := lsi.IndexAttrs(tc.TD.Duals, tc.TD.Attrs...)
+			sp := lsi.OccurrenceMatrix(tc.TD.Duals, index)
+			dense := sp.Dense()
+			denseT := timeIt(func() { linalg.TruncatedSVD(dense, lsi.DefaultRank) })
+			sparseT := timeIt(func() { linalg.SparseTruncatedSVD(sp, lsi.DefaultRank) })
+			fmt.Printf("%-6s %-22s %4d×%-5d %9d %12s %12s %7.1fx\n",
+				pair, tc.Canon, sp.Rows, sp.Cols, sp.NNZ(),
+				denseT.Round(time.Microsecond), sparseT.Round(time.Microsecond),
+				float64(denseT)/float64(sparseT))
+		}
+	}
+}
+
+// timeIt returns the best of three runs — enough to flatten scheduler
+// noise without benchmark machinery.
+func timeIt(fn func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
 }

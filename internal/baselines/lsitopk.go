@@ -19,7 +19,12 @@ import (
 // (Figure 6), with top-1 giving the best F-measure (Table 2's LSI
 // column).
 func LSITopK(td *sim.TypeData, rank, k int) eval.Correspondences {
-	model := lsi.Build(td.Duals, rank, td.Attrs...)
+	return LSITopKModel(lsi.Build(td.Duals, rank, td.Attrs...), td, k)
+}
+
+// LSITopKModel is LSITopK over an already-built model, so callers
+// sweeping k (Figure 6) can share one decomposition.
+func LSITopKModel(model *lsi.Model, td *sim.TypeData, k int) eval.Correspondences {
 	out := make(eval.Correspondences)
 	type scored struct {
 		name  string
@@ -60,7 +65,11 @@ func LSITopK(td *sim.TypeData, rank, k int) eval.Correspondences {
 // LSIRanking returns every cross-language pair scored by LSI, for the
 // MAP analysis of Table 7.
 func LSIRanking(td *sim.TypeData, rank int) []eval.RankedPair {
-	model := lsi.Build(td.Duals, rank, td.Attrs...)
+	return LSIRankingModel(lsi.Build(td.Duals, rank, td.Attrs...), td)
+}
+
+// LSIRankingModel is LSIRanking over an already-built model.
+func LSIRankingModel(model *lsi.Model, td *sim.TypeData) []eval.RankedPair {
 	var out []eval.RankedPair
 	for _, p := range td.CrossPairs() {
 		a, b := td.Attrs[p[0]], td.Attrs[p[1]]

@@ -1,0 +1,56 @@
+package baselines
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/dict"
+	"repro/internal/lsi"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/wiki"
+)
+
+// TestLSIBaselinesUnchangedByRandomizedSVD pins that the sparse SVD swap
+// inside lsi.Build leaves the LSI baselines' outputs unchanged: on the
+// full-size corpus's largest type (which takes the sparse path), the
+// top-k correspondence sets for every evaluated k are identical to the
+// exact dense decomposition, and the MAP ranking scores agree to well
+// below any reported digit with the same positivity.
+func TestLSIBaselinesUnchangedByRandomizedSVD(t *testing.T) {
+	c, _, err := synth.Generate(synth.DefaultConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	d := dict.Build(c, wiki.Portuguese, wiki.English)
+	td := sim.BuildTypeData(c, wiki.PtEn, "filme", "film", d)
+	fast := lsi.Build(td.Duals, lsi.DefaultRank, td.Attrs...)
+	exact := lsi.BuildWith(td.Duals, lsi.DefaultRank, lsi.Options{ExactSVD: true}, td.Attrs...)
+
+	for _, k := range []int{1, 3, 5, 10} {
+		got := LSITopKModel(fast, td, k)
+		want := LSITopKModel(exact, td, k)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("k=%d: top-k correspondences differ:\nfast:  %v\nexact: %v", k, got, want)
+		}
+	}
+
+	gotRank := LSIRankingModel(fast, td)
+	wantRank := LSIRankingModel(exact, td)
+	if len(gotRank) != len(wantRank) {
+		t.Fatalf("ranking lengths differ: %d vs %d", len(gotRank), len(wantRank))
+	}
+	for i := range gotRank {
+		g, w := gotRank[i], wantRank[i]
+		if g.A != w.A || g.B != w.B {
+			t.Fatalf("ranking pair %d differs: %v vs %v", i, g, w)
+		}
+		if math.Abs(g.Score-w.Score) > 1e-8 {
+			t.Errorf("pair (%s,%s): score %v vs %v", g.A, g.B, g.Score, w.Score)
+		}
+		if (g.Score > 0) != (w.Score > 0) {
+			t.Errorf("pair (%s,%s): positivity flipped: %v vs %v", g.A, g.B, g.Score, w.Score)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dict"
 	"repro/internal/lsi"
@@ -43,6 +44,11 @@ type Config struct {
 
 	// Seed drives the RandomOrder shuffle.
 	Seed int64
+
+	// ExactSVD forces the exact dense Jacobi SVD inside LSI instead of
+	// the default sparse randomized path — a validation switch for
+	// asserting the fast path changes no alignments.
+	ExactSVD bool
 }
 
 // DefaultConfig returns the configuration used throughout the paper's
@@ -260,11 +266,14 @@ func (m *Matcher) Match(c *wiki.Corpus, pair wiki.LanguagePair) *Result {
 	return res
 }
 
-// ByTypeA returns the per-type result for a pair.A-side type name.
+// ByTypeA returns the per-type result for a pair.A-side type name. The
+// lookup walks the sorted Types slice rather than the PerType map, so
+// when a type name appears in several pairs the same result is returned
+// on every call.
 func (r *Result) ByTypeA(typeA string) (*TypeResult, bool) {
-	for tp, tr := range r.PerType {
+	for _, tp := range r.Types {
 		if tp[0] == typeA {
-			return tr, true
+			return r.PerType[tp], true
 		}
 	}
 	return nil, false
@@ -277,29 +286,8 @@ func (m *Matcher) MatchType(c *wiki.Corpus, pair wiki.LanguagePair, typeA, typeB
 		d = nil
 	}
 	td := sim.BuildTypeData(c, pair, typeA, typeB, d)
-	model := lsi.Build(td.Duals, cfg.LSIRank, td.Attrs...)
+	model := lsi.BuildWith(td.Duals, cfg.LSIRank, lsi.Options{ExactSVD: cfg.ExactSVD}, td.Attrs...)
 	r := &TypeResult{TypeA: typeA, TypeB: typeB, TD: td, LSI: model}
-
-	// Score all attribute pairs, within and across languages.
-	n := len(td.Attrs)
-	lsiScore := make([][]float64, n)
-	for i := range lsiScore {
-		lsiScore[i] = make([]float64, n)
-	}
-	for _, p := range td.AllPairs() {
-		s := model.ScoreAttrs(td.Attrs[p[0]], td.Attrs[p[1]])
-		lsiScore[p[0]][p[1]], lsiScore[p[1]][p[0]] = s, s
-	}
-
-	// gate is the pairwise-correlation test of IntegrateMatches. When LSI
-	// is ablated it degrades to the same-language-co-occurrence veto that
-	// drives Example 2.
-	gate := func(i, j int) bool {
-		if cfg.DisableLSI {
-			return !(td.Attrs[i].Lang == td.Attrs[j].Lang && td.CoOccurLang(i, j) > 0)
-		}
-		return lsiScore[i][j] > cfg.TLSI
-	}
 
 	vsim := func(i, j int) float64 {
 		if cfg.DisableVSim {
@@ -314,11 +302,49 @@ func (m *Matcher) MatchType(c *wiki.Corpus, pair wiki.LanguagePair, typeA, typeB
 		return td.LSim(i, j)
 	}
 
+	// Score all attribute pairs, within and across languages. This is
+	// the per-type hot path — O(n²) cosine evaluations — so large types
+	// chunk the pair list across a worker pool. Every slot is written by
+	// exactly one worker, so the result is identical to a serial run.
+	n := len(td.Attrs)
+	pairs := td.AllPairs()
+	scores := make([]pairScores, len(pairs))
+	scoreRange := func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			p := pairs[idx]
+			scores[idx] = pairScores{
+				vsim: vsim(p[0], p[1]),
+				lsim: lsim(p[0], p[1]),
+				lsi:  model.ScoreAttrs(td.Attrs[p[0]], td.Attrs[p[1]]),
+			}
+		}
+	}
+	scorePairs(len(pairs), scoreRange)
+
+	lsiScore := make([][]float64, n)
+	for i := range lsiScore {
+		lsiScore[i] = make([]float64, n)
+	}
+	for idx, p := range pairs {
+		s := scores[idx].lsi
+		lsiScore[p[0]][p[1]], lsiScore[p[1]][p[0]] = s, s
+	}
+
+	// gate is the pairwise-correlation test of IntegrateMatches. When LSI
+	// is ablated it degrades to the same-language-co-occurrence veto that
+	// drives Example 2.
+	gate := func(i, j int) bool {
+		if cfg.DisableLSI {
+			return !(td.Attrs[i].Lang == td.Attrs[j].Lang && td.CoOccurLang(i, j) > 0)
+		}
+		return lsiScore[i][j] > cfg.TLSI
+	}
+
 	// Build the priority queue P.
 	var queue []Candidate
-	for _, p := range td.AllPairs() {
+	for idx, p := range pairs {
 		cand := Candidate{I: p[0], J: p[1],
-			VSim: vsim(p[0], p[1]), LSim: lsim(p[0], p[1]), LSI: lsiScore[p[0]][p[1]]}
+			VSim: scores[idx].vsim, LSim: scores[idx].lsim, LSI: scores[idx].lsi}
 		if cfg.DisableLSI {
 			if maxF(cand.VSim, cand.LSim) > 0 {
 				queue = append(queue, cand)
@@ -506,6 +532,76 @@ func extractCross(td *sim.TypeData, ms *MatchSet) map[string]map[string]bool {
 		}
 	}
 	return out
+}
+
+// pairScores carries the three similarity signals computed for one
+// attribute pair during the scoring stage.
+type pairScores struct {
+	vsim, lsim, lsi float64
+}
+
+// scoreTokens bounds the helper goroutines all concurrent pair-scoring
+// stages may spawn between them. Match's type-level pool and the
+// intra-type stage compose through it without oversubscribing: while
+// many types are in flight the tokens run dry and each type scores on
+// its own worker, and a late-running large type absorbs whatever
+// capacity finished types have released.
+var scoreTokens = func() chan struct{} {
+	c := make(chan struct{}, runtime.NumCPU())
+	for i := 0; i < cap(c); i++ {
+		c <- struct{}{}
+	}
+	return c
+}()
+
+// scorePairs runs fn over [0, n) — serially for small types, otherwise
+// chunked across the calling goroutine plus however many helpers the
+// shared token pool will fund right now. fn must be safe to call
+// concurrently on disjoint ranges.
+func scorePairs(n int, fn func(lo, hi int)) {
+	const (
+		minParallel = 512 // below this the fan-out costs more than it saves
+		chunk       = 256
+	)
+	if n < minParallel {
+		fn(0, n)
+		return
+	}
+	var next int64
+	work := func() {
+		for {
+			lo := int(atomic.AddInt64(&next, chunk)) - chunk
+			if lo >= n {
+				return
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+	helpers := (n+chunk-1)/chunk - 1 // the caller works too
+	if helpers > cap(scoreTokens) {
+		helpers = cap(scoreTokens)
+	}
+	var wg sync.WaitGroup
+spawn:
+	for i := 0; i < helpers; i++ {
+		select {
+		case <-scoreTokens:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+				scoreTokens <- struct{}{}
+			}()
+		default:
+			break spawn // pool exhausted; run with what we have
+		}
+	}
+	work()
+	wg.Wait()
 }
 
 func maxF(a, b float64) float64 {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/wiki"
@@ -32,6 +33,28 @@ func TestParallelMatchEqualsSequential(t *testing.T) {
 		for i := range a {
 			if a[i] != b[i] {
 				t.Fatalf("type %v pair %d: %v vs %v", tp, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestScorePairsCoversEveryIndexOnce drives the chunked worker pool of
+// the pair-scoring stage directly: every index in [0, n) must be visited
+// exactly once, for sizes on both sides of the parallelism threshold.
+func TestScorePairsCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 511, 512, 513, 5000} {
+		var mu sync.Mutex
+		visits := make([]int, n)
+		scorePairs(n, func(lo, hi int) {
+			mu.Lock()
+			defer mu.Unlock()
+			for i := lo; i < hi; i++ {
+				visits[i]++
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, v)
 			}
 		}
 	}

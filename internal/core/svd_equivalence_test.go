@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/wiki"
+)
+
+// TestMatchIdenticalUnderRandomizedSVD is the fixed-seed equivalence
+// guarantee for the sparse randomized SVD swap: on the full-size corpus
+// (whose largest types exceed the exact-Jacobi fallback cutoff and so
+// take the randomized path), Match must produce exactly the same
+// alignments as a run forced onto the exact dense decomposition.
+func TestMatchIdenticalUnderRandomizedSVD(t *testing.T) {
+	c, _, err := synth.Generate(synth.DefaultConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for _, pair := range []wiki.LanguagePair{wiki.PtEn, wiki.VnEn} {
+		fast := NewMatcher(DefaultConfig()).Match(c, pair)
+
+		exactCfg := DefaultConfig()
+		exactCfg.ExactSVD = true
+		exact := NewMatcher(exactCfg).Match(c, pair)
+
+		if len(fast.Types) != len(exact.Types) {
+			t.Fatalf("%v: type counts differ: %d vs %d", pair, len(fast.Types), len(exact.Types))
+		}
+		for _, tp := range fast.Types {
+			a := fast.PerType[tp].CrossPairsSorted()
+			b := exact.PerType[tp].CrossPairsSorted()
+			if len(a) != len(b) {
+				t.Errorf("%v type %v: %d vs %d correspondences", pair, tp, len(a), len(b))
+				continue
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Errorf("%v type %v pair %d: %v (randomized) vs %v (exact)", pair, tp, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}

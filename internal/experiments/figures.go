@@ -4,6 +4,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/lsi"
 	"repro/internal/query"
 	"repro/internal/wiki"
 )
@@ -100,14 +101,19 @@ type Figure6Row struct {
 	PRF  eval.PRF
 }
 
-// Figure6 evaluates LSI top-k for k ∈ {1, 3, 5, 10}.
+// Figure6 evaluates LSI top-k for k ∈ {1, 3, 5, 10}. The LSI model is
+// built once per type and shared across the k sweep.
 func (s *Setup) Figure6(cfg core.Config) []Figure6Row {
 	var out []Figure6Row
 	for _, pair := range s.Pairs() {
+		models := make([]*lsi.Model, len(s.Cases(pair)))
+		for i, tc := range s.Cases(pair) {
+			models[i] = lsi.Build(tc.TD.Duals, cfg.LSIRank, tc.TD.Attrs...)
+		}
 		for _, k := range []int{1, 3, 5, 10} {
 			var rows []eval.PRF
-			for _, tc := range s.Cases(pair) {
-				rows = append(rows, s.EvaluateWeighted(tc, baselines.LSITopK(tc.TD, cfg.LSIRank, k)))
+			for i, tc := range s.Cases(pair) {
+				rows = append(rows, s.EvaluateWeighted(tc, baselines.LSITopKModel(models[i], tc.TD, k)))
 			}
 			out = append(out, Figure6Row{Pair: pair, K: k, PRF: eval.Average(rows)})
 		}

@@ -27,15 +27,7 @@ func (d *SVD) Truncate(k int) *SVD {
 	if k < 0 {
 		k = 0
 	}
-	u := NewMatrix(d.U.Rows, k)
-	v := NewMatrix(d.V.Rows, k)
-	for r := 0; r < d.U.Rows; r++ {
-		copy(u.Data[r*k:(r+1)*k], d.U.Data[r*d.U.Cols:r*d.U.Cols+k])
-	}
-	for r := 0; r < d.V.Rows; r++ {
-		copy(v.Data[r*k:(r+1)*k], d.V.Data[r*d.V.Cols:r*d.V.Cols+k])
-	}
-	return &SVD{U: u, S: append([]float64(nil), d.S[:k]...), V: v}
+	return &SVD{U: d.U.Truncate(k), S: append([]float64(nil), d.S[:k]...), V: d.V.Truncate(k)}
 }
 
 // Reconstruct returns U · diag(S) · Vᵀ.

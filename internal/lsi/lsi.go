@@ -37,9 +37,17 @@ type Model struct {
 	Attrs     []Attr
 	Index     map[Attr]int
 	embedding *linalg.Matrix // scaled U (attrs × rank)
-	sameLang  []bool         // sameLang[i*(n)+j] not stored; computed from Attrs
 	coOccur   map[[2]int]bool
 	rank      int
+}
+
+// Options tunes how the model is built.
+type Options struct {
+	// ExactSVD forces the exact dense Jacobi SVD instead of the default
+	// sparse randomized path. The default path already falls back to
+	// exact Jacobi for tiny inputs; this switch exists to validate that
+	// the randomized decomposition leaves match results unchanged.
+	ExactSVD bool
 }
 
 // Build constructs the LSI model from the dual-language infoboxes. rank
@@ -47,43 +55,17 @@ type Model struct {
 // row (their latent vector is zero and all their cross scores are 0);
 // extraAttrs lets callers register them.
 func Build(duals []Dual, rank int, extraAttrs ...Attr) *Model {
+	return BuildWith(duals, rank, Options{}, extraAttrs...)
+}
+
+// BuildWith is Build with explicit options.
+func BuildWith(duals []Dual, rank int, opts Options, extraAttrs ...Attr) *Model {
 	if rank <= 0 {
 		rank = DefaultRank
 	}
-	m := &Model{Index: make(map[Attr]int), coOccur: make(map[[2]int]bool), rank: rank}
-	intern := func(a Attr) int {
-		if i, ok := m.Index[a]; ok {
-			return i
-		}
-		i := len(m.Attrs)
-		m.Attrs = append(m.Attrs, a)
-		m.Index[a] = i
-		return i
-	}
+	m := &Model{coOccur: make(map[[2]int]bool), rank: rank}
+	m.Attrs, m.Index = IndexAttrs(duals, extraAttrs...)
 	for _, d := range duals {
-		for _, a := range d.A {
-			intern(a)
-		}
-		for _, b := range d.B {
-			intern(b)
-		}
-	}
-	for _, a := range extraAttrs {
-		intern(a)
-	}
-	n, docs := len(m.Attrs), len(duals)
-	occ := linalg.NewMatrix(n, docs)
-	for j, d := range duals {
-		var idx []int
-		for _, a := range d.A {
-			idx = append(idx, m.Index[a])
-		}
-		for _, b := range d.B {
-			idx = append(idx, m.Index[b])
-		}
-		for _, i := range idx {
-			occ.Set(i, j, 1)
-		}
 		// Same-language co-occurrence within the two constituent
 		// infoboxes: attributes that appear together in one infobox
 		// cannot be synonyms (score 0).
@@ -101,6 +83,7 @@ func Build(duals []Dual, rank int, extraAttrs ...Attr) *Model {
 		mark(d.A)
 		mark(d.B)
 	}
+	n, docs := len(m.Attrs), len(duals)
 	if n == 0 || docs == 0 {
 		m.embedding = linalg.NewMatrix(n, 0)
 		return m
@@ -112,8 +95,77 @@ func Build(duals []Dual, rank int, extraAttrs ...Attr) *Model {
 	if k > n {
 		k = n
 	}
-	m.embedding = linalg.TruncatedSVD(occ, k).ScaledU()
+	occ := OccurrenceMatrix(duals, m.Index)
+	if opts.ExactSVD {
+		m.embedding = linalg.TruncatedSVD(occ.Dense(), k).ScaledU()
+	} else {
+		m.embedding = linalg.SparseTruncatedSVD(occ, k).ScaledU()
+	}
 	return m
+}
+
+// IndexAttrs interns every attribute appearing in the duals (A side
+// before B, in encounter order), then the extras, and returns the
+// attribute list together with its inverse index — the row numbering the
+// occurrence matrix and the model share.
+func IndexAttrs(duals []Dual, extraAttrs ...Attr) ([]Attr, map[Attr]int) {
+	var attrs []Attr
+	index := make(map[Attr]int)
+	intern := func(a Attr) {
+		if _, ok := index[a]; ok {
+			return
+		}
+		index[a] = len(attrs)
+		attrs = append(attrs, a)
+	}
+	for _, d := range duals {
+		for _, a := range d.A {
+			intern(a)
+		}
+		for _, b := range d.B {
+			intern(b)
+		}
+	}
+	for _, a := range extraAttrs {
+		intern(a)
+	}
+	return attrs, index
+}
+
+// OccurrenceMatrix assembles the binary attrs×duals occurrence matrix of
+// Section 3.2 in sparse coordinate form: entry (i, j) is 1 when the
+// attribute with index[attr] = i appears in dual j. The matrix is
+// overwhelmingly zero at corpus scale, so it is never densified here.
+// Attributes missing from index are silently skipped — they get no row
+// at all, so callers normally pass a complete index (e.g. from
+// IndexAttrs).
+func OccurrenceMatrix(duals []Dual, index map[Attr]int) *linalg.Sparse {
+	n := 0
+	for _, i := range index {
+		if i+1 > n {
+			n = i + 1
+		}
+	}
+	var entries []linalg.Entry
+	seen := make(map[int]bool)
+	for j, d := range duals {
+		clear(seen)
+		add := func(side []Attr) {
+			for _, a := range side {
+				i, ok := index[a]
+				if !ok {
+					continue
+				}
+				if !seen[i] { // keep the matrix binary even if a dual repeats an attribute
+					seen[i] = true
+					entries = append(entries, linalg.Entry{Row: i, Col: j, Val: 1})
+				}
+			}
+		}
+		add(d.A)
+		add(d.B)
+	}
+	return linalg.NewSparse(n, len(duals), entries)
 }
 
 // Rank returns the retained latent dimensionality.

@@ -1,8 +1,12 @@
 package lsi
 
 import (
+	"fmt"
+	"math"
+	"math/rand"
 	"testing"
 
+	"repro/internal/linalg"
 	"repro/internal/wiki"
 )
 
@@ -123,5 +127,67 @@ func TestRankClamping(t *testing.T) {
 	// Must not panic, and scores remain sane.
 	if s := m.ScoreAttrs(attr(wiki.English, "born"), attr(wiki.Portuguese, "nascimento")); s <= 0 {
 		t.Errorf("high-rank score = %v", s)
+	}
+}
+
+// syntheticDuals generates a corpus of dual-language infoboxes large
+// enough that Build takes the randomized sparse SVD path (the exact
+// fallback only covers tiny occurrence matrices).
+func syntheticDuals(nAttrs, nDuals, perSide int, seed int64) []Dual {
+	rng := rand.New(rand.NewSource(seed))
+	enPool := make([]Attr, nAttrs)
+	ptPool := make([]Attr, nAttrs)
+	for i := range enPool {
+		enPool[i] = attr(wiki.English, fmt.Sprintf("en%03d", i))
+		ptPool[i] = attr(wiki.Portuguese, fmt.Sprintf("pt%03d", i))
+	}
+	duals := make([]Dual, nDuals)
+	for d := range duals {
+		for s := 0; s < perSide; s++ {
+			// Correlated draws: the same latent index drives both sides,
+			// so the occurrence matrix has real low-rank structure.
+			i := rng.Intn(nAttrs)
+			duals[d].A = append(duals[d].A, enPool[i])
+			j := i
+			if rng.Float64() < 0.2 {
+				j = rng.Intn(nAttrs)
+			}
+			duals[d].B = append(duals[d].B, ptPool[j])
+		}
+	}
+	return duals
+}
+
+// TestBuildRandomizedMatchesExactSVD pins the tentpole swap: on an
+// occurrence matrix big enough for the randomized path, every pairwise
+// LSI score must agree with the exact dense-Jacobi model to well below
+// the matcher's decision thresholds.
+func TestBuildRandomizedMatchesExactSVD(t *testing.T) {
+	duals := syntheticDuals(60, 300, 7, 12345)
+	fast := Build(duals, DefaultRank)
+	exact := BuildWith(duals, DefaultRank, Options{ExactSVD: true})
+	if fast.Len() != exact.Len() {
+		t.Fatalf("attr counts differ: %d vs %d", fast.Len(), exact.Len())
+	}
+	// Guard the routing: without this, shrinking the synthetic corpus (or
+	// raising linalg's cutoffs) would silently turn the comparison into
+	// exact-vs-exact and the randomized path would go unvalidated.
+	_, index := IndexAttrs(duals)
+	if occ := OccurrenceMatrix(duals, index); !linalg.RoutesToRandomized(occ, DefaultRank) {
+		t.Fatalf("test corpus (%d×%d occurrence matrix) does not route to the randomized path",
+			occ.Rows, occ.Cols)
+	}
+	var maxDiff float64
+	for i := 0; i < fast.Len(); i++ {
+		for j := i + 1; j < fast.Len(); j++ {
+			a, b := fast.Attrs[i], fast.Attrs[j]
+			d := math.Abs(fast.ScoreAttrs(a, b) - exact.ScoreAttrs(a, b))
+			if d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	if maxDiff > 1e-6 {
+		t.Errorf("max |fast − exact| score diff = %g, want ≤ 1e-6", maxDiff)
 	}
 }
