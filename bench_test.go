@@ -13,6 +13,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"sync"
 	"testing"
@@ -373,6 +374,38 @@ func BenchmarkWikiMatchFilmType(b *testing.B) {
 			b.Fatal("no correspondences")
 		}
 	}
+}
+
+// BenchmarkSessionWarmVsCold is the acceptance gate for the session's
+// artifact cache: "cold" pays the full pipeline (dictionary, TypeData,
+// truncated SVD per type) on a fresh session every iteration, "warm"
+// reuses one prewarmed session so each Match only re-runs Algorithm 1
+// over cached artifacts. The warm path must be ≥2× faster while
+// producing byte-identical results (asserted by the service tests).
+func BenchmarkSessionWarmVsCold(b *testing.B) {
+	s := fullSetup(b)
+	ctx := context.Background()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := NewSession(s.Corpus).Match(ctx, wiki.PtEn)
+			if err != nil || len(res.Types) == 0 {
+				b.Fatalf("cold match: %v (%d types)", err, len(res.Types))
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		sess := NewSession(s.Corpus)
+		if _, err := sess.Match(ctx, wiki.PtEn); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := sess.Match(ctx, wiki.PtEn)
+			if err != nil || len(res.Types) == 0 {
+				b.Fatalf("warm match: %v (%d types)", err, len(res.Types))
+			}
+		}
+	})
 }
 
 func BenchmarkDumpWriteParse(b *testing.B) {

@@ -1,15 +1,19 @@
 // Command benchall regenerates every table and figure of the paper's
 // evaluation and prints them in the same row/series layout the paper
-// reports. The extra "svd" experiment times the LSI substrate: the
+// reports. Two extra experiments time the substrate: "svd" compares the
 // seed's dense-Jacobi-then-truncate decomposition against the sparse
-// subsystem, over every type's occurrence matrix in the corpus.
+// subsystem over every type's occurrence matrix, and "session" measures
+// the serving-path speedup of a warm session (cached dictionaries and
+// LSI artifacts) over a cold one — the cmd-level twin of the
+// BenchmarkSessionWarmVsCold gate.
 //
 // Usage:
 //
-//	benchall [-scale small|full] [-run all|table1|table2|table3|table5|table6|table7|figure3|figure4|figure5|figure6|figure7|svd]
+//	benchall [-scale small|full] [-run all|table1|table2|table3|table5|table6|table7|figure3|figure4|figure5|figure6|figure7|svd|session]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +23,9 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/linalg"
 	"repro/internal/lsi"
+	"repro/internal/service"
 	"repro/internal/synth"
+	"repro/internal/wiki"
 )
 
 func main() {
@@ -78,6 +84,8 @@ func main() {
 		experiments.RenderExtensions(w, s.Extensions(mcfg))
 	case "svd":
 		renderSVDTimings(s)
+	case "session":
+		renderSessionTimings(s)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
 		os.Exit(2)
@@ -102,6 +110,40 @@ func renderSVDTimings(s *experiments.Setup) {
 				denseT.Round(time.Microsecond), sparseT.Round(time.Microsecond),
 				float64(denseT)/float64(sparseT))
 		}
+	}
+}
+
+// renderSessionTimings measures the artifact cache's serving-path win:
+// per pair, a cold session match (fresh session each run, rebuilding
+// dictionary + per-type LSI models) against a warm match on one
+// prewarmed session (alignment only).
+func renderSessionTimings(s *experiments.Setup) {
+	ctx := context.Background()
+	fmt.Printf("%-6s %6s %12s %12s %8s\n", "pair", "types", "cold", "warm", "speedup")
+	for _, pair := range []wiki.LanguagePair{wiki.PtEn, wiki.VnEn} {
+		var types int
+		cold := timeIt(func() {
+			res, err := service.New(s.Corpus).Match(ctx, pair)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cold match:", err)
+				os.Exit(1)
+			}
+			types = len(res.Types)
+		})
+		sess := service.New(s.Corpus)
+		if _, err := sess.Match(ctx, pair); err != nil {
+			fmt.Fprintln(os.Stderr, "prewarm:", err)
+			os.Exit(1)
+		}
+		warm := timeIt(func() {
+			if _, err := sess.Match(ctx, pair); err != nil {
+				fmt.Fprintln(os.Stderr, "warm match:", err)
+				os.Exit(1)
+			}
+		})
+		fmt.Printf("%-6s %6d %12s %12s %7.1fx\n",
+			pair, types, cold.Round(time.Microsecond), warm.Round(time.Microsecond),
+			float64(cold)/float64(warm))
 	}
 }
 

@@ -1,22 +1,25 @@
 // Command wikimatch runs the WikiMatch aligner end to end: it generates
-// (or loads) a multilingual corpus, matches entity types and attributes
-// across a language pair, and prints the derived correspondences with
-// their evaluation against the ground truth.
+// (or loads) a multilingual corpus, opens a matching session, matches
+// entity types and attributes across a language pair, and prints the
+// derived correspondences with their evaluation against the ground
+// truth. The -stream flag prints per-type results as they complete
+// instead of waiting for the whole pair.
 //
 // Usage:
 //
 //	wikimatch [-pair pt-en|vi-en] [-type filme] [-scale small|full]
 //	          [-dumps dir]     load XML dumps (<lang>.xml) instead of generating
-//	          [-tsim 0.6] [-tlsi 0.1]
+//	          [-tsim 0.6] [-tlsi 0.1] [-stream]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
-	"repro/internal/core"
+	"repro"
 	"repro/internal/dump"
 	"repro/internal/eval"
 	"repro/internal/synth"
@@ -30,16 +33,12 @@ func main() {
 	dumpsDir := flag.String("dumps", "", "directory with <lang>.xml dumps to load instead of generating")
 	tsim := flag.Float64("tsim", 0.6, "certain-match threshold Tsim")
 	tlsi := flag.Float64("tlsi", 0.1, "correlation threshold TLSI")
+	stream := flag.Bool("stream", false, "print per-type results as each type completes")
 	flag.Parse()
 
-	var pair wiki.LanguagePair
-	switch *pairFlag {
-	case "pt-en":
-		pair = wiki.PtEn
-	case "vi-en":
-		pair = wiki.VnEn
-	default:
-		fmt.Fprintf(os.Stderr, "unknown pair %q\n", *pairFlag)
+	pair, err := repro.ParseLanguagePair(*pairFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -83,40 +82,73 @@ func main() {
 	fmt.Printf("corpus: %v articles, %v infoboxes, %v cross pairs\n\n",
 		stats.Articles, stats.Infoboxes, stats.CrossPairs)
 
-	mcfg := core.DefaultConfig()
-	mcfg.TSim, mcfg.TLSI = *tsim, *tlsi
-	res := core.NewMatcher(mcfg).Match(corpus, pair)
+	ctx := context.Background()
+	session := repro.NewSession(corpus, repro.WithTSim(*tsim), repro.WithTLSI(*tlsi))
 
+	types, err := session.Types(ctx, pair)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "match types:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("matched entity types (%s):\n", pair)
-	for _, tp := range res.Types {
+	for _, tp := range types {
 		fmt.Printf("  %-28s ~ %s\n", tp[0], tp[1])
 	}
 	fmt.Println()
 
+	if *stream {
+		updates, err := session.MatchStream(ctx, pair)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stream:", err)
+			os.Exit(1)
+		}
+		for u := range updates {
+			if u.Err != nil {
+				fmt.Fprintln(os.Stderr, "stream:", u.Err)
+				os.Exit(1)
+			}
+			if *typeFlag != "" && u.TypeA != *typeFlag {
+				continue
+			}
+			printType(corpus, truth, pair, u.TypeA, u.TypeB, u.Result)
+		}
+		return
+	}
+
+	res, err := session.Match(ctx, pair)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "match:", err)
+		os.Exit(1)
+	}
 	for _, tp := range res.Types {
 		if *typeFlag != "" && tp[0] != *typeFlag {
 			continue
 		}
-		tr := res.PerType[tp]
-		fmt.Printf("== %s ~ %s\n", tp[0], tp[1])
-		for _, p := range tr.CrossPairsSorted() {
-			fmt.Printf("  %-30s ~ %s\n", p[0], p[1])
-		}
-		if truth != nil {
-			if canon, ok := truth.CanonType(pair.A, tp[0]); ok {
-				tt := truth.Types[canon]
-				freqA, freqB := eval.AttributeFrequencies(corpus, pair, tp[0], tp[1])
-				g := eval.TruthPairs(freqA, freqB, pair, tt.Correct)
-				derived := make(eval.Correspondences)
-				for a, bs := range tr.Cross {
-					for b := range bs {
-						derived.Add(a, b)
-					}
-				}
-				prf := eval.Weighted(derived, g, freqA, freqB)
-				fmt.Printf("  → weighted P=%.2f R=%.2f F=%.2f\n", prf.Precision, prf.Recall, prf.F)
-			}
-		}
-		fmt.Println()
+		printType(corpus, truth, pair, tp[0], tp[1], res.PerType[tp])
 	}
+}
+
+// printType renders one type's correspondences and, when ground truth is
+// available, its weighted scores.
+func printType(corpus *wiki.Corpus, truth *synth.GroundTruth, pair wiki.LanguagePair, typeA, typeB string, tr *repro.TypeMatchResult) {
+	fmt.Printf("== %s ~ %s\n", typeA, typeB)
+	for _, p := range tr.CrossPairsSorted() {
+		fmt.Printf("  %-30s ~ %s\n", p[0], p[1])
+	}
+	if truth != nil {
+		if canon, ok := truth.CanonType(pair.A, typeA); ok {
+			tt := truth.Types[canon]
+			freqA, freqB := eval.AttributeFrequencies(corpus, pair, typeA, typeB)
+			g := eval.TruthPairs(freqA, freqB, pair, tt.Correct)
+			derived := make(eval.Correspondences)
+			for a, bs := range tr.Cross {
+				for b := range bs {
+					derived.Add(a, b)
+				}
+			}
+			prf := eval.Weighted(derived, g, freqA, freqB)
+			fmt.Printf("  → weighted P=%.2f R=%.2f F=%.2f\n", prf.Precision, prf.Recall, prf.F)
+		}
+	}
+	fmt.Println()
 }

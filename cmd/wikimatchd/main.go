@@ -1,0 +1,128 @@
+// Command wikimatchd serves WikiMatch over HTTP: it generates (or loads)
+// a multilingual corpus, opens one shared matching session, and exposes
+// matching, streaming and corpus inspection as a JSON API. The session's
+// artifact cache makes repeated requests cheap — the first /match for a
+// pair builds the dictionary and the per-type LSI models, every later
+// request reuses them.
+//
+// Usage:
+//
+//	wikimatchd [-addr :8080] [-scale small|full]
+//	           [-dumps dir]     load XML dumps (<lang>.xml) instead of generating
+//	           [-tsim 0.6] [-tlsi 0.1]
+//
+// Endpoints:
+//
+//	GET  /corpus/stats                  corpus, cache and config snapshot
+//	GET  /match?pair=pt-en              full matching run (JSON)
+//	GET  /match/stream?pair=pt-en       per-type results as NDJSON
+//	GET  /match/{type}?pair=pt-en       one entity type's alignment
+//	POST /session/invalidate?lang=pt    drop cached artifacts
+//
+// Try:
+//
+//	curl localhost:8080/corpus/stats
+//	curl localhost:8080/match?pair=vi-en
+//	curl -N localhost:8080/match/stream?pair=pt-en
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	scale := flag.String("scale", "small", "generated corpus scale: small or full")
+	dumpsDir := flag.String("dumps", "", "directory with <lang>.xml dumps to load instead of generating")
+	tsim := flag.Float64("tsim", 0.6, "certain-match threshold Tsim")
+	tlsi := flag.Float64("tlsi", 0.1, "correlation threshold TLSI")
+	flag.Parse()
+
+	corpus, err := buildCorpus(*dumpsDir, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := corpus.Stats()
+	log.Printf("corpus ready: %v articles, %v infoboxes, %v cross pairs",
+		stats.Articles, stats.Infoboxes, stats.CrossPairs)
+
+	session := repro.NewSession(corpus, repro.WithTSim(*tsim), repro.WithTLSI(*tlsi))
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           repro.NewHTTPHandler(session),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = server.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("wikimatchd listening on %s", *addr)
+	if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	// ListenAndServe returns as soon as Shutdown begins; wait for the
+	// drain of in-flight requests to actually finish.
+	stop()
+	<-shutdownDone
+	log.Print("wikimatchd stopped")
+}
+
+// buildCorpus loads <lang>.xml dumps from dir when given, otherwise
+// generates the synthetic corpus at the requested scale.
+func buildCorpus(dir, scale string) (*repro.Corpus, error) {
+	if dir != "" {
+		corpus := repro.NewCorpus()
+		loaded := 0
+		for _, lang := range []repro.Language{repro.English, repro.Portuguese, repro.Vietnamese} {
+			path := filepath.Join(dir, string(lang)+".xml")
+			f, err := os.Open(path)
+			if os.IsNotExist(err) {
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("open dump: %w", err)
+			}
+			res, err := repro.LoadDump(corpus, f, lang)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("load dump %s: %w", path, err)
+			}
+			log.Printf("loaded %s: %d pages (%d skipped, %d errors)",
+				path, res.Pages, res.Skipped, len(res.Errors))
+			loaded++
+		}
+		if loaded == 0 {
+			return nil, fmt.Errorf("no <lang>.xml dumps found in %s", dir)
+		}
+		return corpus, nil
+	}
+	cfg := repro.SmallCorpus()
+	if scale == "full" {
+		cfg = repro.DefaultCorpus()
+	}
+	corpus, _, err := repro.GenerateCorpus(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("generate corpus: %w", err)
+	}
+	return corpus, nil
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -18,7 +19,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	result := repro.Match(corpus, repro.PtEn)
+	session := repro.NewSession(corpus)
+	result, err := session.Match(context.Background(), repro.PtEn)
+	if err != nil {
+		log.Fatal(err)
+	}
 	films, ok := result.ByTypeA("filme")
 	if !ok {
 		log.Fatal("no film result")

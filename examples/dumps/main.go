@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -59,8 +60,17 @@ func main() {
 	}
 	fmt.Printf("reloaded %d articles\n\n", reloaded.Len())
 
-	orig := repro.Match(corpus, repro.VnEn)
-	again := repro.Match(reloaded, repro.VnEn)
+	// A session is bound to one corpus, so the in-memory original and the
+	// reloaded copy each get their own.
+	ctx := context.Background()
+	orig, err := repro.NewSession(corpus).Match(ctx, repro.VnEn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	again, err := repro.NewSession(reloaded).Match(ctx, repro.VnEn)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, tp := range orig.Types {
 		a := orig.PerType[tp].CrossPairsSorted()
 		b := again.PerType[tp].CrossPairsSorted()

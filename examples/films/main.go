@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -18,10 +19,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	result := repro.Match(corpus, repro.PtEn)
-	films, ok := result.ByTypeA("filme")
-	if !ok {
-		log.Fatal("no film alignment")
+	// Only the film type matters here, so ask the session for that one
+	// alignment instead of matching the whole pair.
+	session := repro.NewSession(corpus)
+	films, err := session.MatchType(context.Background(), repro.PtEn, "filme", "film")
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	// Pick a cross-linked film pair and show both infoboxes.

@@ -1,9 +1,10 @@
-// Quickstart: generate a small multilingual corpus, run WikiMatch on the
-// Portuguese–English pair, and print the derived attribute
-// correspondences for a couple of types.
+// Quickstart: generate a small multilingual corpus, open a matching
+// session, run WikiMatch on the Portuguese–English pair, and print the
+// derived attribute correspondences for a couple of types.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +18,15 @@ func main() {
 	}
 	fmt.Printf("generated %d articles across %v\n\n", corpus.Len(), corpus.Languages())
 
-	result := repro.Match(corpus, repro.PtEn)
+	// A session caches the pair's dictionary and per-type LSI artifacts,
+	// so any further Match / MatchType / MatchStream calls on it are
+	// nearly free. For a single one-shot match, repro.Match does the same
+	// thing with a throwaway session.
+	session := repro.NewSession(corpus)
+	result, err := session.Match(context.Background(), repro.PtEn)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("matched entity types:")
 	for _, tp := range result.Types {
 		fmt.Printf("  %-26s ~ %s\n", tp[0], tp[1])

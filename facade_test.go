@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -114,6 +115,90 @@ func TestFacadeMatchEntityTypes(t *testing.T) {
 	pairs := MatchEntityTypes(corpus, VnEn)
 	if len(pairs) != 4 {
 		t.Errorf("vn-en type pairs = %v", pairs)
+	}
+}
+
+// TestFacadeSession drives the session API through the facade: options,
+// matching, streaming, cache stats and invalidation, plus the HTTP
+// handler constructor.
+func TestFacadeSession(t *testing.T) {
+	corpus, _, err := GenerateCorpus(SmallCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sess := NewSession(corpus, WithTSim(0.6), WithTLSI(0.1))
+	res, err := sess.Match(ctx, PtEn)
+	if err != nil {
+		t.Fatalf("session Match: %v", err)
+	}
+	legacy := Match(corpus, PtEn)
+	if len(res.Types) != len(legacy.Types) {
+		t.Fatalf("session types = %d, legacy = %d", len(res.Types), len(legacy.Types))
+	}
+	for _, tp := range legacy.Types {
+		a := legacy.PerType[tp].CrossPairsSorted()
+		b := res.PerType[tp].CrossPairsSorted()
+		if len(a) != len(b) {
+			t.Errorf("type %v: %d vs %d correspondences", tp, len(b), len(a))
+		}
+	}
+
+	updates, err := sess.MatchStream(ctx, PtEn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for u := range updates {
+		if u.Err != nil {
+			t.Fatalf("stream: %v", u.Err)
+		}
+		n++
+	}
+	if n != len(res.Types) {
+		t.Errorf("streamed %d types, want %d", n, len(res.Types))
+	}
+
+	if st := sess.CacheStats(); st.TypeEntries == 0 || st.Hits == 0 {
+		t.Errorf("cache unused: %+v", st)
+	}
+	if sess.Invalidate(Portuguese) == 0 {
+		t.Error("Invalidate dropped nothing")
+	}
+	if NewHTTPHandler(sess) == nil {
+		t.Error("nil HTTP handler")
+	}
+	if pair, err := ParseLanguagePair("vn-en"); err != nil || pair != VnEn {
+		t.Errorf("ParseLanguagePair(vn-en) = %v, %v", pair, err)
+	}
+}
+
+// TestFacadeBaselines checks the baseline runners exposed on the facade.
+func TestFacadeBaselines(t *testing.T) {
+	corpus, _, err := GenerateCorpus(SmallCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bouma := RunBouma(corpus, PtEn, "filme", "film", DefaultBoumaConfig())
+	if bouma.Pairs() == 0 {
+		t.Fatal("Bouma derived nothing")
+	}
+	if !bouma.Has(Normalize("direção"), "directed by") {
+		t.Error("Bouma missed direção ~ directed by")
+	}
+	lt := NewLabelTranslator(0, 1)
+	lt.Add("direção", "directed by")
+	cfgs := COMAConfigs(0.01)
+	for i, coma := range RunCOMASweep(corpus, PtEn, "filme", "film", lt, cfgs...) {
+		if coma.Pairs() == 0 {
+			t.Errorf("COMA config %d (%s) derived nothing", i, cfgs[i].Label())
+		}
+	}
+	// The single-config entrypoint agrees with the sweep.
+	single := RunCOMA(corpus, PtEn, "filme", "film", lt, cfgs[1])
+	sweep := RunCOMASweep(corpus, PtEn, "filme", "film", lt, cfgs[1])[0]
+	if single.Pairs() != sweep.Pairs() {
+		t.Errorf("RunCOMA %d pairs, RunCOMASweep %d", single.Pairs(), sweep.Pairs())
 	}
 }
 

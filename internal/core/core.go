@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -223,47 +224,131 @@ type Result struct {
 	TypeList []string // pair.A-side type names, sorted
 }
 
+// TypeArtifacts carries the prebuilt inputs of one type alignment. Any
+// nil field is built from the corpus; a long-lived session injects cached
+// instances so repeated matches skip the expensive construction.
+type TypeArtifacts struct {
+	TD  *sim.TypeData
+	LSI *lsi.Model
+}
+
+// MatchArtifacts carries the pair-level prebuilt inputs of a full Match:
+// the entity-type alignment, the translation dictionary, and a per-type
+// artifact source. Every field is optional.
+type MatchArtifacts struct {
+	// Types is the entity-type alignment (MatchEntityTypes output); nil
+	// means compute it.
+	Types [][2]string
+	// Dict is the A→B translation dictionary. It is consulted only when
+	// HaveDict is set, so a caller can inject "no dictionary" explicitly.
+	Dict     *dict.Dictionary
+	HaveDict bool
+	// PerType, when non-nil, supplies the per-type artifacts; it must be
+	// safe for concurrent calls (types are matched in parallel).
+	PerType func(ctx context.Context, typeA, typeB string) (*TypeArtifacts, error)
+}
+
 // Match runs WikiMatch end to end for a language pair: it matches entity
 // types, builds the translation dictionary from cross-language links, and
 // aligns attributes per type. Types are independent, so they are matched
 // concurrently; the result is identical to a sequential run.
 func (m *Matcher) Match(c *wiki.Corpus, pair wiki.LanguagePair) *Result {
+	res, _ := m.MatchCtx(context.Background(), c, pair, nil)
+	return res
+}
+
+// MatchCtx is Match with cancellation and artifact injection. It checks
+// ctx between pipeline stages and inside the per-type scoring loops, and
+// returns (nil, ctx.Err()) as soon as the context is done. art may be nil
+// or partially populated; anything missing is built from the corpus.
+func (m *Matcher) MatchCtx(ctx context.Context, c *wiki.Corpus, pair wiki.LanguagePair, art *MatchArtifacts) (*Result, error) {
+	if art == nil {
+		art = &MatchArtifacts{}
+	}
 	res := &Result{Pair: pair, PerType: make(map[[2]string]*TypeResult)}
-	res.Types = MatchEntityTypes(c, pair)
-	if !m.cfg.NoDictionary {
-		res.Dict = dict.Build(c, pair.A, pair.B)
+	if art.Types != nil {
+		res.Types = art.Types
+	} else {
+		res.Types = MatchEntityTypes(c, pair)
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(res.Types) {
-		workers = len(res.Types)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	if workers < 1 {
-		workers = 1
+	switch {
+	case m.cfg.NoDictionary:
+		// vsim-without-dictionary ablation: never translate.
+	case art.HaveDict:
+		res.Dict = art.Dict
+	default:
+		d, err := dict.BuildCtx(ctx, c, pair.A, pair.B)
+		if err != nil {
+			return nil, err
+		}
+		res.Dict = d
 	}
 	results := make([]*TypeResult, len(res.Types))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				tp := res.Types[i]
-				results[i] = m.MatchType(c, pair, tp[0], tp[1], res.Dict)
+	errs := make([]error, len(res.Types))
+	ParallelTypes(ctx, len(res.Types), func(i int) {
+		tp := res.Types[i]
+		var ta *TypeArtifacts
+		if art.PerType != nil {
+			var err error
+			if ta, err = art.PerType(ctx, tp[0], tp[1]); err != nil {
+				errs[i] = err
+				return
 			}
-		}()
+		}
+		results[i], errs[i] = m.MatchTypeCtx(ctx, c, pair, tp[0], tp[1], res.Dict, ta)
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	for i := range res.Types {
-		next <- i
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
-	close(next)
-	wg.Wait()
 	for i, tp := range res.Types {
 		res.PerType[tp] = results[i]
 		res.TypeList = append(res.TypeList, tp[0])
 	}
 	sort.Strings(res.TypeList)
-	return res
+	return res, nil
+}
+
+// ParallelTypes runs worker(i) for every i in [0, n) across a
+// GOMAXPROCS-capped goroutine pool — the scheduling both the blocking
+// and the streaming match paths share. Once ctx is done, remaining
+// indices are skipped (drained without work); the caller decides what a
+// skip means by checking ctx.Err() afterwards. worker must be safe for
+// concurrent calls on distinct indices.
+func ParallelTypes(ctx context.Context, n int, worker func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if ctx.Err() != nil {
+					continue
+				}
+				worker(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 }
 
 // ByTypeA returns the per-type result for a pair.A-side type name. The
@@ -281,12 +366,59 @@ func (r *Result) ByTypeA(typeA string) (*TypeResult, bool) {
 
 // MatchType aligns the attributes of one matched type pair — Algorithm 1.
 func (m *Matcher) MatchType(c *wiki.Corpus, pair wiki.LanguagePair, typeA, typeB string, d *dict.Dictionary) *TypeResult {
-	cfg := m.cfg
-	if cfg.NoDictionary {
+	r, _ := m.MatchTypeCtx(context.Background(), c, pair, typeA, typeB, d, nil)
+	return r
+}
+
+// BuildTypeArtifacts constructs the artifacts MatchTypeCtx would build
+// internally for one type pair, honouring the matcher's dictionary and
+// SVD configuration — the factory a caching session shares with the
+// inline path so cached and cold runs are identical.
+func (m *Matcher) BuildTypeArtifacts(ctx context.Context, c *wiki.Corpus, pair wiki.LanguagePair, typeA, typeB string, d *dict.Dictionary) (*TypeArtifacts, error) {
+	art := &TypeArtifacts{}
+	var err error
+	if m.cfg.NoDictionary {
 		d = nil
 	}
-	td := sim.BuildTypeData(c, pair, typeA, typeB, d)
-	model := lsi.BuildWith(td.Duals, cfg.LSIRank, lsi.Options{ExactSVD: cfg.ExactSVD}, td.Attrs...)
+	if art.TD, err = sim.BuildTypeDataCtx(ctx, c, pair, typeA, typeB, d); err != nil {
+		return nil, err
+	}
+	art.LSI, err = lsi.BuildWithCtx(ctx, art.TD.Duals, m.cfg.LSIRank,
+		lsi.Options{ExactSVD: m.cfg.ExactSVD}, art.TD.Attrs...)
+	if err != nil {
+		return nil, err
+	}
+	return art, nil
+}
+
+// MatchTypeCtx is MatchType with cancellation and artifact injection: ctx
+// is checked during artifact construction and at every chunk boundary of
+// the pair-scoring stage, and art (when non-nil) supplies a prebuilt
+// TypeData and LSI model so the alignment skips straight to scoring.
+func (m *Matcher) MatchTypeCtx(ctx context.Context, c *wiki.Corpus, pair wiki.LanguagePair, typeA, typeB string, d *dict.Dictionary, art *TypeArtifacts) (*TypeResult, error) {
+	cfg := m.cfg
+	var td *sim.TypeData
+	var model *lsi.Model
+	if art != nil {
+		td, model = art.TD, art.LSI
+	}
+	if td == nil {
+		if cfg.NoDictionary {
+			d = nil
+		}
+		var err error
+		if td, err = sim.BuildTypeDataCtx(ctx, c, pair, typeA, typeB, d); err != nil {
+			return nil, err
+		}
+	}
+	if model == nil {
+		var err error
+		model, err = lsi.BuildWithCtx(ctx, td.Duals, cfg.LSIRank,
+			lsi.Options{ExactSVD: cfg.ExactSVD}, td.Attrs...)
+		if err != nil {
+			return nil, err
+		}
+	}
 	r := &TypeResult{TypeA: typeA, TypeB: typeB, TD: td, LSI: model}
 
 	vsim := func(i, j int) float64 {
@@ -319,7 +451,9 @@ func (m *Matcher) MatchType(c *wiki.Corpus, pair wiki.LanguagePair, typeA, typeB
 			}
 		}
 	}
-	scorePairs(len(pairs), scoreRange)
+	if err := scorePairsCtx(ctx, len(pairs), scoreRange); err != nil {
+		return nil, err
+	}
 
 	lsiScore := make([][]float64, n)
 	for i := range lsiScore {
@@ -422,7 +556,7 @@ func (m *Matcher) MatchType(c *wiki.Corpus, pair wiki.LanguagePair, typeA, typeB
 		r.Matches = ms
 		r.Candidates = queue
 		r.Cross = crossFromPairs(td, direct)
-		return r
+		return r, nil
 	}
 
 	var uncertain []Candidate
@@ -434,6 +568,10 @@ func (m *Matcher) MatchType(c *wiki.Corpus, pair wiki.LanguagePair, typeA, typeB
 		} else {
 			uncertain = append(uncertain, *cand)
 		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	if !cfg.DisableRevise {
@@ -487,7 +625,7 @@ func (m *Matcher) MatchType(c *wiki.Corpus, pair wiki.LanguagePair, typeA, typeB
 	r.Matches = ms
 	r.Candidates = queue
 	r.Cross = extractCross(td, ms)
-	return r
+	return r, nil
 }
 
 // crossFromPairs builds the correspondence map from an explicit pair
@@ -554,22 +692,33 @@ var scoreTokens = func() chan struct{} {
 	return c
 }()
 
-// scorePairs runs fn over [0, n) — serially for small types, otherwise
+// scorePairsCtx runs fn over [0, n) — serially for small types, otherwise
 // chunked across the calling goroutine plus however many helpers the
 // shared token pool will fund right now. fn must be safe to call
-// concurrently on disjoint ranges.
-func scorePairs(n int, fn func(lo, hi int)) {
+// concurrently on disjoint ranges. The context is checked at every chunk
+// boundary (on the serial path too); once it is done, remaining chunks
+// are abandoned and ctx.Err() is returned.
+func scorePairsCtx(ctx context.Context, n int, fn func(lo, hi int)) error {
 	const (
 		minParallel = 512 // below this the fan-out costs more than it saves
 		chunk       = 256
 	)
 	if n < minParallel {
-		fn(0, n)
-		return
+		for lo := 0; lo < n; lo += chunk {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return ctx.Err()
 	}
 	var next int64
 	work := func() {
-		for {
+		for ctx.Err() == nil {
 			lo := int(atomic.AddInt64(&next, chunk)) - chunk
 			if lo >= n {
 				return
@@ -602,6 +751,7 @@ spawn:
 	}
 	work()
 	wg.Wait()
+	return ctx.Err()
 }
 
 func maxF(a, b float64) float64 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"testing"
@@ -45,17 +46,40 @@ func TestScorePairsCoversEveryIndexOnce(t *testing.T) {
 	for _, n := range []int{0, 1, 7, 511, 512, 513, 5000} {
 		var mu sync.Mutex
 		visits := make([]int, n)
-		scorePairs(n, func(lo, hi int) {
+		err := scorePairsCtx(context.Background(), n, func(lo, hi int) {
 			mu.Lock()
 			defer mu.Unlock()
 			for i := lo; i < hi; i++ {
 				visits[i]++
 			}
 		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
 		for i, v := range visits {
 			if v != 1 {
 				t.Fatalf("n=%d: index %d visited %d times", n, i, v)
 			}
 		}
+	}
+}
+
+// TestScorePairsCtxCancelled checks that a dead context stops the chunked
+// scoring loop without visiting every index.
+func TestScorePairsCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	visited := 0
+	var mu sync.Mutex
+	err := scorePairsCtx(ctx, 5000, func(lo, hi int) {
+		mu.Lock()
+		visited += hi - lo
+		mu.Unlock()
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if visited == 5000 {
+		t.Error("cancelled scorePairsCtx still visited every index")
 	}
 }

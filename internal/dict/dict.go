@@ -12,6 +12,7 @@
 package dict
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -21,7 +22,8 @@ import (
 
 // Dictionary translates article titles from one language to another. Keys
 // are normalized (lowercased, diacritics folded); translations preserve
-// the target title's original form.
+// the target title's original form. A Dictionary is immutable once built,
+// so any number of goroutines may Translate concurrently.
 type Dictionary struct {
 	From, To wiki.Language
 	entries  map[string]string
@@ -36,18 +38,40 @@ func New(from, to wiki.Language) *Dictionary {
 // cross-language links, in both recorded directions (a link stored on
 // either article contributes the same entry).
 func Build(c *wiki.Corpus, from, to wiki.Language) *Dictionary {
+	d, _ := BuildCtx(context.Background(), c, from, to)
+	return d
+}
+
+// buildCheckEvery is how many articles BuildCtx scans between context
+// checks.
+const buildCheckEvery = 1024
+
+// BuildCtx is Build with cancellation: it checks ctx between article
+// batches and returns ctx.Err() (with a nil dictionary) once the context
+// is done.
+func BuildCtx(ctx context.Context, c *wiki.Corpus, from, to wiki.Language) (*Dictionary, error) {
 	d := New(from, to)
+	n := 0
 	for _, a := range c.Articles(from) {
+		if n++; n%buildCheckEvery == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		if title, ok := a.CrossLink(to); ok {
 			d.Add(a.Title, title)
 		}
 	}
 	for _, b := range c.Articles(to) {
+		if n++; n%buildCheckEvery == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		if title, ok := b.CrossLink(from); ok {
 			d.Add(title, b.Title)
 		}
 	}
-	return d
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
 // Add records a translation from a title in the source language to a

@@ -10,6 +10,8 @@
 package lsi
 
 import (
+	"context"
+
 	"repro/internal/linalg"
 	"repro/internal/wiki"
 )
@@ -60,12 +62,28 @@ func Build(duals []Dual, rank int, extraAttrs ...Attr) *Model {
 
 // BuildWith is Build with explicit options.
 func BuildWith(duals []Dual, rank int, opts Options, extraAttrs ...Attr) *Model {
+	m, _ := BuildWithCtx(context.Background(), duals, rank, opts, extraAttrs...)
+	return m
+}
+
+// buildCheckEvery is how many dual infoboxes BuildWithCtx processes
+// between context checks.
+const buildCheckEvery = 128
+
+// BuildWithCtx is BuildWith with cancellation: the co-occurrence scan
+// checks ctx between dual batches and the decomposition is skipped once
+// the context is done, returning a nil model and ctx.Err(). The model,
+// once returned, is immutable and safe for concurrent scoring.
+func BuildWithCtx(ctx context.Context, duals []Dual, rank int, opts Options, extraAttrs ...Attr) (*Model, error) {
 	if rank <= 0 {
 		rank = DefaultRank
 	}
 	m := &Model{coOccur: make(map[[2]int]bool), rank: rank}
 	m.Attrs, m.Index = IndexAttrs(duals, extraAttrs...)
-	for _, d := range duals {
+	for k, d := range duals {
+		if k%buildCheckEvery == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		// Same-language co-occurrence within the two constituent
 		// infoboxes: attributes that appear together in one infobox
 		// cannot be synonyms (score 0).
@@ -86,7 +104,7 @@ func BuildWith(duals []Dual, rank int, opts Options, extraAttrs ...Attr) *Model 
 	n, docs := len(m.Attrs), len(duals)
 	if n == 0 || docs == 0 {
 		m.embedding = linalg.NewMatrix(n, 0)
-		return m
+		return m, nil
 	}
 	k := rank
 	if k > docs {
@@ -96,12 +114,18 @@ func BuildWith(duals []Dual, rank int, opts Options, extraAttrs ...Attr) *Model 
 		k = n
 	}
 	occ := OccurrenceMatrix(duals, m.Index)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opts.ExactSVD {
 		m.embedding = linalg.TruncatedSVD(occ.Dense(), k).ScaledU()
 	} else {
 		m.embedding = linalg.SparseTruncatedSVD(occ, k).ScaledU()
 	}
-	return m
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // IndexAttrs interns every attribute appearing in the duals (A side

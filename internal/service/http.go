@@ -1,0 +1,229 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wiki"
+)
+
+// The wire DTOs of the wikimatchd HTTP API. Every handler takes the
+// language pair from the "pair" query parameter ("pt-en" by default) and
+// is driven by the request context, so a disconnecting client cancels
+// the matching work it started.
+
+// CorrespondenceJSON is one derived cross-language correspondence.
+type CorrespondenceJSON struct {
+	A          string  `json:"a"`
+	B          string  `json:"b"`
+	Confidence float64 `json:"confidence"`
+}
+
+// TypeResultJSON is the wire form of one type's alignment outcome.
+type TypeResultJSON struct {
+	TypeA           string               `json:"typeA"`
+	TypeB           string               `json:"typeB"`
+	Attributes      int                  `json:"attributes"`
+	Candidates      int                  `json:"candidates"`
+	Correspondences []CorrespondenceJSON `json:"correspondences"`
+	ElapsedMS       float64              `json:"elapsedMs"`
+}
+
+// MatchResponseJSON is the wire form of a full /match run.
+type MatchResponseJSON struct {
+	Pair      string           `json:"pair"`
+	Types     [][2]string      `json:"types"`
+	Results   []TypeResultJSON `json:"results"`
+	ElapsedMS float64          `json:"elapsedMs"`
+	Cache     CacheStats       `json:"cache"`
+}
+
+// StatsResponseJSON is the wire form of /corpus/stats.
+type StatsResponseJSON struct {
+	Corpus wiki.Stats  `json:"corpus"`
+	Cache  CacheStats  `json:"cache"`
+	Config core.Config `json:"config"`
+}
+
+// errorJSON is the uniform error body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// NewHandler builds the wikimatchd HTTP API over one shared session:
+//
+//	GET  /corpus/stats        corpus, cache and configuration snapshot
+//	GET  /match?pair=pt-en    full matching run, JSON
+//	GET  /match/stream?pair=  per-type results as NDJSON, flushed as each
+//	                          type completes
+//	GET  /match/{type}?pair=  one entity type's alignment, JSON
+//	POST /session/invalidate?lang=pt   drop cached artifacts for a language
+//	                          (no lang: drop everything)
+func NewHandler(s *Session) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /corpus/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, StatsResponseJSON{
+			Corpus: s.Corpus().Stats(),
+			Cache:  s.CacheStats(),
+			Config: s.Config(),
+		})
+	})
+	mux.HandleFunc("GET /match", func(w http.ResponseWriter, r *http.Request) {
+		pair, ok := requestPair(w, r)
+		if !ok {
+			return
+		}
+		start := time.Now()
+		res, err := s.Match(r.Context(), pair)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		resp := MatchResponseJSON{
+			Pair:      pair.String(),
+			Types:     res.Types,
+			ElapsedMS: msSince(start),
+			Cache:     s.CacheStats(),
+		}
+		for _, tp := range res.Types {
+			resp.Results = append(resp.Results, typeResultJSON(res.PerType[tp], 0))
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /match/stream", func(w http.ResponseWriter, r *http.Request) {
+		pair, ok := requestPair(w, r)
+		if !ok {
+			return
+		}
+		updates, err := s.MatchStream(r.Context(), pair)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		for u := range updates {
+			if u.Err != nil {
+				_ = enc.Encode(errorJSON{Error: u.Err.Error()})
+			} else {
+				_ = enc.Encode(typeResultJSON(u.Result, 0))
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	})
+	mux.HandleFunc("GET /match/{type}", func(w http.ResponseWriter, r *http.Request) {
+		pair, ok := requestPair(w, r)
+		if !ok {
+			return
+		}
+		typeA := r.PathValue("type")
+		types, err := s.Types(r.Context(), pair)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		typeB := ""
+		for _, tp := range types {
+			if tp[0] == typeA {
+				typeB = tp[1]
+				break
+			}
+		}
+		if typeB == "" {
+			writeJSON(w, http.StatusNotFound, errorJSON{Error: fmt.Sprintf("no matched entity type %q for pair %s", typeA, pair)})
+			return
+		}
+		start := time.Now()
+		tr, err := s.MatchType(r.Context(), pair, typeA, typeB)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, typeResultJSON(tr, msSince(start)))
+	})
+	mux.HandleFunc("POST /session/invalidate", func(w http.ResponseWriter, r *http.Request) {
+		lang := wiki.Language(r.URL.Query().Get("lang"))
+		if lang != "" && !lang.Valid() {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("invalid language %q", lang)})
+			return
+		}
+		dropped := s.Invalidate(lang)
+		writeJSON(w, http.StatusOK, map[string]int{"dropped": dropped})
+	})
+	return mux
+}
+
+// typeResultJSON flattens one TypeResult for the wire, with per-pair
+// confidences attached.
+func typeResultJSON(tr *core.TypeResult, elapsedMS float64) TypeResultJSON {
+	out := TypeResultJSON{
+		TypeA:      tr.TypeA,
+		TypeB:      tr.TypeB,
+		Attributes: len(tr.TD.Attrs),
+		Candidates: len(tr.Candidates),
+		ElapsedMS:  elapsedMS,
+	}
+	for _, p := range tr.CrossPairsSorted() {
+		out.Correspondences = append(out.Correspondences, CorrespondenceJSON{
+			A: p[0], B: p[1], Confidence: tr.Confidence(p[0], p[1]),
+		})
+	}
+	return out
+}
+
+// requestPair parses the "pair" query parameter, defaulting to pt-en.
+func requestPair(w http.ResponseWriter, r *http.Request) (wiki.LanguagePair, bool) {
+	raw := r.URL.Query().Get("pair")
+	if raw == "" {
+		return wiki.PtEn, true
+	}
+	pair, err := ParsePair(raw)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return wiki.LanguagePair{}, false
+	}
+	return pair, true
+}
+
+// ParsePair parses a "pt-en"-style language pair. "vn-en" is accepted as
+// an alias of the paper's Vietnamese–English pair.
+func ParsePair(s string) (wiki.LanguagePair, error) {
+	if s == "vn-en" {
+		return wiki.VnEn, nil
+	}
+	a, b, ok := strings.Cut(s, "-")
+	pair := wiki.LanguagePair{A: wiki.Language(a), B: wiki.Language(b)}
+	if !ok || !pair.A.Valid() || !pair.B.Valid() {
+		return wiki.LanguagePair{}, fmt.Errorf("invalid language pair %q (want e.g. %q)", s, "pt-en")
+	}
+	return pair, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps matching errors to HTTP statuses: context cancellation
+// (typically a disconnected client) gets 499-style treatment via 503,
+// anything else is a 500.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorJSON{Error: err.Error()})
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t)) / float64(time.Millisecond) }

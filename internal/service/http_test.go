@@ -1,0 +1,221 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/text"
+)
+
+// startServer spins up the full HTTP API over a session on the small
+// generated corpus.
+func startServer(t *testing.T) (*httptest.Server, *Session) {
+	t.Helper()
+	s := New(smallCorpus(t))
+	srv := httptest.NewServer(NewHandler(s))
+	t.Cleanup(srv.Close)
+	return srv, s
+}
+
+func getJSON(t *testing.T, url string, wantStatus int, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+}
+
+// TestHTTPMatchEndToEnd drives /corpus/stats, /match, /match/{type} and
+// the NDJSON stream against a generated corpus through a real HTTP
+// round-trip.
+func TestHTTPMatchEndToEnd(t *testing.T) {
+	srv, _ := startServer(t)
+
+	// Corpus stats.
+	var stats StatsResponseJSON
+	getJSON(t, srv.URL+"/corpus/stats", http.StatusOK, &stats)
+	if stats.Corpus.Articles["pt"] == 0 || stats.Corpus.Articles["en"] == 0 {
+		t.Fatalf("stats missing articles: %+v", stats.Corpus.Articles)
+	}
+	if stats.Config.TSim != 0.6 {
+		t.Errorf("config TSim = %v over the wire", stats.Config.TSim)
+	}
+
+	// Full match.
+	var match MatchResponseJSON
+	getJSON(t, srv.URL+"/match?pair=pt-en", http.StatusOK, &match)
+	if match.Pair != "pt-en" || len(match.Types) == 0 || len(match.Results) != len(match.Types) {
+		t.Fatalf("bad match response: pair=%s types=%d results=%d",
+			match.Pair, len(match.Types), len(match.Results))
+	}
+	found := false
+	for _, r := range match.Results {
+		if r.TypeA != "filme" {
+			continue
+		}
+		for _, corr := range r.Correspondences {
+			if corr.A == text.Normalize("direção") && corr.B == "directed by" {
+				found = true
+				if corr.Confidence <= 0 || corr.Confidence > 1 {
+					t.Errorf("confidence out of range: %v", corr.Confidence)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("direção ~ directed by correspondence missing from /match output")
+	}
+	if match.Cache.TypeEntries == 0 {
+		t.Errorf("cache stats not populated: %+v", match.Cache)
+	}
+
+	// Warm repeat must hit the cache.
+	var warm MatchResponseJSON
+	getJSON(t, srv.URL+"/match?pair=pt-en", http.StatusOK, &warm)
+	if warm.Cache.Hits <= match.Cache.Hits {
+		t.Errorf("second /match did not hit the cache: %d → %d hits",
+			match.Cache.Hits, warm.Cache.Hits)
+	}
+
+	// Single type.
+	var one TypeResultJSON
+	getJSON(t, srv.URL+"/match/filme?pair=pt-en", http.StatusOK, &one)
+	if one.TypeA != "filme" || one.TypeB != "film" || len(one.Correspondences) == 0 {
+		t.Errorf("bad /match/filme response: %+v", one)
+	}
+
+	// NDJSON stream: one line per type, same types as the full match.
+	resp, err := http.Get(srv.URL + "/match/stream?pair=pt-en")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream Content-Type = %q", ct)
+	}
+	streamed := map[string]int{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var line TypeResultJSON
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if line.TypeA == "" {
+			t.Fatalf("NDJSON line without typeA: %q", sc.Text())
+		}
+		streamed[line.TypeA] = len(line.Correspondences)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(match.Types) {
+		t.Fatalf("streamed %d types, want %d", len(streamed), len(match.Types))
+	}
+	for _, r := range match.Results {
+		if streamed[r.TypeA] != len(r.Correspondences) {
+			t.Errorf("type %s: stream has %d correspondences, /match has %d",
+				r.TypeA, streamed[r.TypeA], len(r.Correspondences))
+		}
+	}
+}
+
+// TestHTTPVnEnAndErrors covers the second pair, bad inputs, and cache
+// invalidation over the wire.
+func TestHTTPVnEnAndErrors(t *testing.T) {
+	srv, sess := startServer(t)
+
+	var match MatchResponseJSON
+	getJSON(t, srv.URL+"/match?pair=vi-en", http.StatusOK, &match)
+	if match.Pair != "vi-en" || len(match.Types) == 0 {
+		t.Fatalf("bad vi-en response: %+v", match.Pair)
+	}
+	// The legacy alias resolves to the same pair.
+	var alias MatchResponseJSON
+	getJSON(t, srv.URL+"/match?pair=vn-en", http.StatusOK, &alias)
+	if alias.Pair != "vi-en" {
+		t.Errorf("vn-en alias resolved to %q", alias.Pair)
+	}
+
+	getJSON(t, srv.URL+"/match?pair=bogus", http.StatusBadRequest, nil)
+	getJSON(t, srv.URL+"/match/definitely-not-a-type?pair=pt-en", http.StatusNotFound, nil)
+
+	// Invalidate Vietnamese artifacts over the wire.
+	resp, err := http.Post(srv.URL+"/session/invalidate?lang=vi", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["dropped"] == 0 {
+		t.Error("invalidate dropped nothing")
+	}
+	// The vi-en entries are gone; the pt-en pair entry (created by the
+	// /match/{type} lookup above) survives.
+	if st := sess.CacheStats(); st.PairEntries != 1 {
+		t.Errorf("pair entries after Invalidate(vi) = %d, want 1: %+v", st.PairEntries, st)
+	}
+
+	resp2, err := http.Post(srv.URL+"/session/invalidate?lang=UPPER", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid lang: status %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestParsePair table-tests the pair parser.
+func TestParsePair(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"pt-en", "pt-en", true},
+		{"vi-en", "vi-en", true},
+		{"vn-en", "vi-en", true},
+		{"de-fr", "de-fr", true},
+		{"", "", false},
+		{"pten", "", false},
+		{"PT-EN", "", false},
+		{"pt-", "", false},
+	}
+	for _, c := range cases {
+		pair, err := ParsePair(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParsePair(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && pair.String() != c.want {
+			t.Errorf("ParsePair(%q) = %s, want %s", c.in, pair, c.want)
+		}
+	}
+	if got := fmt.Sprint(must(ParsePair("vn-en"))); got != "vi-en" {
+		t.Errorf("alias: %s", got)
+	}
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

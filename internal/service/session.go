@@ -1,0 +1,296 @@
+// Package service exposes WikiMatch as a long-lived matching service.
+// A Session wraps one corpus and one matcher configuration and owns a
+// keyed artifact cache — per-pair translation dictionaries and
+// entity-type alignments, per-type similarity workspaces (sim.TypeData)
+// and LSI models — so repeated and overlapping match calls reuse the
+// expensive construction work instead of recomputing it. All methods are
+// safe for concurrent use; identical artifacts requested concurrently are
+// built exactly once (single-flight), and every match entrypoint honours
+// context cancellation down to the chunk boundaries of the pair-scoring
+// hot path.
+//
+// The cached artifacts are inputs to Algorithm 1, not its outputs: every
+// Match call still runs the alignment itself, so a warm call returns a
+// result identical to a cold one — only faster.
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dict"
+	"repro/internal/wiki"
+)
+
+// Session is a long-lived matching service over one corpus. Create it
+// with New; the zero value is not usable.
+type Session struct {
+	corpus *wiki.Corpus
+	cfg    core.Config
+	m      *core.Matcher
+
+	mu       sync.Mutex
+	pairArts map[wiki.LanguagePair]*pairEntry
+	typeArts map[typeKey]*typeEntry
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+}
+
+// typeKey identifies one per-type artifact set. The matcher configuration
+// is fixed per session, so it is not part of the key.
+type typeKey struct {
+	pair         wiki.LanguagePair
+	typeA, typeB string
+}
+
+// pairEntry caches the pair-level artifacts: the entity-type alignment
+// and the translation dictionary. done is closed when the build finishes
+// (successfully or not).
+type pairEntry struct {
+	done  chan struct{}
+	types [][2]string
+	dict  *dict.Dictionary
+	err   error
+}
+
+// typeEntry caches one type pair's similarity workspace and LSI model.
+type typeEntry struct {
+	done chan struct{}
+	art  *core.TypeArtifacts
+	err  error
+}
+
+// New creates a session over the corpus. Options adjust the matcher
+// configuration starting from core.DefaultConfig (the paper's thresholds).
+func New(c *wiki.Corpus, opts ...Option) *Session {
+	cfg := core.DefaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return &Session{
+		corpus:   c,
+		cfg:      cfg,
+		m:        core.NewMatcher(cfg),
+		pairArts: make(map[wiki.LanguagePair]*pairEntry),
+		typeArts: make(map[typeKey]*typeEntry),
+	}
+}
+
+// Config returns the session's matcher configuration.
+func (s *Session) Config() core.Config { return s.cfg }
+
+// Corpus returns the corpus the session serves.
+func (s *Session) Corpus() *wiki.Corpus { return s.corpus }
+
+// Match runs WikiMatch end to end for a language pair, reusing any cached
+// artifacts and caching whatever it has to build. The result is identical
+// to a cold core.Matcher.Match run with the same configuration.
+func (s *Session) Match(ctx context.Context, pair wiki.LanguagePair) (*core.Result, error) {
+	pe, err := s.pairArtifacts(ctx, pair)
+	if err != nil {
+		return nil, err
+	}
+	// Copy the cached alignment: MatchCtx hands Types to the caller via
+	// Result.Types, and a caller reordering its result must not corrupt
+	// the shared cache entry.
+	types := make([][2]string, len(pe.types))
+	copy(types, pe.types)
+	art := &core.MatchArtifacts{
+		Types:    types,
+		Dict:     pe.dict,
+		HaveDict: true,
+		PerType: func(ctx context.Context, typeA, typeB string) (*core.TypeArtifacts, error) {
+			return s.typeArtifacts(ctx, pair, typeA, typeB, pe.dict)
+		},
+	}
+	return s.m.MatchCtx(ctx, s.corpus, pair, art)
+}
+
+// MatchType aligns one entity-type pair, reusing cached artifacts.
+func (s *Session) MatchType(ctx context.Context, pair wiki.LanguagePair, typeA, typeB string) (*core.TypeResult, error) {
+	pe, err := s.pairArtifacts(ctx, pair)
+	if err != nil {
+		return nil, err
+	}
+	art, err := s.typeArtifacts(ctx, pair, typeA, typeB, pe.dict)
+	if err != nil {
+		return nil, err
+	}
+	return s.m.MatchTypeCtx(ctx, s.corpus, pair, typeA, typeB, pe.dict, art)
+}
+
+// Types returns the entity-type alignment for a pair (cached after the
+// first call).
+func (s *Session) Types(ctx context.Context, pair wiki.LanguagePair) ([][2]string, error) {
+	pe, err := s.pairArtifacts(ctx, pair)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][2]string, len(pe.types))
+	copy(out, pe.types)
+	return out, nil
+}
+
+// Dictionary returns the pair's cached translation dictionary (nil when
+// the session runs the NoDictionary ablation).
+func (s *Session) Dictionary(ctx context.Context, pair wiki.LanguagePair) (*dict.Dictionary, error) {
+	pe, err := s.pairArtifacts(ctx, pair)
+	if err != nil {
+		return nil, err
+	}
+	return pe.dict, nil
+}
+
+// Invalidate drops every cached artifact that involves the language —
+// pair entries whose pair contains it and type entries derived from such
+// pairs — and returns how many entries were dropped. The zero Language
+// drops the whole cache. In-flight builds are unaffected: they complete
+// into their (now orphaned) entries and the next request rebuilds.
+func (s *Session) Invalidate(lang wiki.Language) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for pair := range s.pairArts {
+		if lang == "" || pair.Contains(lang) {
+			delete(s.pairArts, pair)
+			dropped++
+		}
+	}
+	for key := range s.typeArts {
+		if lang == "" || key.pair.Contains(lang) {
+			delete(s.typeArts, key)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// CacheStats is a snapshot of the artifact cache.
+type CacheStats struct {
+	PairEntries int    `json:"pairEntries"`
+	TypeEntries int    `json:"typeEntries"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+}
+
+// CacheStats reports cache occupancy and the hit/miss counters
+// accumulated over the session's lifetime.
+func (s *Session) CacheStats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return CacheStats{
+		PairEntries: len(s.pairArts),
+		TypeEntries: len(s.typeArts),
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+	}
+}
+
+// pairArtifacts returns the pair-level artifacts, building them once per
+// pair. Concurrent callers for the same pair share one build; if the
+// builder's context is cancelled, the entry is discarded and surviving
+// waiters retry with their own contexts.
+func (s *Session) pairArtifacts(ctx context.Context, pair wiki.LanguagePair) (*pairEntry, error) {
+	for {
+		s.mu.Lock()
+		e, ok := s.pairArts[pair]
+		if !ok {
+			e = &pairEntry{done: make(chan struct{})}
+			s.pairArts[pair] = e
+			s.mu.Unlock()
+			s.misses.Add(1)
+			s.buildPairEntry(ctx, pair, e)
+			if e.err != nil {
+				return nil, e.err
+			}
+			return e, nil
+		}
+		s.mu.Unlock()
+		select {
+		case <-e.done:
+			if e.err != nil {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				continue // builder was cancelled, not us: rebuild
+			}
+			s.hits.Add(1)
+			return e, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func (s *Session) buildPairEntry(ctx context.Context, pair wiki.LanguagePair, e *pairEntry) {
+	defer close(e.done)
+	// The corpus-wide entity-type scan is the one build stage that is not
+	// itself cancellable, so don't even start it for a dead context (a
+	// disconnected client on a cold pair).
+	if e.err = ctx.Err(); e.err == nil {
+		e.types = core.MatchEntityTypes(s.corpus, pair)
+		if e.types == nil {
+			// Keep the cached alignment non-nil: nil is MatchArtifacts'
+			// compute-it sentinel, and an empty alignment must still count
+			// as cached on warm calls.
+			e.types = [][2]string{}
+		}
+	}
+	if e.err == nil && !s.cfg.NoDictionary {
+		e.dict, e.err = dict.BuildCtx(ctx, s.corpus, pair.A, pair.B)
+	}
+	if e.err == nil {
+		e.err = ctx.Err()
+	}
+	if e.err != nil {
+		s.mu.Lock()
+		if s.pairArts[pair] == e {
+			delete(s.pairArts, pair)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// typeArtifacts returns one type pair's artifacts, building them once.
+func (s *Session) typeArtifacts(ctx context.Context, pair wiki.LanguagePair, typeA, typeB string, d *dict.Dictionary) (*core.TypeArtifacts, error) {
+	key := typeKey{pair: pair, typeA: typeA, typeB: typeB}
+	for {
+		s.mu.Lock()
+		e, ok := s.typeArts[key]
+		if !ok {
+			e = &typeEntry{done: make(chan struct{})}
+			s.typeArts[key] = e
+			s.mu.Unlock()
+			s.misses.Add(1)
+			e.art, e.err = s.m.BuildTypeArtifacts(ctx, s.corpus, pair, typeA, typeB, d)
+			if e.err != nil {
+				s.mu.Lock()
+				if s.typeArts[key] == e {
+					delete(s.typeArts, key)
+				}
+				s.mu.Unlock()
+			}
+			close(e.done)
+			if e.err != nil {
+				return nil, e.err
+			}
+			return e.art, nil
+		}
+		s.mu.Unlock()
+		select {
+		case <-e.done:
+			if e.err != nil {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				continue
+			}
+			s.hits.Add(1)
+			return e.art, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}

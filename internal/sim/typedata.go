@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/dict"
@@ -17,7 +18,8 @@ type Attr = lsi.Attr
 // pair): the unified dual-language schema, value and link vectors per
 // attribute, translated value vectors for the non-pivot side, occurrence
 // and co-occurrence statistics, and the dual-language infobox list that
-// feeds LSI.
+// feeds LSI. A TypeData is never mutated after BuildTypeData returns, so
+// cached instances may be scored by many goroutines at once.
 type TypeData struct {
 	Pair  wiki.LanguagePair
 	TypeA string // localized type name on the pair.A side
@@ -58,6 +60,20 @@ type TypeData struct {
 // d translates pair.A titles into pair.B (may be nil to disable
 // dictionary translation — the vsim-without-dictionary ablation).
 func BuildTypeData(c *wiki.Corpus, pair wiki.LanguagePair, typeA, typeB string, d *dict.Dictionary) *TypeData {
+	td, _ := BuildTypeDataCtx(context.Background(), c, pair, typeA, typeB, d)
+	return td
+}
+
+// buildCheckEvery is how many cross-linked infobox pairs BuildTypeDataCtx
+// ingests between context checks. Ingestion is the dominant cold-build
+// cost on dump-scale types, so the stride keeps cancellation latency to a
+// few milliseconds without measurable overhead.
+const buildCheckEvery = 64
+
+// BuildTypeDataCtx is BuildTypeData with cancellation: the ingestion
+// loops check ctx every few infobox pairs and abandon the build (nil
+// TypeData, ctx.Err()) once the context is done.
+func BuildTypeDataCtx(ctx context.Context, c *wiki.Corpus, pair wiki.LanguagePair, typeA, typeB string, d *dict.Dictionary) (*TypeData, error) {
 	td := &TypeData{
 		Pair: pair, TypeA: typeA, TypeB: typeB,
 		Index:   make(map[Attr]int),
@@ -123,13 +139,19 @@ func BuildTypeData(c *wiki.Corpus, pair wiki.LanguagePair, typeA, typeB string, 
 			}
 		}
 	}
-	for _, p := range pairs {
+	for k, p := range pairs {
+		if k%buildCheckEvery == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		ingest(pair.A, p.A.Infobox)
 		ingest(pair.B, p.B.Infobox)
 	}
 
 	// Dual-language infoboxes: the same cross-linked pairs.
-	for _, p := range pairs {
+	for k, p := range pairs {
+		if k%buildCheckEvery == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		var dual lsi.Dual
 		seenA, seenB := map[string]bool{}, map[string]bool{}
 		for _, av := range p.A.Infobox.Attrs {
@@ -177,13 +199,19 @@ func BuildTypeData(c *wiki.Corpus, pair wiki.LanguagePair, typeA, typeB string, 
 		return tv
 	}
 	for i, a := range td.Attrs {
+		if i%buildCheckEvery == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		if a.Lang != pair.A {
 			continue
 		}
 		td.transVec[i] = translate(td.valueVec[i])
 		td.rawTransVec[i] = translate(td.rawVec[i])
 	}
-	return td
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return td, nil
 }
 
 // CanonicalLinkKey maps a link target to a language-independent key: the

@@ -30,7 +30,9 @@
 package repro
 
 import (
+	"context"
 	"io"
+	"net/http"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
@@ -39,6 +41,8 @@ import (
 	"repro/internal/eval"
 	"repro/internal/experiments"
 	"repro/internal/query"
+	"repro/internal/service"
+	"repro/internal/sim"
 	"repro/internal/synth"
 	"repro/internal/text"
 	"repro/internal/wiki"
@@ -137,10 +141,66 @@ func DefaultMatcherConfig() MatcherConfig { return core.DefaultConfig() }
 // NewMatcher creates a matcher.
 func NewMatcher(cfg MatcherConfig) *Matcher { return core.NewMatcher(cfg) }
 
-// Match runs WikiMatch with the paper's default configuration.
+// Match runs WikiMatch with the paper's default configuration. It is a
+// thin wrapper over a throwaway Session; callers doing more than one
+// match should create a Session themselves so the per-pair dictionary
+// and per-type LSI artifacts are built once and reused.
 func Match(c *Corpus, pair LanguagePair) *MatchResult {
-	return core.NewMatcher(core.DefaultConfig()).Match(c, pair)
+	res, _ := NewSession(c).Match(context.Background(), pair)
+	return res
 }
+
+// Sessions: the long-lived service API.
+type (
+	// Session is a long-lived matching service over one corpus: it caches
+	// per-pair dictionaries, entity-type alignments and per-type LSI
+	// artifacts so repeated and overlapping matches reuse work. All
+	// methods are safe for concurrent use and honour context
+	// cancellation.
+	Session = service.Session
+	// SessionOption adjusts a session's matcher configuration.
+	SessionOption = service.Option
+	// SessionCacheStats is a snapshot of a session's artifact cache.
+	SessionCacheStats = service.CacheStats
+	// TypeUpdate is one streamed per-type result from Session.MatchStream.
+	TypeUpdate = service.TypeUpdate
+)
+
+// NewSession creates a matching session over the corpus. Options start
+// from the paper's default configuration.
+func NewSession(c *Corpus, opts ...SessionOption) *Session {
+	return service.New(c, opts...)
+}
+
+// Session options (functional configuration, replacing MatcherConfig
+// struct literals at call sites).
+var (
+	// WithConfig replaces the whole matcher configuration.
+	WithConfig = service.WithConfig
+	// WithTSim sets the certain-match threshold Tsim (paper: 0.6).
+	WithTSim = service.WithTSim
+	// WithTLSI sets the LSI correlation threshold TLSI (paper: 0.1).
+	WithTLSI = service.WithTLSI
+	// WithTEg sets the inductive-grouping threshold of ReviseUncertain.
+	WithTEg = service.WithTEg
+	// WithLSIRank sets the number of latent dimensions (the paper's f).
+	WithLSIRank = service.WithLSIRank
+	// WithSeed sets the seed driving the RandomOrder ablation shuffle.
+	WithSeed = service.WithSeed
+	// WithExactSVD forces the exact dense Jacobi SVD inside LSI.
+	WithExactSVD = service.WithExactSVD
+	// WithoutDictionary disables dictionary translation inside vsim.
+	WithoutDictionary = service.WithoutDictionary
+)
+
+// NewHTTPHandler builds the wikimatchd HTTP API over a session: /match,
+// /match/{type}, /match/stream (NDJSON), /corpus/stats and
+// /session/invalidate. See cmd/wikimatchd.
+func NewHTTPHandler(s *Session) http.Handler { return service.NewHandler(s) }
+
+// ParseLanguagePair parses a "pt-en"-style pair string ("vn-en" is an
+// alias for Vietnamese–English).
+func ParseLanguagePair(s string) (LanguagePair, error) { return service.ParsePair(s) }
 
 // MatchEntityTypes identifies equivalent entity types across a pair via
 // cross-language-link voting (Section 3.1).
@@ -160,7 +220,54 @@ type (
 	BoumaConfig = baselines.BoumaConfig
 	// COMAConfig selects a COMA++-style configuration.
 	COMAConfig = baselines.COMAConfig
+	// LabelTranslator simulates the external machine-translation system
+	// the COMA "+G" configurations translate attribute labels with.
+	LabelTranslator = dict.LabelTranslator
 )
+
+// DefaultBoumaConfig mirrors the conservative, precision-first behaviour
+// the paper reports for the Bouma et al. aligner.
+func DefaultBoumaConfig() BoumaConfig { return baselines.DefaultBoumaConfig() }
+
+// COMAConfigs enumerates the six COMA++ configurations of Figure 7 at a
+// selection threshold.
+func COMAConfigs(threshold float64) []COMAConfig { return baselines.COMAConfigs(threshold) }
+
+// NewLabelTranslator creates the simulated label machine-translation
+// system with the given error rate and deterministic seed.
+func NewLabelTranslator(errorRate float64, seed int64) *LabelTranslator {
+	return dict.NewLabelTranslator(errorRate, seed)
+}
+
+// RunBouma runs the Bouma et al. cross-lingual template aligner over one
+// matched entity-type pair and returns the derived correspondences.
+func RunBouma(c *Corpus, pair LanguagePair, typeA, typeB string, cfg BoumaConfig) Correspondences {
+	return baselines.Bouma(c, pair, typeA, typeB, cfg)
+}
+
+// RunCOMA runs one COMA++-style configuration over a matched entity-type
+// pair: it builds the pair's translation dictionary and similarity
+// workspace, then applies the configuration's name/instance matchers. lt
+// is the simulated label translator used by the "+G" configurations and
+// may be nil. To evaluate several configurations (the Figure 7 sweep),
+// use RunCOMASweep, which builds the shared artifacts once.
+func RunCOMA(c *Corpus, pair LanguagePair, typeA, typeB string, lt *LabelTranslator, cfg COMAConfig) Correspondences {
+	return RunCOMASweep(c, pair, typeA, typeB, lt, cfg)[0]
+}
+
+// RunCOMASweep runs several COMA++-style configurations over one matched
+// entity-type pair, building the pair's dictionary and similarity
+// workspace once and reusing them across configurations. Results are
+// returned in configuration order.
+func RunCOMASweep(c *Corpus, pair LanguagePair, typeA, typeB string, lt *LabelTranslator, cfgs ...COMAConfig) []Correspondences {
+	d := dict.Build(c, pair.A, pair.B)
+	td := sim.BuildTypeData(c, pair, typeA, typeB, d)
+	out := make([]Correspondences, len(cfgs))
+	for i, cfg := range cfgs {
+		out[i] = baselines.COMA(td, lt, cfg)
+	}
+	return out
+}
 
 // Evaluation.
 type (
