@@ -408,6 +408,64 @@ func BenchmarkSessionWarmVsCold(b *testing.B) {
 	})
 }
 
+// BenchmarkStoreRestoreVsCold is the persistence acceptance gate:
+// "cold" builds every artifact from the corpus (dictionaries, entity-
+// type alignments, per-type TypeData and LSI models for both of the
+// paper's pairs), "restore" loads the same artifacts from a snapshot —
+// the path wikimatchd -store takes on boot. Snapshot load must be ≥5×
+// faster than the cold build at dump scale (measured ~10×), and
+// restored sessions serve byte-identical results (asserted by
+// TestRestoreMatchEquivalence in internal/service).
+func BenchmarkStoreRestoreVsCold(b *testing.B) {
+	s := fullSetup(b)
+	ctx := context.Background()
+	pairs := []wiki.LanguagePair{wiki.PtEn, wiki.VnEn}
+	matchAll := func(b *testing.B, sess *Session) {
+		b.Helper()
+		for _, pair := range pairs {
+			res, err := sess.Match(ctx, pair)
+			if err != nil || len(res.Types) == 0 {
+				b.Fatalf("match %s: %v (%d types)", pair, err, len(res.Types))
+			}
+		}
+	}
+
+	warm := NewSession(s.Corpus)
+	matchAll(b, warm)
+	var buf bytes.Buffer
+	if err := warm.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			matchAll(b, NewSession(s.Corpus))
+		}
+	})
+	b.Run("restore", func(b *testing.B) {
+		b.SetBytes(int64(len(raw)))
+		for i := 0; i < b.N; i++ {
+			sess, err := RestoreSession(s.Corpus, bytes.NewReader(raw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if cs := sess.CacheStats(); cs.RestoredTypes == 0 {
+				b.Fatal("nothing restored")
+			}
+		}
+	})
+	b.Run("restore+match", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sess, err := RestoreSession(s.Corpus, bytes.NewReader(raw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			matchAll(b, sess)
+		}
+	})
+}
+
 func BenchmarkDumpWriteParse(b *testing.B) {
 	s := smallSetup(b)
 	var buf bytes.Buffer

@@ -1,18 +1,21 @@
 // Command benchall regenerates every table and figure of the paper's
 // evaluation and prints them in the same row/series layout the paper
-// reports. Two extra experiments time the substrate: "svd" compares the
-// seed's dense-Jacobi-then-truncate decomposition against the sparse
-// subsystem over every type's occurrence matrix, and "session" measures
-// the serving-path speedup of a warm session (cached dictionaries and
-// LSI artifacts) over a cold one — the cmd-level twin of the
-// BenchmarkSessionWarmVsCold gate.
+// reports. Three extra experiments time the substrate: "svd" compares
+// the seed's dense-Jacobi-then-truncate decomposition against the sparse
+// subsystem over every type's occurrence matrix, "session" measures the
+// serving-path speedup of a warm session (cached dictionaries and LSI
+// artifacts) over a cold one — the cmd-level twin of the
+// BenchmarkSessionWarmVsCold gate — and "store" times snapshot
+// save/load against a cold artifact build, the cmd-level twin of
+// BenchmarkStoreRestoreVsCold.
 //
 // Usage:
 //
-//	benchall [-scale small|full] [-run all|table1|table2|table3|table5|table6|table7|figure3|figure4|figure5|figure6|figure7|svd|session]
+//	benchall [-scale small|full] [-run all|table1|table2|table3|table5|table6|table7|figure3|figure4|figure5|figure6|figure7|svd|session|store]
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -86,6 +89,8 @@ func main() {
 		renderSVDTimings(s)
 	case "session":
 		renderSessionTimings(s)
+	case "store":
+		renderStoreTimings(s)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
 		os.Exit(2)
@@ -145,6 +150,54 @@ func renderSessionTimings(s *experiments.Setup) {
 			pair, types, cold.Round(time.Microsecond), warm.Round(time.Microsecond),
 			float64(cold)/float64(warm))
 	}
+}
+
+// renderStoreTimings measures the persistence layer's offline/online
+// split at the chosen -scale: building every artifact cold (fresh
+// session, both pairs) versus saving the warm cache as a snapshot and
+// restoring it — the warm-start path wikimatchd -store takes on boot.
+func renderStoreTimings(s *experiments.Setup) {
+	ctx := context.Background()
+	pairs := []wiki.LanguagePair{wiki.PtEn, wiki.VnEn}
+	matchAll := func(sess *service.Session) {
+		for _, pair := range pairs {
+			if _, err := sess.Match(ctx, pair); err != nil {
+				fmt.Fprintln(os.Stderr, "match:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	cold := timeIt(func() { matchAll(service.New(s.Corpus)) })
+
+	warm := service.New(s.Corpus)
+	matchAll(warm)
+	var buf bytes.Buffer
+	save := timeIt(func() {
+		buf.Reset()
+		if err := warm.Save(&buf); err != nil {
+			fmt.Fprintln(os.Stderr, "save:", err)
+			os.Exit(1)
+		}
+	})
+	var restored *service.Session
+	load := timeIt(func() {
+		var err error
+		if restored, err = service.Restore(s.Corpus, bytes.NewReader(buf.Bytes())); err != nil {
+			fmt.Fprintln(os.Stderr, "restore:", err)
+			os.Exit(1)
+		}
+	})
+	serve := timeIt(func() { matchAll(restored) })
+
+	cs := restored.CacheStats()
+	fmt.Printf("artifacts: %d pairs, %d types, snapshot %d bytes\n",
+		cs.RestoredPairs, cs.RestoredTypes, buf.Len())
+	fmt.Printf("%-22s %12s\n", "stage", "time")
+	fmt.Printf("%-22s %12s\n", "cold build+match", cold.Round(time.Microsecond))
+	fmt.Printf("%-22s %12s\n", "snapshot save", save.Round(time.Microsecond))
+	fmt.Printf("%-22s %12s\n", "snapshot load", load.Round(time.Microsecond))
+	fmt.Printf("%-22s %12s\n", "match after restore", serve.Round(time.Microsecond))
+	fmt.Printf("load vs cold build: %.1fx faster\n", float64(cold)/float64(load))
 }
 
 // timeIt returns the best of three runs — enough to flatten scheduler

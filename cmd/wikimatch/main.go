@@ -5,11 +5,20 @@
 // truth. The -stream flag prints per-type results as they complete
 // instead of waiting for the whole pair.
 //
+// The precompute subcommand is the offline half of the offline/online
+// split: it builds every artifact for the requested language pairs and
+// writes them as one atomic snapshot file that `wikimatchd -store`
+// warm-starts from.
+//
 // Usage:
 //
 //	wikimatch [-pair pt-en|vi-en] [-type filme] [-scale small|full]
 //	          [-dumps dir]     load XML dumps (<lang>.xml) instead of generating
 //	          [-tsim 0.6] [-tlsi 0.1] [-stream]
+//
+//	wikimatch precompute -store artifacts.wmsnap
+//	          [-pairs pt-en,vi-en] [-scale small|full] [-dumps dir]
+//	          [-tsim 0.6] [-tlsi 0.1]
 package main
 
 import (
@@ -18,6 +27,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/dump"
@@ -27,6 +38,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "precompute" {
+		precompute(os.Args[2:])
+		return
+	}
 	pairFlag := flag.String("pair", "pt-en", "language pair: pt-en or vi-en")
 	typeFlag := flag.String("type", "", "restrict output to one source-language type name")
 	scale := flag.String("scale", "small", "generated corpus scale: small or full")
@@ -42,41 +57,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	var corpus *wiki.Corpus
-	var truth *synth.GroundTruth
-	if *dumpsDir != "" {
-		corpus = wiki.NewCorpus()
-		for _, lang := range []wiki.Language{wiki.English, wiki.Portuguese, wiki.Vietnamese} {
-			path := filepath.Join(*dumpsDir, string(lang)+".xml")
-			f, err := os.Open(path)
-			if os.IsNotExist(err) {
-				continue
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "open dump:", err)
-				os.Exit(1)
-			}
-			res, err := dump.LoadCorpus(corpus, f, lang)
-			f.Close()
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "load dump:", err)
-				os.Exit(1)
-			}
-			fmt.Printf("loaded %s: %d pages (%d skipped, %d errors)\n",
-				path, res.Pages, res.Skipped, len(res.Errors))
-		}
-	} else {
-		cfg := synth.SmallConfig()
-		if *scale == "full" {
-			cfg = synth.DefaultConfig()
-		}
-		var err error
-		corpus, truth, err = synth.Generate(cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "generate:", err)
-			os.Exit(1)
-		}
-	}
+	corpus, truth := loadCorpus(*dumpsDir, *scale)
 
 	stats := corpus.Stats()
 	fmt.Printf("corpus: %v articles, %v infoboxes, %v cross pairs\n\n",
@@ -126,6 +107,102 @@ func main() {
 		}
 		printType(corpus, truth, pair, tp[0], tp[1], res.PerType[tp])
 	}
+}
+
+// loadCorpus builds the corpus from XML dumps when a directory is given,
+// otherwise generates the synthetic corpus (with its ground truth) at
+// the requested scale. Failures are fatal.
+func loadCorpus(dumpsDir, scale string) (*wiki.Corpus, *synth.GroundTruth) {
+	if dumpsDir != "" {
+		corpus := wiki.NewCorpus()
+		loaded := 0
+		for _, lang := range []wiki.Language{wiki.English, wiki.Portuguese, wiki.Vietnamese} {
+			path := filepath.Join(dumpsDir, string(lang)+".xml")
+			f, err := os.Open(path)
+			if os.IsNotExist(err) {
+				continue
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "open dump:", err)
+				os.Exit(1)
+			}
+			res, err := dump.LoadCorpus(corpus, f, lang)
+			f.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "load dump:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("loaded %s: %d pages (%d skipped, %d errors)\n",
+				path, res.Pages, res.Skipped, len(res.Errors))
+			loaded++
+		}
+		if loaded == 0 {
+			fmt.Fprintf(os.Stderr, "no <lang>.xml dumps found in %s\n", dumpsDir)
+			os.Exit(1)
+		}
+		return corpus, nil
+	}
+	cfg := synth.SmallConfig()
+	if scale == "full" {
+		cfg = synth.DefaultConfig()
+	}
+	corpus, truth, err := synth.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "generate:", err)
+		os.Exit(1)
+	}
+	return corpus, truth
+}
+
+// precompute is the offline artifact build: it warms a session for every
+// requested language pair and writes the whole artifact cache as one
+// snapshot that wikimatchd -store (or repro.RestoreSession) loads in
+// milliseconds.
+func precompute(args []string) {
+	fs := flag.NewFlagSet("wikimatch precompute", flag.ExitOnError)
+	storePath := fs.String("store", "artifacts.wmsnap", "snapshot file to write (atomic)")
+	pairsFlag := fs.String("pairs", "pt-en,vi-en", "comma-separated language pairs to precompute")
+	scale := fs.String("scale", "small", "generated corpus scale: small or full")
+	dumpsDir := fs.String("dumps", "", "directory with <lang>.xml dumps to load instead of generating")
+	tsim := fs.Float64("tsim", 0.6, "certain-match threshold Tsim")
+	tlsi := fs.Float64("tlsi", 0.1, "correlation threshold TLSI")
+	fs.Parse(args)
+
+	var pairs []wiki.LanguagePair
+	for _, raw := range strings.Split(*pairsFlag, ",") {
+		pair, err := repro.ParseLanguagePair(strings.TrimSpace(raw))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		pairs = append(pairs, pair)
+	}
+
+	corpus, _ := loadCorpus(*dumpsDir, *scale)
+	session := repro.NewSession(corpus, repro.WithTSim(*tsim), repro.WithTLSI(*tlsi))
+	ctx := context.Background()
+	for _, pair := range pairs {
+		start := time.Now()
+		res, err := session.Match(ctx, pair)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "precompute %s: %v\n", pair, err)
+			os.Exit(1)
+		}
+		fmt.Printf("built %s: %d types in %v\n", pair, len(res.Types), time.Since(start).Round(time.Millisecond))
+	}
+	start := time.Now()
+	if err := repro.SaveSessionSnapshot(session, *storePath); err != nil {
+		fmt.Fprintln(os.Stderr, "save snapshot:", err)
+		os.Exit(1)
+	}
+	info, err := os.Stat(*storePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stat snapshot:", err)
+		os.Exit(1)
+	}
+	cs := session.CacheStats()
+	fmt.Printf("snapshot %s: %d pairs, %d types, %d bytes, written in %v\n",
+		*storePath, cs.PairEntries, cs.TypeEntries, info.Size(), time.Since(start).Round(time.Millisecond))
 }
 
 // printType renders one type's correspondences and, when ground truth is

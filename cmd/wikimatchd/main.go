@@ -5,14 +5,24 @@
 // pair builds the dictionary and the per-type LSI models, every later
 // request reuses them.
 //
+// With -store, the daemon completes the offline/online split: on boot it
+// warm-starts the session from a snapshot written by `wikimatch
+// precompute` (or by a previous run), and on graceful shutdown it
+// flushes the current artifact cache back to the same path atomically. A
+// snapshot that does not match the corpus (fingerprint) or the requested
+// configuration is rejected with a logged warning and the daemon falls
+// back to a cold session — stale artifacts are never served.
+//
 // Usage:
 //
 //	wikimatchd [-addr :8080] [-scale small|full]
 //	           [-dumps dir]     load XML dumps (<lang>.xml) instead of generating
+//	           [-store file]    warm-start from snapshot; flush on shutdown
 //	           [-tsim 0.6] [-tlsi 0.1]
 //
 // Endpoints:
 //
+//	GET  /healthz                       liveness: snapshot age + cache stats
 //	GET  /corpus/stats                  corpus, cache and config snapshot
 //	GET  /match?pair=pt-en              full matching run (JSON)
 //	GET  /match/stream?pair=pt-en       per-type results as NDJSON
@@ -21,13 +31,15 @@
 //
 // Try:
 //
-//	curl localhost:8080/corpus/stats
+//	wikimatch precompute -scale full -store artifacts.wmsnap
+//	wikimatchd -scale full -store artifacts.wmsnap
+//	curl localhost:8080/healthz
 //	curl localhost:8080/match?pair=vi-en
-//	curl -N localhost:8080/match/stream?pair=pt-en
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -46,6 +58,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	scale := flag.String("scale", "small", "generated corpus scale: small or full")
 	dumpsDir := flag.String("dumps", "", "directory with <lang>.xml dumps to load instead of generating")
+	storePath := flag.String("store", "", "artifact snapshot file: warm-start from it on boot, flush to it on shutdown")
 	tsim := flag.Float64("tsim", 0.6, "certain-match threshold Tsim")
 	tlsi := flag.Float64("tlsi", 0.1, "correlation threshold TLSI")
 	flag.Parse()
@@ -58,11 +71,35 @@ func main() {
 	log.Printf("corpus ready: %v articles, %v infoboxes, %v cross pairs",
 		stats.Articles, stats.Infoboxes, stats.CrossPairs)
 
-	session := repro.NewSession(corpus, repro.WithTSim(*tsim), repro.WithTLSI(*tlsi))
+	opts := []repro.SessionOption{repro.WithTSim(*tsim), repro.WithTLSI(*tlsi)}
+	session, flushOnExit := openSession(corpus, *storePath, opts)
+
+	started := time.Now()
+	mux := http.NewServeMux()
+	mux.Handle("/", repro.NewHTTPHandler(session))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		resp := healthJSON{
+			Status:        "ok",
+			UptimeSeconds: time.Since(started).Seconds(),
+			Cache:         session.CacheStats(),
+		}
+		if at, ok := session.SnapshotTime(); ok {
+			resp.Snapshot.Loaded = true
+			resp.Snapshot.CreatedAt = at.UTC().Format(time.RFC3339Nano)
+			resp.Snapshot.AgeSeconds = time.Since(at).Seconds()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	})
 	server := &http.Server{
 		Addr:              *addr,
-		Handler:           repro.NewHTTPHandler(session),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
+		// WriteTimeout bounds the whole response, including long /match
+		// builds and /match/stream NDJSON streams, so it is generous;
+		// IdleTimeout reaps idle keep-alive connections.
+		WriteTimeout: 10 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -84,7 +121,58 @@ func main() {
 	// drain of in-flight requests to actually finish.
 	stop()
 	<-shutdownDone
+	if flushOnExit {
+		start := time.Now()
+		if err := repro.SaveSessionSnapshot(session, *storePath); err != nil {
+			log.Printf("snapshot flush failed: %v", err)
+		} else {
+			cs := session.CacheStats()
+			log.Printf("snapshot flushed to %s in %v (%d pairs, %d types)",
+				*storePath, time.Since(start).Round(time.Millisecond), cs.PairEntries, cs.TypeEntries)
+		}
+	}
 	log.Print("wikimatchd stopped")
+}
+
+// healthJSON is the /healthz body.
+type healthJSON struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Snapshot      struct {
+		Loaded     bool    `json:"loaded"`
+		CreatedAt  string  `json:"createdAt,omitempty"`
+		AgeSeconds float64 `json:"ageSeconds,omitempty"`
+	} `json:"snapshot"`
+	Cache repro.SessionCacheStats `json:"cache"`
+}
+
+// openSession warm-starts from the snapshot when possible, falling back
+// to a cold session on any load failure (missing file, stale
+// fingerprint, mismatched configuration, corruption) — the daemon must
+// come up either way. flushOnExit reports whether the shutdown path may
+// write the snapshot back: true after a successful restore or when no
+// snapshot exists yet, false when an existing snapshot was rejected —
+// a daemon pointed at the wrong corpus (a -scale typo, say) must not
+// clobber somebody else's precomputed artifacts.
+func openSession(corpus *repro.Corpus, storePath string, opts []repro.SessionOption) (_ *repro.Session, flushOnExit bool) {
+	if storePath == "" {
+		return repro.NewSession(corpus, opts...), false
+	}
+	start := time.Now()
+	session, err := repro.RestoreSessionFromFile(corpus, storePath, opts...)
+	switch {
+	case err == nil:
+		cs := session.CacheStats()
+		log.Printf("warm start: restored %d pairs, %d types from %s in %v",
+			cs.RestoredPairs, cs.RestoredTypes, storePath, time.Since(start).Round(time.Millisecond))
+		return session, true
+	case os.IsNotExist(err):
+		log.Printf("no snapshot at %s; starting cold (will flush on shutdown)", storePath)
+		return repro.NewSession(corpus, opts...), true
+	default:
+		log.Printf("snapshot %s rejected: %v; starting cold (snapshot left untouched)", storePath, err)
+		return repro.NewSession(corpus, opts...), false
+	}
 }
 
 // buildCorpus loads <lang>.xml dumps from dir when given, otherwise

@@ -118,6 +118,18 @@ func (d *Dictionary) Entries() [][2]string {
 	return out
 }
 
+// FromEntries reconstructs a dictionary from Entries output: keys are
+// stored verbatim (they are already normalized), so a dictionary rebuilt
+// from its own Entries is identical to the original. This is the
+// deserialization path of the snapshot store.
+func FromEntries(from, to wiki.Language, entries [][2]string) *Dictionary {
+	d := New(from, to)
+	for _, e := range entries {
+		d.entries[e[0]] = e[1]
+	}
+	return d
+}
+
 // Invert returns the reverse-direction dictionary. When several source
 // titles map to the same target, the lexicographically smallest source
 // wins, making inversion deterministic.

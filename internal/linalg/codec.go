@@ -1,0 +1,175 @@
+package linalg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary codecs for the two matrix representations, used by the artifact
+// snapshot store (internal/store) to persist LSI factor matrices. Both
+// types implement encoding.BinaryMarshaler / encoding.BinaryUnmarshaler.
+//
+// Layouts (little-endian):
+//
+//	Matrix: uvarint rows · uvarint cols · rows*cols float64 bits
+//	Sparse: uvarint rows · uvarint cols · uvarint nnz ·
+//	        rows uvarint row-length deltas (RowPtr differences) ·
+//	        nnz uvarint column-index gaps (per row, first absolute) ·
+//	        nnz float64 bits
+//
+// Float64 values are stored as their exact IEEE-754 bit patterns, so a
+// decoded matrix is bit-identical to the encoded one — the property the
+// store's byte-identical-results guarantee rests on.
+
+// AppendBinary appends the matrix's binary encoding to b.
+func (m *Matrix) AppendBinary(b []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(m.Rows))
+	b = binary.AppendUvarint(b, uint64(m.Cols))
+	for _, v := range m.Data {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *Matrix) MarshalBinary() ([]byte, error) {
+	return m.AppendBinary(make([]byte, 0, 16+8*len(m.Data))), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. It validates the
+// header against the available bytes before allocating, so corrupt input
+// fails with an error rather than an enormous allocation.
+func (m *Matrix) UnmarshalBinary(data []byte) error {
+	d := byteDecoder{buf: data}
+	rows := d.uvarint()
+	cols := d.uvarint()
+	if d.err != nil {
+		return fmt.Errorf("linalg: matrix header: %w", d.err)
+	}
+	if rows < 0 || cols < 0 || (cols != 0 && rows > len(d.buf)/(8*cols)) {
+		return fmt.Errorf("linalg: matrix %d×%d does not fit %d payload bytes", rows, cols, len(d.buf))
+	}
+	out := NewMatrix(rows, cols)
+	for i := range out.Data {
+		out.Data[i] = d.float64()
+	}
+	if d.err != nil {
+		return fmt.Errorf("linalg: matrix data: %w", d.err)
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("linalg: %d trailing bytes after matrix", len(d.buf))
+	}
+	*m = *out
+	return nil
+}
+
+// AppendBinary appends the CSR matrix's binary encoding to b.
+func (s *Sparse) AppendBinary(b []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(s.Rows))
+	b = binary.AppendUvarint(b, uint64(s.Cols))
+	b = binary.AppendUvarint(b, uint64(s.NNZ()))
+	for r := 0; r < s.Rows; r++ {
+		b = binary.AppendUvarint(b, uint64(s.RowPtr[r+1]-s.RowPtr[r]))
+	}
+	for r := 0; r < s.Rows; r++ {
+		prev := 0
+		for i := s.RowPtr[r]; i < s.RowPtr[r+1]; i++ {
+			b = binary.AppendUvarint(b, uint64(s.ColIdx[i]-prev))
+			prev = s.ColIdx[i] + 1
+		}
+	}
+	for _, v := range s.Val {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Sparse) MarshalBinary() ([]byte, error) {
+	return s.AppendBinary(make([]byte, 0, 24+10*s.NNZ())), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, validating the
+// CSR invariants (monotone row pointers, strictly increasing in-range
+// column indices) so a decoded matrix is structurally sound.
+func (s *Sparse) UnmarshalBinary(data []byte) error {
+	d := byteDecoder{buf: data}
+	rows := d.uvarint()
+	cols := d.uvarint()
+	nnz := d.uvarint()
+	if d.err != nil {
+		return fmt.Errorf("linalg: sparse header: %w", d.err)
+	}
+	if rows < 0 || cols < 0 || nnz < 0 || rows > len(data) || nnz > len(data) {
+		return fmt.Errorf("linalg: sparse %d×%d nnz=%d does not fit %d bytes", rows, cols, nnz, len(data))
+	}
+	out := &Sparse{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
+	for r := 0; r < rows; r++ {
+		out.RowPtr[r+1] = out.RowPtr[r] + d.uvarint()
+	}
+	if d.err != nil {
+		return fmt.Errorf("linalg: sparse row table: %w", d.err)
+	}
+	if out.RowPtr[rows] != nnz {
+		return fmt.Errorf("linalg: sparse row lengths sum to %d, want nnz=%d", out.RowPtr[rows], nnz)
+	}
+	out.ColIdx = make([]int, nnz)
+	out.Val = make([]float64, nnz)
+	for r := 0; r < rows; r++ {
+		prev := 0
+		for i := out.RowPtr[r]; i < out.RowPtr[r+1]; i++ {
+			c := prev + d.uvarint()
+			if d.err == nil && (c < 0 || c >= cols) {
+				return fmt.Errorf("linalg: sparse column %d outside %d cols", c, cols)
+			}
+			out.ColIdx[i] = c
+			prev = c + 1
+		}
+	}
+	for i := range out.Val {
+		out.Val[i] = d.float64()
+	}
+	if d.err != nil {
+		return fmt.Errorf("linalg: sparse data: %w", d.err)
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("linalg: %d trailing bytes after sparse matrix", len(d.buf))
+	}
+	*s = *out
+	return nil
+}
+
+// byteDecoder is a minimal error-accumulating reader over a byte slice.
+type byteDecoder struct {
+	buf []byte
+	err error
+}
+
+var errShortBuffer = fmt.Errorf("unexpected end of input")
+
+func (d *byteDecoder) uvarint() int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 || v > math.MaxInt64 {
+		d.err = errShortBuffer
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return int(v)
+}
+
+func (d *byteDecoder) float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 8 {
+		d.err = errShortBuffer
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf))
+	d.buf = d.buf[8:]
+	return v
+}

@@ -11,6 +11,7 @@ package lsi
 
 import (
 	"context"
+	"sort"
 
 	"repro/internal/linalg"
 	"repro/internal/wiki"
@@ -190,6 +191,52 @@ func OccurrenceMatrix(duals []Dual, index map[Attr]int) *linalg.Sparse {
 		add(d.B)
 	}
 	return linalg.NewSparse(n, len(duals), entries)
+}
+
+// Embedding returns the model's latent representation U·diag(S) (attrs ×
+// retained rank), the matrix Cosine compares rows of. The returned matrix
+// is the model's own — callers must not mutate it. It exists so the
+// snapshot store can persist the factor matrix exactly.
+func (m *Model) Embedding() *linalg.Matrix { return m.embedding }
+
+// CoOccurrences returns the same-language co-occurrence index pairs
+// (i < j), sorted — the co-occurrence facts Score consults, in a
+// serializable form.
+func (m *Model) CoOccurrences() [][2]int {
+	out := make([][2]int, 0, len(m.coOccur))
+	for p := range m.coOccur {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// Restore reconstructs a model from its serialized parts: the attribute
+// list, the retained rank, the exact latent embedding, and the
+// co-occurrence pairs — the inverse of (Attrs, Rank, Embedding,
+// CoOccurrences). Because the embedding is restored bit-for-bit, a
+// restored model scores every attribute pair identically to the model it
+// was snapshotted from.
+func Restore(attrs []Attr, rank int, embedding *linalg.Matrix, coOccur [][2]int) *Model {
+	m := &Model{
+		Attrs:     attrs,
+		Index:     make(map[Attr]int, len(attrs)),
+		embedding: embedding,
+		coOccur:   make(map[[2]int]bool, len(coOccur)),
+		rank:      rank,
+	}
+	for i, a := range attrs {
+		m.Index[a] = i
+	}
+	for _, p := range coOccur {
+		m.coOccur[p] = true
+	}
+	return m
 }
 
 // Rank returns the retained latent dimensionality.

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/wiki"
+)
+
+// Save serializes the session's completed artifact cache — per-pair
+// dictionaries and entity-type alignments, per-type similarity
+// workspaces and LSI models — as a versioned snapshot keyed by the
+// corpus fingerprint. In-flight and failed builds are skipped, so Save
+// is safe to call at any time on a live session; what lands in the
+// snapshot is exactly what a restored session will serve. Section
+// content and order are canonical (the same cache contents always
+// produce the same section bytes); only the header's creation timestamp
+// varies between saves.
+//
+// Save streams to w; callers persisting to disk should wrap it in
+// store.WriteFile for an atomic temp-file-and-rename write.
+func (s *Session) Save(w io.Writer) error {
+	snap := &store.Snapshot{
+		Fingerprint: s.corpus.Fingerprint(),
+		CreatedAt:   time.Now(),
+		Config:      s.cfg,
+	}
+
+	// Collect completed entries under the lock; encoding happens after.
+	s.mu.Lock()
+	for pair, e := range s.pairArts {
+		if !entryDone(e.done) || e.err != nil {
+			continue
+		}
+		snap.Pairs = append(snap.Pairs, store.PairArtifacts{
+			Pair:  pair,
+			Types: e.types,
+			Dict:  e.dict,
+		})
+	}
+	for key, e := range s.typeArts {
+		if !entryDone(e.done) || e.err != nil {
+			continue
+		}
+		snap.Types = append(snap.Types, store.TypeArtifacts{
+			Pair:  key.pair,
+			TypeA: key.typeA,
+			TypeB: key.typeB,
+			TD:    e.art.TD,
+			LSI:   e.art.LSI,
+		})
+	}
+	s.mu.Unlock()
+
+	// store.Write sorts the sections into their canonical order itself.
+	return store.Write(w, snap)
+}
+
+// entryDone reports whether a build's done channel is closed.
+func entryDone(done chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Restore builds a warm session from a snapshot written by Save. The
+// snapshot must match the corpus (by fingerprint) or Restore fails with
+// a store.FingerprintError — stale artifacts are rejected at load, never
+// served. The session's configuration starts from the snapshot's and
+// applies opts on top; options that would change how the persisted
+// artifacts were built (dictionary use, LSI rank, SVD path) are rejected
+// with a store.ConfigMismatchError, while pure matching thresholds
+// (Tsim, TLSI, TEg, the ablation switches of Algorithm 1) may differ
+// freely since the alignment itself runs per request.
+//
+// Every artifact in the snapshot is seeded into the cache as a completed
+// entry: the first Match against a restored pair counts as cache hits in
+// CacheStats and returns a result byte-identical to a cold build's.
+func Restore(c *wiki.Corpus, r io.Reader, opts ...Option) (*Session, error) {
+	snap, err := store.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	if fp := c.Fingerprint(); fp != snap.Fingerprint {
+		return nil, &store.FingerprintError{Snapshot: snap.Fingerprint, Corpus: fp}
+	}
+	cfg := snap.Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if err := checkArtifactConfig(snap.Config, cfg); err != nil {
+		return nil, err
+	}
+
+	s := &Session{
+		corpus:        c,
+		cfg:           cfg,
+		m:             core.NewMatcher(cfg),
+		pairArts:      make(map[wiki.LanguagePair]*pairEntry, len(snap.Pairs)),
+		typeArts:      make(map[typeKey]*typeEntry, len(snap.Types)),
+		restoredPairs: len(snap.Pairs),
+		restoredTypes: len(snap.Types),
+		snapshotTime:  snap.CreatedAt,
+	}
+	for _, p := range snap.Pairs {
+		e := &pairEntry{done: closedChan(), types: p.Types, dict: p.Dict}
+		if e.types == nil {
+			// Preserve the cache invariant: a nil alignment is the
+			// compute-it sentinel, an empty one is a cached fact.
+			e.types = [][2]string{}
+		}
+		s.pairArts[p.Pair] = e
+	}
+	for _, t := range snap.Types {
+		key := typeKey{pair: t.Pair, typeA: t.TypeA, typeB: t.TypeB}
+		s.typeArts[key] = &typeEntry{
+			done: closedChan(),
+			art:  &core.TypeArtifacts{TD: t.TD, LSI: t.LSI},
+		}
+	}
+	return s, nil
+}
+
+// closedChan returns an already-closed channel: restored entries are
+// born complete.
+func closedChan() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+// checkArtifactConfig rejects restores whose effective configuration
+// diverges from the snapshot's on any field that shaped the persisted
+// artifacts.
+func checkArtifactConfig(built, want core.Config) error {
+	switch {
+	case built.NoDictionary != want.NoDictionary:
+		return &store.ConfigMismatchError{Field: "NoDictionary"}
+	case built.LSIRank != want.LSIRank:
+		return &store.ConfigMismatchError{Field: "LSIRank"}
+	case built.ExactSVD != want.ExactSVD:
+		return &store.ConfigMismatchError{Field: "ExactSVD"}
+	}
+	return nil
+}

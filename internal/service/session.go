@@ -18,6 +18,7 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dict"
@@ -36,6 +37,13 @@ type Session struct {
 	typeArts map[typeKey]*typeEntry
 	hits     atomic.Uint64
 	misses   atomic.Uint64
+
+	// Warm-start provenance: how many cache entries Restore seeded from a
+	// snapshot, and that snapshot's creation time (zero for cold
+	// sessions). Set once before the session is shared; read-only after.
+	restoredPairs int
+	restoredTypes int
+	snapshotTime  time.Time
 }
 
 // typeKey identifies one per-type artifact set. The matcher configuration
@@ -167,25 +175,40 @@ func (s *Session) Invalidate(lang wiki.Language) int {
 	return dropped
 }
 
-// CacheStats is a snapshot of the artifact cache.
+// CacheStats is a snapshot of the artifact cache. RestoredPairs and
+// RestoredTypes count the entries a warm start seeded from a persisted
+// snapshot (service.Restore); they stay 0 for cold sessions, making
+// warm-started processes observable through /corpus/stats and /healthz.
 type CacheStats struct {
-	PairEntries int    `json:"pairEntries"`
-	TypeEntries int    `json:"typeEntries"`
-	Hits        uint64 `json:"hits"`
-	Misses      uint64 `json:"misses"`
+	PairEntries   int    `json:"pairEntries"`
+	TypeEntries   int    `json:"typeEntries"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	RestoredPairs int    `json:"restoredPairs"`
+	RestoredTypes int    `json:"restoredTypes"`
 }
 
-// CacheStats reports cache occupancy and the hit/miss counters
-// accumulated over the session's lifetime.
+// CacheStats reports cache occupancy, the hit/miss counters accumulated
+// over the session's lifetime, and how many entries were restored from a
+// snapshot at warm start.
 func (s *Session) CacheStats() CacheStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return CacheStats{
-		PairEntries: len(s.pairArts),
-		TypeEntries: len(s.typeArts),
-		Hits:        s.hits.Load(),
-		Misses:      s.misses.Load(),
+		PairEntries:   len(s.pairArts),
+		TypeEntries:   len(s.typeArts),
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		RestoredPairs: s.restoredPairs,
+		RestoredTypes: s.restoredTypes,
 	}
+}
+
+// SnapshotTime returns the creation time of the snapshot this session
+// was restored from, and whether there was one (false for cold-built
+// sessions). wikimatchd's /healthz derives the snapshot age from it.
+func (s *Session) SnapshotTime() (time.Time, bool) {
+	return s.snapshotTime, !s.snapshotTime.IsZero()
 }
 
 // pairArtifacts returns the pair-level artifacts, building them once per

@@ -1,0 +1,76 @@
+package wiki
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+// Fingerprint returns a stable 64-bit digest of the corpus content: every
+// article's title, entity type, categories, cross-language links, and
+// infobox attribute–value pairs (including link targets), walked in a
+// canonical order that does not depend on insertion order. Two corpora
+// with the same articles produce the same fingerprint; any content change
+// — an added article, a renamed attribute, an edited value — changes it.
+//
+// The persistence layer keys artifact snapshots by this fingerprint so a
+// snapshot built from one corpus is rejected, not silently served, when
+// loaded against another.
+func (c *Corpus) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var num [binary.MaxVarintLen64]byte
+	writeInt := func(v int) {
+		n := binary.PutUvarint(num[:], uint64(v))
+		h.Write(num[:n])
+	}
+	// Length-prefix every string so field boundaries cannot alias
+	// ("ab"+"c" vs "a"+"bc").
+	writeStr := func(s string) {
+		writeInt(len(s))
+		h.Write([]byte(s))
+	}
+	for _, lang := range c.langList { // already sorted
+		arts := c.byLang[lang]
+		titles := make([]string, len(arts))
+		byTitle := make(map[string]*Article, len(arts))
+		for i, a := range arts {
+			titles[i] = a.Title
+			byTitle[a.Title] = a
+		}
+		sort.Strings(titles)
+		writeStr(string(lang))
+		writeInt(len(titles))
+		for _, t := range titles {
+			a := byTitle[t]
+			writeStr(a.Title)
+			writeStr(a.Type)
+			writeInt(len(a.Categories))
+			for _, cat := range a.Categories {
+				writeStr(cat)
+			}
+			links := a.SortedCrossLinks()
+			writeInt(len(links))
+			for _, l := range links {
+				writeStr(string(l.Language))
+				writeStr(l.Title)
+			}
+			if a.Infobox == nil {
+				writeInt(0)
+				continue
+			}
+			writeInt(1)
+			writeStr(a.Infobox.Template)
+			writeInt(len(a.Infobox.Attrs))
+			for _, av := range a.Infobox.Attrs {
+				writeStr(av.Name)
+				writeStr(av.Text)
+				writeInt(len(av.Links))
+				for _, l := range av.Links {
+					writeStr(l.Target)
+					writeStr(l.Anchor)
+				}
+			}
+		}
+	}
+	return h.Sum64()
+}

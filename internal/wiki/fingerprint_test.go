@@ -1,0 +1,75 @@
+package wiki
+
+import "testing"
+
+func fpArticle(lang Language, title, typ string) *Article {
+	a := &Article{Language: lang, Title: title, Type: typ}
+	a.Infobox = &Infobox{Template: "Infobox " + typ}
+	a.Infobox.Set("name", title, Link{Target: title})
+	return a
+}
+
+func TestFingerprintStableAcrossInsertionOrder(t *testing.T) {
+	c1, c2 := NewCorpus(), NewCorpus()
+	a := fpArticle(English, "Casablanca", "film")
+	b := fpArticle(English, "Vertigo", "film")
+	p := fpArticle(Portuguese, "Casablanca (filme)", "filme")
+	p.SetCrossLink(English, "Casablanca")
+	for _, art := range []*Article{a, b, p} {
+		c1.MustAdd(art.Clone())
+	}
+	for _, art := range []*Article{p, b, a} {
+		c2.MustAdd(art.Clone())
+	}
+	if f1, f2 := c1.Fingerprint(), c2.Fingerprint(); f1 != f2 {
+		t.Errorf("fingerprint depends on insertion order: %x != %x", f1, f2)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := func() *Corpus {
+		c := NewCorpus()
+		c.MustAdd(fpArticle(English, "Casablanca", "film"))
+		return c
+	}
+	f0 := base().Fingerprint()
+
+	mutations := map[string]func(c *Corpus){
+		"added article": func(c *Corpus) { c.MustAdd(fpArticle(English, "Vertigo", "film")) },
+		"edited value": func(c *Corpus) {
+			a, _ := c.Get(English, "Casablanca")
+			a.Infobox.Set("name", "Casablanca (1942)")
+		},
+		"added attribute": func(c *Corpus) {
+			a, _ := c.Get(English, "Casablanca")
+			a.Infobox.Set("director", "Michael Curtiz")
+		},
+		"added cross-link": func(c *Corpus) {
+			a, _ := c.Get(English, "Casablanca")
+			a.SetCrossLink(Portuguese, "Casablanca (filme)")
+		},
+	}
+	for name, mutate := range mutations {
+		c := base()
+		mutate(c)
+		if c.Fingerprint() == f0 {
+			t.Errorf("%s: fingerprint unchanged", name)
+		}
+	}
+	if base().Fingerprint() != f0 {
+		t.Error("identical corpus produced a different fingerprint")
+	}
+}
+
+func TestFingerprintFieldBoundaries(t *testing.T) {
+	// "ab"+"c" and "a"+"bc" in adjacent fields must not collide thanks to
+	// length prefixes.
+	c1, c2 := NewCorpus(), NewCorpus()
+	a1 := &Article{Language: English, Title: "X", Type: "ab", Categories: []string{"c"}}
+	a2 := &Article{Language: English, Title: "X", Type: "a", Categories: []string{"bc"}}
+	c1.MustAdd(a1)
+	c2.MustAdd(a2)
+	if c1.Fingerprint() == c2.Fingerprint() {
+		t.Error("field boundary collision")
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"os"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/service"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/synth"
 	"repro/internal/text"
 	"repro/internal/wiki"
@@ -192,6 +194,40 @@ var (
 	// WithoutDictionary disables dictionary translation inside vsim.
 	WithoutDictionary = service.WithoutDictionary
 )
+
+// Persistence: the offline/online split. A warm session's artifact
+// cache can be saved as a versioned binary snapshot (Session.Save,
+// internal/store format) and restored in another process, so servers
+// boot with precomputed dictionaries and LSI models instead of
+// rebuilding them from the corpus.
+
+// RestoreSession builds a warm session from a snapshot written by
+// Session.Save. The snapshot must have been built from the same corpus
+// (validated by fingerprint) and with the same artifact-shaping
+// configuration (dictionary use, LSI rank, SVD path); otherwise a typed
+// error from internal/store is returned and nothing is loaded. Matching
+// thresholds may be adjusted freely via opts. A restored session's
+// Match results are byte-identical to a cold build's.
+func RestoreSession(c *Corpus, r io.Reader, opts ...SessionOption) (*Session, error) {
+	return service.Restore(c, r, opts...)
+}
+
+// SaveSessionSnapshot writes the session's completed artifact cache to
+// path atomically (temp file + fsync + rename): a crash mid-write never
+// leaves a partial snapshot behind.
+func SaveSessionSnapshot(s *Session, path string) error {
+	return store.WriteFile(path, s.Save)
+}
+
+// RestoreSessionFromFile is RestoreSession over a snapshot file.
+func RestoreSessionFromFile(c *Corpus, path string, opts ...SessionOption) (*Session, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return service.Restore(c, f, opts...)
+}
 
 // NewHTTPHandler builds the wikimatchd HTTP API over a session: /match,
 // /match/{type}, /match/stream (NDJSON), /corpus/stats and
