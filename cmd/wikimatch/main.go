@@ -5,6 +5,14 @@
 // truth. The -stream flag prints per-type results as they complete
 // instead of waiting for the whole pair.
 //
+// The matchall subcommand runs the all-pairs multilingual batch: every
+// language pair of the corpus is matched (pivot mode through a hub
+// edition by default, or direct all-pairs with -mode direct) and the
+// pairwise correspondences are merged into cross-language attribute
+// clusters, with transitive Pt–Vi-style derivations, agreement scores
+// and conflict reports — evaluated against the generator's gold data
+// when the corpus is synthetic.
+//
 // The precompute subcommand is the offline half of the offline/online
 // split: it builds every artifact for the requested language pairs and
 // writes them as one atomic snapshot file that `wikimatchd -store`
@@ -15,6 +23,10 @@
 //	wikimatch [-pair pt-en|vi-en] [-type filme] [-scale small|full]
 //	          [-dumps dir]     load XML dumps (<lang>.xml) instead of generating
 //	          [-tsim 0.6] [-tlsi 0.1] [-stream]
+//
+//	wikimatch matchall [-mode pivot|direct] [-hub en] [-workers N]
+//	          [-scale small|full] [-dumps dir] [-store out.wmsnap]
+//	          [-clusters] [-tsim 0.6] [-tlsi 0.1]
 //
 //	wikimatch precompute -store artifacts.wmsnap
 //	          [-pairs pt-en,vi-en] [-scale small|full] [-dumps dir]
@@ -27,6 +39,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -40,6 +53,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "precompute" {
 		precompute(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "matchall" {
+		matchall(os.Args[2:])
 		return
 	}
 	pairFlag := flag.String("pair", "pt-en", "language pair: pt-en or vi-en")
@@ -203,6 +220,173 @@ func precompute(args []string) {
 	cs := session.CacheStats()
 	fmt.Printf("snapshot %s: %d pairs, %d types, %d bytes, written in %v\n",
 		*storePath, cs.PairEntries, cs.TypeEntries, info.Size(), time.Since(start).Round(time.Millisecond))
+}
+
+// matchall runs the all-pairs multilingual batch and prints the derived
+// cross-language correspondence clusters, streaming per-pair progress as
+// the bounded worker pool finishes pairs. With -store, the batch's whole
+// artifact cache is flushed as a snapshot afterwards — `matchall -store`
+// is precompute for every pair at once.
+func matchall(args []string) {
+	fs := flag.NewFlagSet("wikimatch matchall", flag.ExitOnError)
+	modeFlag := fs.String("mode", "pivot", "pair coverage: pivot (through -hub) or direct (all pairs)")
+	hubFlag := fs.String("hub", "en", "pivot hub language edition")
+	workers := fs.Int("workers", 0, "concurrent pairs (0 = GOMAXPROCS)")
+	scale := fs.String("scale", "small", "generated corpus scale: small or full")
+	dumpsDir := fs.String("dumps", "", "directory with <lang>.xml dumps to load instead of generating")
+	storePath := fs.String("store", "", "write the batch's artifact snapshot here afterwards")
+	clusters := fs.Bool("clusters", false, "print every cluster, not just the summary and samples")
+	tsim := fs.Float64("tsim", 0.6, "certain-match threshold Tsim")
+	tlsi := fs.Float64("tlsi", 0.1, "correlation threshold TLSI")
+	fs.Parse(args)
+
+	mode, err := repro.ParseMultiMode(*modeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	corpus, truth := loadCorpus(*dumpsDir, *scale)
+	langs := corpus.Languages()
+	fmt.Printf("corpus languages: %v\n", langs)
+
+	session := repro.NewSession(corpus, repro.WithTSim(*tsim), repro.WithTLSI(*tlsi))
+	ctx := context.Background()
+	updates, err := session.MatchAllStream(ctx, repro.MultiOptions{
+		Mode: mode, Hub: wiki.Language(*hubFlag), Workers: *workers,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "matchall:", err)
+		os.Exit(1)
+	}
+	var batch *repro.BatchResult
+	for u := range updates {
+		if u.Outcome != nil {
+			o := u.Outcome
+			if o.Err != nil {
+				fmt.Printf("[%d/%d] %-8s FAILED: %v\n", u.Done, u.Total, o.Pair, o.Err)
+				continue
+			}
+			fmt.Printf("[%d/%d] %-8s %3d types %5d correspondences  %v\n",
+				u.Done, u.Total, o.Pair, len(o.Result.Types), o.Correspondences(),
+				o.Elapsed.Round(time.Millisecond))
+		}
+		if u.Final != nil {
+			batch = u.Final
+		}
+	}
+	if batch == nil {
+		fmt.Fprintln(os.Stderr, "matchall: no result")
+		os.Exit(1)
+	}
+
+	printBatch(batch, *clusters)
+	if truth != nil {
+		evalBatch(corpus, truth, batch)
+	}
+
+	if *storePath != "" {
+		if err := repro.SaveSessionSnapshot(session, *storePath); err != nil {
+			fmt.Fprintln(os.Stderr, "save snapshot:", err)
+			os.Exit(1)
+		}
+		cs := session.CacheStats()
+		fmt.Printf("\nsnapshot %s: %d pairs, %d types\n", *storePath, cs.PairEntries, cs.TypeEntries)
+	}
+}
+
+// printBatch summarizes the clusters: counts by language span, conflict
+// totals, and (a sample of) the multilingual clusters themselves.
+func printBatch(batch *repro.BatchResult, all bool) {
+	spanCount := map[int]int{}
+	conflicts, derived := 0, 0
+	for _, cl := range batch.Clusters {
+		spanCount[len(cl.Languages)]++
+		conflicts += len(cl.Conflicts)
+		for _, corr := range cl.Correspondences {
+			if !corr.Direct {
+				derived++
+			}
+		}
+	}
+	spans := make([]int, 0, len(spanCount))
+	for span := range spanCount {
+		spans = append(spans, span)
+	}
+	sort.Ints(spans)
+	fmt.Printf("\nplan %s → %d clusters (", batch.Plan, len(batch.Clusters))
+	for i, span := range spans {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%d spanning %d languages", spanCount[span], span)
+	}
+	fmt.Printf("), %d transitive correspondences, %d conflicts, %v\n\n", derived, conflicts, batch.Elapsed.Round(time.Millisecond))
+
+	shown := 0
+	for _, cl := range batch.Clusters {
+		if !all && (len(cl.Languages) < 3 || shown >= 8) {
+			continue
+		}
+		shown++
+		fmt.Printf("cluster %d (agreement %.2f):\n", cl.ID, cl.Agreement)
+		for _, m := range cl.Members {
+			fmt.Printf("  %s\n", m)
+		}
+		for _, corr := range cl.Correspondences {
+			if !corr.Direct {
+				fmt.Printf("  ↯ %s ~ %s (transitive, confidence %.2f)\n", corr.A, corr.B, corr.Confidence)
+			}
+		}
+		for _, conflict := range cl.Conflicts {
+			fmt.Printf("  ✗ %s ~ %s implied via %s but directly rejected\n", conflict.A, conflict.B, conflict.Via)
+		}
+	}
+	if !all && shown > 0 {
+		fmt.Printf("(showing %d multilingual clusters; -clusters prints all %d)\n", shown, len(batch.Clusters))
+	}
+}
+
+// evalBatch scores the batch's induced per-pair correspondences —
+// including purely transitive pairs — against the generator's gold data.
+func evalBatch(corpus *wiki.Corpus, truth *synth.GroundTruth, batch *repro.BatchResult) {
+	langs := map[wiki.Language]bool{}
+	for _, pair := range batch.Plan.Pairs {
+		langs[pair.A], langs[pair.B] = true, true
+	}
+	var all []wiki.Language
+	for l := range langs {
+		all = append(all, l)
+	}
+	fmt.Printf("\ncluster-induced correspondences vs gold (macro):\n")
+	for _, pair := range wiki.AllPairs(all, batch.Plan.Hub) {
+		induced := batch.Induced(pair)
+		var rows []eval.PRF
+		for tp, derivedSet := range induced {
+			canon, ok := truth.CanonType(pair.A, tp[0])
+			if !ok {
+				continue
+			}
+			tt := truth.Types[canon]
+			freqA := eval.LanguageAttributeFrequencies(corpus, pair.A, tp[0])
+			freqB := eval.LanguageAttributeFrequencies(corpus, pair.B, tp[1])
+			gold := eval.TruthPairs(freqA, freqB, pair, tt.Correct)
+			if gold.Pairs() == 0 {
+				continue
+			}
+			rows = append(rows, eval.Macro(derivedSet, gold))
+		}
+		if len(rows) == 0 {
+			fmt.Printf("  %-8s (nothing to score)\n", pair)
+			continue
+		}
+		avg := eval.Average(rows)
+		tag := ""
+		if !batch.Plan.Contains(pair.A, pair.B) {
+			tag = "  (transitive only)"
+		}
+		fmt.Printf("  %-8s P=%.3f R=%.3f F=%.3f over %d types%s\n",
+			pair, avg.Precision, avg.Recall, avg.F, len(rows), tag)
+	}
 }
 
 // printType renders one type's correspondences and, when ground truth is

@@ -27,6 +27,9 @@
 //	GET  /match?pair=pt-en              full matching run (JSON)
 //	GET  /match/stream?pair=pt-en       per-type results as NDJSON
 //	GET  /match/{type}?pair=pt-en       one entity type's alignment
+//	GET  /matchall?mode=pivot&hub=en    all-pairs batch: cross-language
+//	                                    correspondence clusters (JSON)
+//	GET  /matchall/stream?mode=pivot    per-pair progress + clusters (NDJSON)
 //	POST /session/invalidate?lang=pt    drop cached artifacts
 //
 // Try:

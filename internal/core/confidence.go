@@ -21,6 +21,31 @@ const (
 	admittedTransitive = 0.3
 )
 
+// NewTypeResult builds a TypeResult directly from derived
+// correspondences and their confidences, without the matcher's internal
+// workspaces — the constructor for adapters (and tests) that obtain
+// correspondences from somewhere other than a local matching run, e.g. a
+// remote matcher's wire response. Confidences missing from conf default
+// to 0.
+func NewTypeResult(typeA, typeB string, cross map[string]map[string]bool, conf map[[2]string]float64) *TypeResult {
+	r := &TypeResult{
+		TypeA: typeA,
+		TypeB: typeB,
+		Cross: make(map[string]map[string]bool, len(cross)),
+		conf:  make(map[[2]string]float64, len(conf)),
+	}
+	for a, bs := range cross {
+		r.Cross[a] = make(map[string]bool, len(bs))
+		for b := range bs {
+			r.Cross[a][b] = true
+		}
+	}
+	for k, v := range conf {
+		r.conf[k] = v
+	}
+	return r
+}
+
 // Confidence returns the confidence of a derived cross-language pair
 // (by normalized attribute names), or 0 when the pair was not derived.
 func (r *TypeResult) Confidence(a, b string) float64 {

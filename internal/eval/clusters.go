@@ -1,0 +1,117 @@
+package eval
+
+// Cluster-level evaluation for the all-pairs multilingual workload:
+// cross-language correspondence clusters (internal/multi) are scored
+// against a reference clustering derived from the pairwise gold data,
+// either per element (B-cubed) or per co-clustered pair (pair-counting
+// precision/recall). Items are opaque strings; an item appearing in
+// several clusters of one clustering contributes through the first.
+
+// clusterIndex maps each item to the index of its (first) cluster.
+func clusterIndex(clusters [][]string) map[string]int {
+	idx := make(map[string]int)
+	for i, cl := range clusters {
+		for _, item := range cl {
+			if _, seen := idx[item]; !seen {
+				idx[item] = i
+			}
+		}
+	}
+	return idx
+}
+
+// BCubed computes B-cubed precision and recall of a predicted clustering
+// against a gold one (Bagga & Baldwin): for each item, precision is the
+// fraction of its predicted cluster sharing its gold cluster, recall the
+// fraction of its gold cluster sharing its predicted cluster, both
+// averaged over the items present in both clusterings. Items present in
+// only one side are ignored; empty input yields zeros.
+func BCubed(pred, gold [][]string) PRF {
+	predIdx := clusterIndex(pred)
+	goldIdx := clusterIndex(gold)
+
+	// Deduplicated cluster contents, restricted to items the cluster owns
+	// (first occurrence wins across clusters) that the other clustering
+	// also knows.
+	shared := func(cl []string, idx int, own, same map[string]int, want int) (together, total int) {
+		seen := make(map[string]bool, len(cl))
+		for _, item := range cl {
+			if seen[item] || own[item] != idx {
+				continue
+			}
+			seen[item] = true
+			if _, ok := same[item]; !ok {
+				continue
+			}
+			total++
+			if same[item] == want {
+				together++
+			}
+		}
+		return together, total
+	}
+
+	var pSum, rSum float64
+	n := 0
+	for item, pi := range predIdx {
+		gi, ok := goldIdx[item]
+		if !ok {
+			continue
+		}
+		n++
+		if together, total := shared(pred[pi], pi, predIdx, goldIdx, gi); total > 0 {
+			pSum += float64(together) / float64(total)
+		}
+		if together, total := shared(gold[gi], gi, goldIdx, predIdx, pi); total > 0 {
+			rSum += float64(together) / float64(total)
+		}
+	}
+	if n == 0 {
+		return PRF{}
+	}
+	p, r := pSum/float64(n), rSum/float64(n)
+	return PRF{Precision: p, Recall: r, F: fmeasure(p, r)}
+}
+
+// PairCounting computes pair-counting cluster precision/recall: of the
+// unordered item pairs co-clustered in pred, the fraction also
+// co-clustered in gold (precision), and vice versa (recall). Only items
+// present in both clusterings form countable pairs, so singleton
+// clusters contribute nothing to either side.
+func PairCounting(pred, gold [][]string) PRF {
+	predIdx := clusterIndex(pred)
+	goldIdx := clusterIndex(gold)
+	countPairs := func(clusters [][]string, own, other map[string]int) (together, total int) {
+		for i, cl := range clusters {
+			// Deduplicated shared members of this cluster.
+			var members []string
+			seen := make(map[string]bool, len(cl))
+			for _, item := range cl {
+				if seen[item] || own[item] != i {
+					continue
+				}
+				seen[item] = true
+				if _, ok := other[item]; ok {
+					members = append(members, item)
+				}
+			}
+			for x := 0; x < len(members); x++ {
+				for y := x + 1; y < len(members); y++ {
+					total++
+					if other[members[x]] == other[members[y]] {
+						together++
+					}
+				}
+			}
+		}
+		return together, total
+	}
+	var p, r float64
+	if together, total := countPairs(pred, predIdx, goldIdx); total > 0 {
+		p = float64(together) / float64(total)
+	}
+	if together, total := countPairs(gold, goldIdx, predIdx); total > 0 {
+		r = float64(together) / float64(total)
+	}
+	return PRF{Precision: p, Recall: r, F: fmeasure(p, r)}
+}

@@ -1,0 +1,91 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBCubedIdentical(t *testing.T) {
+	clusters := [][]string{{"a", "b"}, {"c"}, {"d", "e", "f"}}
+	got := BCubed(clusters, clusters)
+	if !prfEq(got, PRF{1, 1, 1}) {
+		t.Errorf("identical clusterings = %+v", got)
+	}
+}
+
+func TestBCubedSplitAndMerge(t *testing.T) {
+	gold := [][]string{{"a", "b", "c", "d"}}
+	split := [][]string{{"a", "b"}, {"c", "d"}}
+	got := BCubed(split, gold)
+	// Every item keeps full precision (its small cluster is pure) but
+	// only recalls half of its gold cluster.
+	if !prfEq(got, PRF{1, 0.5, 2.0 / 3}) {
+		t.Errorf("split = %+v, want P=1 R=0.5", got)
+	}
+	// Merging two gold clusters is the mirror image.
+	merged := BCubed(gold, split)
+	if !prfEq(merged, PRF{0.5, 1, 2.0 / 3}) {
+		t.Errorf("merged = %+v, want P=0.5 R=1", merged)
+	}
+}
+
+func TestBCubedEdgeCases(t *testing.T) {
+	cases := []struct {
+		name       string
+		pred, gold [][]string
+		want       PRF
+	}{
+		{"both empty", nil, nil, PRF{}},
+		{"empty predicted", nil, [][]string{{"a"}}, PRF{}},
+		{"empty gold", [][]string{{"a"}}, nil, PRF{}},
+		{"disjoint item sets", [][]string{{"a"}}, [][]string{{"b"}}, PRF{}},
+		{"single-element clusters", [][]string{{"a"}, {"b"}}, [][]string{{"a"}, {"b"}}, PRF{1, 1, 1}},
+		{"singletons vs one gold cluster", [][]string{{"a"}, {"b"}}, [][]string{{"a", "b"}}, PRF{1, 0.5, 2.0 / 3}},
+		{"empty cluster entries ignored", [][]string{{}, {"a"}}, [][]string{{"a"}, {}}, PRF{1, 1, 1}},
+	}
+	for _, c := range cases {
+		if got := BCubed(c.pred, c.gold); !prfEq(got, c.want) {
+			t.Errorf("%s: BCubed = %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestBCubedDuplicateItems: an item listed twice in one cluster, or in
+// two clusters, counts once (first occurrence wins).
+func TestBCubedDuplicateItems(t *testing.T) {
+	pred := [][]string{{"a", "a", "b"}, {"a", "c"}}
+	gold := [][]string{{"a", "b"}, {"c"}}
+	got := BCubed(pred, gold)
+	if !prfEq(got, PRF{1, 1, 1}) {
+		t.Errorf("duplicates = %+v, want perfect (first occurrence wins)", got)
+	}
+}
+
+func TestPairCounting(t *testing.T) {
+	gold := [][]string{{"a", "b", "c"}, {"d"}}
+	pred := [][]string{{"a", "b"}, {"c", "d"}}
+	got := PairCounting(pred, gold)
+	// Predicted pairs: (a,b) correct, (c,d) wrong → P=1/2. Gold pairs:
+	// (a,b), (a,c), (b,c); only (a,b) co-clustered → R=1/3.
+	if math.Abs(got.Precision-0.5) > 1e-12 || math.Abs(got.Recall-1.0/3) > 1e-12 {
+		t.Errorf("pair counting = %+v, want P=0.5 R=1/3", got)
+	}
+}
+
+func TestPairCountingEdgeCases(t *testing.T) {
+	cases := []struct {
+		name       string
+		pred, gold [][]string
+		want       PRF
+	}{
+		{"both empty", nil, nil, PRF{}},
+		{"all singletons", [][]string{{"a"}, {"b"}}, [][]string{{"a"}, {"b"}}, PRF{}},
+		{"identical multi", [][]string{{"a", "b"}}, [][]string{{"a", "b"}}, PRF{1, 1, 1}},
+		{"disjoint items", [][]string{{"a", "b"}}, [][]string{{"c", "d"}}, PRF{}},
+	}
+	for _, c := range cases {
+		if got := PairCounting(c.pred, c.gold); !prfEq(got, c.want) {
+			t.Errorf("%s: PairCounting = %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}

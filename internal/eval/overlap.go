@@ -76,6 +76,24 @@ func AttributeFrequencies(c *wiki.Corpus, pair wiki.LanguagePair, typeA, typeB s
 	return freqA, freqB
 }
 
+// LanguageAttributeFrequencies counts how often each normalized
+// attribute name occurs over every infobox of one entity type in one
+// language — the per-side weights for pairs that have no cross-linked
+// infoboxes of their own (a transitively matched pair such as Pt–Vi),
+// where AttributeFrequencies would see nothing.
+func LanguageAttributeFrequencies(c *wiki.Corpus, lang wiki.Language, typ string) map[string]float64 {
+	freq := make(map[string]float64)
+	for _, a := range c.OfType(lang, typ) {
+		if a.Infobox == nil {
+			continue
+		}
+		for _, name := range normalizedSchema(a) {
+			freq[name]++
+		}
+	}
+	return freq
+}
+
 // TruthPairs builds the ground-truth correspondence set G for a type:
 // every (a, b) with a observed on the A side, b observed on the B side,
 // and correct(a, b). Restricting to observed attributes mirrors the

@@ -1,0 +1,202 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Golden-file tests for every wikimatchd HTTP endpoint: each request's
+// response body is normalized (timings zeroed, NDJSON lines sorted into
+// a canonical order) and compared byte for byte against a recorded file
+// under testdata/golden/. Regenerate with:
+//
+//	go test ./internal/service -run TestHTTPGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite the golden files from live responses")
+
+// goldenCase drives one recorded request. Every case runs against a
+// fresh session so cache counters in the response are deterministic.
+type goldenCase struct {
+	name       string
+	method     string
+	path       string
+	wantStatus int
+	ndjson     bool
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{name: "corpus_stats", method: http.MethodGet, path: "/corpus/stats", wantStatus: http.StatusOK},
+		{name: "match_pt_en", method: http.MethodGet, path: "/match?pair=pt-en", wantStatus: http.StatusOK},
+		{name: "match_vn_alias", method: http.MethodGet, path: "/match?pair=vn-en", wantStatus: http.StatusOK},
+		{name: "match_type_filme", method: http.MethodGet, path: "/match/filme?pair=pt-en", wantStatus: http.StatusOK},
+		{name: "match_stream_vi_en", method: http.MethodGet, path: "/match/stream?pair=vi-en", wantStatus: http.StatusOK, ndjson: true},
+		{name: "matchall_pivot", method: http.MethodGet, path: "/matchall?mode=pivot", wantStatus: http.StatusOK},
+		{name: "matchall_direct", method: http.MethodGet, path: "/matchall?mode=direct&workers=2", wantStatus: http.StatusOK},
+		{name: "matchall_stream", method: http.MethodGet, path: "/matchall/stream?mode=pivot&workers=1", wantStatus: http.StatusOK, ndjson: true},
+		{name: "invalidate_vi", method: http.MethodPost, path: "/session/invalidate?lang=vi", wantStatus: http.StatusOK},
+		{name: "error_bad_pair", method: http.MethodGet, path: "/match?pair=bogus", wantStatus: http.StatusBadRequest},
+		{name: "error_unknown_type", method: http.MethodGet, path: "/match/no-such-type?pair=pt-en", wantStatus: http.StatusNotFound},
+		{name: "error_bad_mode", method: http.MethodGet, path: "/matchall?mode=sideways", wantStatus: http.StatusBadRequest},
+		{name: "error_bad_hub", method: http.MethodGet, path: "/matchall?hub=EN", wantStatus: http.StatusBadRequest},
+		{name: "error_bad_workers", method: http.MethodGet, path: "/matchall?workers=-1", wantStatus: http.StatusBadRequest},
+		{name: "error_bad_lang", method: http.MethodPost, path: "/session/invalidate?lang=UPPER", wantStatus: http.StatusBadRequest},
+	}
+}
+
+func TestHTTPGolden(t *testing.T) {
+	for _, gc := range goldenCases() {
+		t.Run(gc.name, func(t *testing.T) {
+			// Fresh session per case: response cache counters depend only
+			// on this one request.
+			srv := httptest.NewServer(NewHandler(New(smallCorpus(t))))
+			defer srv.Close()
+
+			req, err := http.NewRequest(gc.method, srv.URL+gc.path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != gc.wantStatus {
+				t.Fatalf("%s %s: status %d, want %d", gc.method, gc.path, resp.StatusCode, gc.wantStatus)
+			}
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var normalized []byte
+			if gc.ndjson {
+				normalized = normalizeNDJSON(t, body)
+			} else {
+				normalized = normalizeJSON(t, body)
+			}
+
+			path := filepath.Join("testdata", "golden", gc.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, normalized, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to record): %v", err)
+			}
+			if !bytes.Equal(normalized, want) {
+				t.Errorf("response differs from %s\n--- got ---\n%s\n--- want ---\n%s",
+					path, clip(normalized), clip(want))
+			}
+		})
+	}
+}
+
+// normalizeJSON decodes, scrubs volatile fields, and re-encodes with
+// stable indentation.
+func normalizeJSON(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("invalid JSON body: %v\n%s", err, clip(body))
+	}
+	scrubVolatile(v)
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+// normalizeNDJSON scrubs each line and sorts the lines canonically —
+// streams emit in completion order, which is scheduling-dependent.
+func normalizeNDJSON(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var lines []string
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var v any
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			t.Fatalf("invalid NDJSON line: %v\n%s", err, sc.Text())
+		}
+		scrubVolatile(v)
+		out, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, string(out))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(lines, func(i, j int) bool { return ndjsonKey(lines[i]) < ndjsonKey(lines[j]) })
+	return []byte(strings.Join(lines, "\n") + "\n")
+}
+
+// ndjsonKey orders stream lines deterministically: final/cluster lines
+// last, pair/type progress lines by their identifying name.
+func ndjsonKey(line string) string {
+	var v map[string]any
+	if err := json.Unmarshal([]byte(line), &v); err != nil {
+		return "z" + line
+	}
+	if _, ok := v["final"]; ok {
+		return "y:final"
+	}
+	if p, ok := v["pair"].(map[string]any); ok {
+		return fmt.Sprintf("p:%v", p["pair"])
+	}
+	if ta, ok := v["typeA"].(string); ok {
+		return "t:" + ta
+	}
+	return "z" + line
+}
+
+// scrubVolatile zeroes timing fields in place, recursively. Everything
+// else — correspondences, confidences, cluster shapes, cache counters —
+// is deterministic for a fixed request against a fresh session and is
+// deliberately kept under golden control.
+func scrubVolatile(v any) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, val := range x {
+			if k == "elapsedMs" {
+				x[k] = 0.0
+				continue
+			}
+			scrubVolatile(val)
+		}
+	case []any:
+		for _, val := range x {
+			scrubVolatile(val)
+		}
+	}
+}
+
+func clip(b []byte) []byte {
+	const max = 2000
+	if len(b) > max {
+		return append(append([]byte(nil), b[:max]...), []byte("…")...)
+	}
+	return b
+}

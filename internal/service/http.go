@@ -63,10 +63,15 @@ type errorJSON struct {
 //	GET  /match/stream?pair=  per-type results as NDJSON, flushed as each
 //	                          type completes
 //	GET  /match/{type}?pair=  one entity type's alignment, JSON
+//	GET  /matchall?mode=pivot|direct&hub=en   all-pairs batch with
+//	                          cross-language correspondence clusters, JSON
+//	GET  /matchall/stream?mode=&hub=   per-pair progress + final clusters
+//	                          as NDJSON
 //	POST /session/invalidate?lang=pt   drop cached artifacts for a language
 //	                          (no lang: drop everything)
 func NewHandler(s *Session) http.Handler {
 	mux := http.NewServeMux()
+	registerMatchAll(mux, s)
 	mux.HandleFunc("GET /corpus/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, StatsResponseJSON{
 			Corpus: s.Corpus().Stats(),

@@ -1,0 +1,162 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/multi"
+	"repro/internal/wiki"
+)
+
+// The /matchall wire DTOs. Cluster, Correspondence and Conflict are
+// serialized in internal/multi's own JSON shape.
+
+// MatchAllPairJSON summarizes one pair's outcome within a batch.
+type MatchAllPairJSON struct {
+	Pair            string  `json:"pair"`
+	Types           int     `json:"types"`
+	Correspondences int     `json:"correspondences"`
+	Error           string  `json:"error,omitempty"`
+	ElapsedMS       float64 `json:"elapsedMs"`
+}
+
+// MatchAllResponseJSON is the wire form of a full /matchall run.
+type MatchAllResponseJSON struct {
+	Mode      string             `json:"mode"`
+	Hub       string             `json:"hub"`
+	Pairs     []MatchAllPairJSON `json:"pairs"`
+	Clusters  []multi.Cluster    `json:"clusters"`
+	Conflicts int                `json:"conflicts"`
+	ElapsedMS float64            `json:"elapsedMs"`
+	Cache     CacheStats         `json:"cache"`
+}
+
+// MatchAllStreamLineJSON is one NDJSON line of /matchall/stream: pair
+// progress lines first (completion order), then a final line carrying
+// the merged clusters.
+type MatchAllStreamLineJSON struct {
+	Done  int                   `json:"done"`
+	Total int                   `json:"total"`
+	Pair  *MatchAllPairJSON     `json:"pair,omitempty"`
+	Final *MatchAllResponseJSON `json:"final,omitempty"`
+}
+
+// registerMatchAll mounts the all-pairs endpoints:
+//
+//	GET /matchall?mode=pivot|direct&hub=en&workers=N   full batch, JSON
+//	GET /matchall/stream?...                            per-pair progress +
+//	                                                    final clusters, NDJSON
+func registerMatchAll(mux *http.ServeMux, s *Session) {
+	mux.HandleFunc("GET /matchall", func(w http.ResponseWriter, r *http.Request) {
+		opts, ok := requestMatchAllOptions(w, r)
+		if !ok {
+			return
+		}
+		start := time.Now()
+		res, err := s.MatchAll(r.Context(), opts)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, matchAllResponse(s, res, msSince(start)))
+	})
+	mux.HandleFunc("GET /matchall/stream", func(w http.ResponseWriter, r *http.Request) {
+		opts, ok := requestMatchAllOptions(w, r)
+		if !ok {
+			return
+		}
+		start := time.Now()
+		updates, err := s.MatchAllStream(r.Context(), opts)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		for u := range updates {
+			line := MatchAllStreamLineJSON{Done: u.Done, Total: u.Total}
+			if u.Outcome != nil {
+				p := pairOutcomeJSON(u.Outcome)
+				line.Pair = &p
+			}
+			if u.Final != nil {
+				resp := matchAllResponse(s, u.Final, msSince(start))
+				line.Final = &resp
+			}
+			_ = enc.Encode(line)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	})
+}
+
+func matchAllResponse(s *Session, res *multi.BatchResult, elapsedMS float64) MatchAllResponseJSON {
+	resp := MatchAllResponseJSON{
+		Mode:      res.Plan.Mode.String(),
+		Hub:       res.Plan.Hub.String(),
+		Clusters:  res.Clusters,
+		ElapsedMS: elapsedMS,
+		Cache:     s.CacheStats(),
+	}
+	if resp.Clusters == nil {
+		resp.Clusters = []multi.Cluster{}
+	}
+	for i := range res.Outcomes {
+		resp.Pairs = append(resp.Pairs, pairOutcomeJSON(&res.Outcomes[i]))
+	}
+	for _, cl := range res.Clusters {
+		resp.Conflicts += len(cl.Conflicts)
+	}
+	return resp
+}
+
+func pairOutcomeJSON(o *multi.PairOutcome) MatchAllPairJSON {
+	out := MatchAllPairJSON{
+		Pair:            o.Pair.String(),
+		Correspondences: o.Correspondences(),
+		ElapsedMS:       float64(o.Elapsed) / float64(time.Millisecond),
+	}
+	if o.Result != nil {
+		out.Types = len(o.Result.Types)
+	}
+	if o.Err != nil {
+		out.Error = o.Err.Error()
+	}
+	return out
+}
+
+// requestMatchAllOptions parses mode, hub and workers query parameters.
+func requestMatchAllOptions(w http.ResponseWriter, r *http.Request) (multi.Options, bool) {
+	opts := multi.Options{Mode: multi.ModePivot, Hub: wiki.English}
+	if raw := r.URL.Query().Get("mode"); raw != "" {
+		mode, err := multi.ParseMode(raw)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+			return multi.Options{}, false
+		}
+		opts.Mode = mode
+	}
+	if raw := r.URL.Query().Get("hub"); raw != "" {
+		hub := wiki.Language(raw)
+		if !hub.Valid() {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("invalid hub language %q", raw)})
+			return multi.Options{}, false
+		}
+		opts.Hub = hub
+	}
+	if raw := r.URL.Query().Get("workers"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("invalid workers %q", raw)})
+			return multi.Options{}, false
+		}
+		opts.Workers = n
+	}
+	return opts, true
+}

@@ -1,0 +1,231 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/multi"
+	"repro/internal/wiki"
+)
+
+// ptVi is the transitive pair of the synthetic corpus: no cross-language
+// links connect Portuguese and Vietnamese articles directly, so only the
+// cluster builder can produce correspondences for it.
+var ptVi = wiki.LanguagePair{A: wiki.Portuguese, B: wiki.Vietnamese}
+
+// TestMatchAllPivot is the acceptance gate for the all-pairs subsystem:
+// a pivot batch over the three-language synthetic corpus must produce
+// cross-language correspondence clusters, including transitive Pt–Vi
+// correspondences that score well against the generator's gold data.
+func TestMatchAllPivot(t *testing.T) {
+	c := smallCorpus(t)
+	truth := smallTruth(t)
+	s := New(c)
+	res, err := s.MatchAll(context.Background(), multi.Options{Mode: multi.ModePivot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		for _, o := range res.Outcomes {
+			if o.Err != nil {
+				t.Errorf("pair %s failed: %v", o.Pair, o.Err)
+			}
+		}
+		t.Fatalf("%d pairs failed", res.Failed)
+	}
+	if got := len(res.Outcomes); got != 2 {
+		t.Fatalf("pivot outcomes = %d, want 2 (pt-en, vi-en)", got)
+	}
+	if len(res.Clusters) == 0 {
+		t.Fatal("no clusters")
+	}
+
+	// Some clusters must span all three languages (the film types exist
+	// in every edition).
+	trilingual := 0
+	for _, cl := range res.Clusters {
+		if len(cl.Languages) == 3 {
+			trilingual++
+		}
+		if len(cl.Conflicts) != 0 {
+			t.Errorf("pivot cluster %d has conflicts: %v", cl.ID, cl.Conflicts)
+		}
+		if cl.Agreement != 1 {
+			t.Errorf("pivot cluster %d agreement = %v, want vacuous 1", cl.ID, cl.Agreement)
+		}
+	}
+	if trilingual == 0 {
+		t.Fatal("no cluster spans all three languages")
+	}
+
+	// The induced Pt–Vi correspondences exist only transitively; score
+	// them against the generator's gold alignment (cluster-level eval
+	// against the pairwise gold data).
+	induced := res.Induced(ptVi)
+	if len(induced) == 0 {
+		t.Fatal("no induced pt-vi correspondences")
+	}
+	var rows []eval.PRF
+	for tp, derived := range induced {
+		canon, ok := truth.CanonType(ptVi.A, tp[0])
+		if !ok {
+			t.Errorf("induced type %q has no canonical type", tp[0])
+			continue
+		}
+		tt := truth.Types[canon]
+		freqA := eval.LanguageAttributeFrequencies(c, ptVi.A, tp[0])
+		freqB := eval.LanguageAttributeFrequencies(c, ptVi.B, tp[1])
+		gold := eval.TruthPairs(freqA, freqB, ptVi, tt.Correct)
+		if gold.Pairs() == 0 {
+			continue
+		}
+		rows = append(rows, eval.Macro(derived, gold))
+	}
+	if len(rows) == 0 {
+		t.Fatal("no pt-vi type could be scored against gold")
+	}
+	avg := eval.Average(rows)
+	// Transitive matching composes two pairwise runs, so expect solid
+	// precision and usable recall; these are generous floors that catch
+	// a broken cluster builder, not tuned targets.
+	if avg.Precision < 0.5 || avg.Recall < 0.2 {
+		t.Errorf("pt-vi transitive quality too low: P=%.3f R=%.3f F=%.3f over %d types",
+			avg.Precision, avg.Recall, avg.F, len(rows))
+	}
+	t.Logf("pt-vi transitive: P=%.3f R=%.3f F=%.3f over %d types", avg.Precision, avg.Recall, avg.F, len(rows))
+
+	// Cluster-level eval: clusters against gold clusters via B-cubed.
+	pred := make([][]string, 0, len(res.Clusters))
+	for _, cl := range res.Clusters {
+		group := make([]string, 0, len(cl.Members))
+		for _, m := range cl.Members {
+			group = append(group, m.String())
+		}
+		pred = append(pred, group)
+	}
+	gold := goldClusters(t, res)
+	b3 := eval.BCubed(pred, gold)
+	if b3.Precision < 0.5 || b3.Recall < 0.3 {
+		t.Errorf("cluster B-cubed too low: %+v", b3)
+	}
+	t.Logf("cluster B-cubed: P=%.3f R=%.3f F=%.3f over %d pred / %d gold clusters",
+		b3.Precision, b3.Recall, b3.F, len(pred), len(gold))
+}
+
+// goldClusters groups every attribute node that appears in the batch's
+// clusters by its ground-truth canonical attribute — the reference
+// clustering for B-cubed.
+func goldClusters(t *testing.T, res *multi.BatchResult) [][]string {
+	t.Helper()
+	truth := smallTruth(t)
+	byCanon := make(map[string][]string)
+	for _, cl := range res.Clusters {
+		for _, m := range cl.Members {
+			canonType, ok := truth.CanonType(m.Lang, m.Type)
+			if !ok {
+				continue
+			}
+			canons := truth.Types[canonType].Canons(m.Lang, m.Name)
+			if len(canons) == 0 {
+				// Unknown to the gold data; treat as its own singleton
+				// identity so spurious nodes cost precision.
+				canons = []string{"?" + m.String()}
+			}
+			key := canonType + "/" + canons[0]
+			byCanon[key] = append(byCanon[key], m.String())
+		}
+	}
+	out := make([][]string, 0, len(byCanon))
+	for _, group := range byCanon {
+		out = append(out, group)
+	}
+	return out
+}
+
+// TestMatchAllPivotReusesHubArtifacts asserts the cache economics the
+// pivot plan exists for: a pivot batch builds strictly fewer artifacts
+// than a direct batch (which additionally matches pt-vi), and a batch
+// over a session that already served the hub pairs builds nothing new.
+func TestMatchAllPivotReusesHubArtifacts(t *testing.T) {
+	c := smallCorpus(t)
+	ctx := context.Background()
+
+	pivot := New(c)
+	if _, err := pivot.MatchAll(ctx, multi.Options{Mode: multi.ModePivot}); err != nil {
+		t.Fatal(err)
+	}
+	pivotStats := pivot.CacheStats()
+
+	direct := New(c)
+	directRes, err := direct.MatchAll(ctx, multi.Options{Mode: multi.ModeDirect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	directStats := direct.CacheStats()
+
+	if pivotStats.Misses >= directStats.Misses {
+		t.Errorf("pivot built %d artifacts, direct %d; pivot must build fewer",
+			pivotStats.Misses, directStats.Misses)
+	}
+	if pivotStats.PairEntries != 2 || directStats.PairEntries != 3 {
+		t.Errorf("pair entries: pivot=%d direct=%d, want 2 and 3",
+			pivotStats.PairEntries, directStats.PairEntries)
+	}
+	// The direct pt-vi run has no cross-language links to work from.
+	if o := directRes.Outcome(wiki.OrientPair(wiki.Portuguese, wiki.Vietnamese, wiki.English)); o == nil || o.Err != nil {
+		t.Fatalf("direct pt-vi outcome: %+v", o)
+	} else if len(o.Result.Types) != 0 {
+		t.Errorf("direct pt-vi aligned %d types on a corpus without pt-vi links", len(o.Result.Types))
+	}
+
+	// Warm path: a second pivot batch on the same session builds nothing.
+	before := pivot.CacheStats()
+	if _, err := pivot.MatchAll(ctx, multi.Options{Mode: multi.ModePivot}); err != nil {
+		t.Fatal(err)
+	}
+	after := pivot.CacheStats()
+	if after.Misses != before.Misses {
+		t.Errorf("warm pivot batch rebuilt artifacts: misses %d → %d", before.Misses, after.Misses)
+	}
+	if after.Hits <= before.Hits {
+		t.Errorf("warm pivot batch did not hit the cache: hits %d → %d", before.Hits, after.Hits)
+	}
+
+	// And a batch result is consistent with the pairwise path: pt-en from
+	// the batch equals a direct session match.
+	res, err := pivot.Match(ctx, wiki.PtEn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchOutcome := directRes.Outcome(wiki.PtEn)
+	if flattenResult(res) != flattenResult(batchOutcome.Result) {
+		t.Error("batch pt-en result differs from pairwise session match")
+	}
+}
+
+// TestMatchAllStreamSession checks the streaming batch over a real
+// session: per-pair updates then the final clusters, channel closed.
+func TestMatchAllStreamSession(t *testing.T) {
+	s := New(smallCorpus(t))
+	updates, err := s.MatchAllStream(context.Background(), multi.Options{Mode: multi.ModePivot, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairSeen := map[string]bool{}
+	var final *multi.BatchResult
+	for u := range updates {
+		if u.Outcome != nil {
+			pairSeen[u.Outcome.Pair.String()] = true
+		}
+		if u.Final != nil {
+			final = u.Final
+		}
+	}
+	if !pairSeen["pt-en"] || !pairSeen["vi-en"] {
+		t.Errorf("stream outcomes: %v", pairSeen)
+	}
+	if final == nil || len(final.Clusters) == 0 {
+		t.Fatal("stream delivered no final clusters")
+	}
+}

@@ -1,0 +1,29 @@
+package service
+
+import (
+	"context"
+
+	"repro/internal/multi"
+)
+
+// MatchAll runs the all-pairs multilingual batch over every language
+// edition of the session's corpus: it plans the pair DAG (pivot through
+// opts.Hub by default, or direct all-pairs), matches the pairs on a
+// bounded worker pool, and merges the pairwise correspondences into
+// cross-language attribute clusters. The batch runs over this session's
+// artifact cache, so in pivot mode the hub-side artifacts are built once
+// and shared across pairs, and a batch warms the cache for later
+// pairwise calls (and vice versa). Per-pair failures are recorded in the
+// result's outcomes without aborting the batch.
+func (s *Session) MatchAll(ctx context.Context, opts multi.Options) (*multi.BatchResult, error) {
+	return multi.Run(ctx, s, s.corpus.Languages(), opts)
+}
+
+// MatchAllStream is MatchAll with per-pair progress: the channel
+// delivers one update per finished pair (completion order) and a final
+// update carrying the full BatchResult, then closes. The channel is
+// buffered for the whole batch, so an abandoned consumer never strands
+// the workers.
+func (s *Session) MatchAllStream(ctx context.Context, opts multi.Options) (<-chan multi.Update, error) {
+	return multi.Stream(ctx, s, s.corpus.Languages(), opts)
+}

@@ -16,18 +16,26 @@ import (
 var (
 	corpusOnce sync.Once
 	testCorpus *wiki.Corpus
+	testTruth  *synth.GroundTruth
 )
 
 func smallCorpus(t testing.TB) *wiki.Corpus {
 	t.Helper()
 	corpusOnce.Do(func() {
-		c, _, err := synth.Generate(synth.SmallConfig())
+		c, truth, err := synth.Generate(synth.SmallConfig())
 		if err != nil {
 			t.Fatalf("generate: %v", err)
 		}
-		testCorpus = c
+		testCorpus, testTruth = c, truth
 	})
 	return testCorpus
+}
+
+// smallTruth returns the generator's ground truth for smallCorpus.
+func smallTruth(t testing.TB) *synth.GroundTruth {
+	t.Helper()
+	smallCorpus(t)
+	return testTruth
 }
 
 // flattenResult renders every observable part of a Result — type

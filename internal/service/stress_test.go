@@ -1,0 +1,210 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/wiki"
+)
+
+// TestSessionSingleFlightUnderContention hammers a cold session with
+// overlapping Match, MatchType and Types calls for both pairs from many
+// goroutines at once and then asserts the single-flight guarantee
+// exactly: the miss counter equals the number of cache entries — every
+// artifact was built once, no matter how many callers raced for it.
+func TestSessionSingleFlightUnderContention(t *testing.T) {
+	c := smallCorpus(t)
+	s := New(c)
+	ctx := context.Background()
+
+	// A type pair per language pair for the MatchType callers.
+	typeOf := map[wiki.LanguagePair][2]string{}
+	for _, pair := range []wiki.LanguagePair{wiki.PtEn, wiki.VnEn} {
+		types := core.MatchEntityTypes(c, pair)
+		if len(types) == 0 {
+			t.Fatalf("no types for %s", pair)
+		}
+		typeOf[pair] = types[0]
+	}
+	// The alignment above ran outside the session; the session's own
+	// cache is still empty.
+	if st := s.CacheStats(); st.Misses != 0 {
+		t.Fatalf("session not cold: %+v", st)
+	}
+
+	const per = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, 6*per)
+	for _, pair := range []wiki.LanguagePair{wiki.PtEn, wiki.VnEn} {
+		for g := 0; g < per; g++ {
+			wg.Add(1)
+			go func(pair wiki.LanguagePair, g int) {
+				defer wg.Done()
+				switch g % 3 {
+				case 0:
+					if _, err := s.Match(ctx, pair); err != nil {
+						errs <- fmt.Errorf("Match %s: %v", pair, err)
+					}
+				case 1:
+					tp := typeOf[pair]
+					if _, err := s.MatchType(ctx, pair, tp[0], tp[1]); err != nil {
+						errs <- fmt.Errorf("MatchType %s: %v", pair, err)
+					}
+				case 2:
+					if _, err := s.Types(ctx, pair); err != nil {
+						errs <- fmt.Errorf("Types %s: %v", pair, err)
+					}
+				}
+			}(pair, g)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := s.CacheStats()
+	if st.PairEntries != 2 {
+		t.Errorf("pair entries = %d, want 2", st.PairEntries)
+	}
+	if st.Misses != uint64(st.PairEntries+st.TypeEntries) {
+		t.Errorf("misses = %d, want %d (one build per entry): %+v",
+			st.Misses, st.PairEntries+st.TypeEntries, st)
+	}
+}
+
+// TestSessionStressWithInvalidate runs the full mixed workload — Match,
+// MatchType, Types, Dictionary and concurrent Invalidate churn — against
+// one shared session. Correctness bar: every successful result equals
+// the cold single-threaded reference, and every CacheStats snapshot
+// (taken continuously by an observer goroutine) is internally sane:
+// entry counts within corpus bounds and hit/miss counters monotone.
+// Run under -race this is the cache's data-race gate.
+func TestSessionStressWithInvalidate(t *testing.T) {
+	c := smallCorpus(t)
+	s := New(c)
+	ctx := context.Background()
+
+	pairs := []wiki.LanguagePair{wiki.PtEn, wiki.VnEn}
+	want := map[wiki.LanguagePair]string{}
+	maxTypes := 0
+	typeOf := map[wiki.LanguagePair][2]string{}
+	for _, pair := range pairs {
+		res := core.NewMatcher(core.DefaultConfig()).Match(c, pair)
+		want[pair] = flattenResult(res)
+		maxTypes += len(res.Types)
+		typeOf[pair] = res.Types[0]
+	}
+
+	stop := make(chan struct{})
+	var torn atomic.Int32
+	var observerDone sync.WaitGroup
+	observerDone.Add(1)
+	go func() {
+		defer observerDone.Done()
+		var lastHits, lastMisses uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := s.CacheStats()
+			if st.PairEntries < 0 || st.PairEntries > len(pairs) || st.TypeEntries > maxTypes {
+				t.Errorf("torn stats: %+v", st)
+				torn.Add(1)
+				return
+			}
+			if st.Hits < lastHits || st.Misses < lastMisses {
+				t.Errorf("counters went backwards: hits %d→%d misses %d→%d",
+					lastHits, st.Hits, lastMisses, st.Misses)
+				torn.Add(1)
+				return
+			}
+			lastHits, lastMisses = st.Hits, st.Misses
+		}
+	}()
+
+	const (
+		workers    = 8
+		iterations = 5
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*iterations)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pair := pairs[g%len(pairs)]
+			for i := 0; i < iterations; i++ {
+				switch (g + i) % 5 {
+				case 0:
+					res, err := s.Match(ctx, pair)
+					if err != nil {
+						errs <- fmt.Errorf("Match %s: %v", pair, err)
+						continue
+					}
+					if flattenResult(res) != want[pair] {
+						errs <- fmt.Errorf("Match %s: result differs under churn", pair)
+					}
+				case 1:
+					tp := typeOf[pair]
+					tr, err := s.MatchType(ctx, pair, tp[0], tp[1])
+					if err != nil {
+						errs <- fmt.Errorf("MatchType %s: %v", pair, err)
+						continue
+					}
+					if len(tr.CrossPairsSorted()) == 0 {
+						errs <- fmt.Errorf("MatchType %s: empty result under churn", pair)
+					}
+				case 2:
+					if _, err := s.Types(ctx, pair); err != nil {
+						errs <- fmt.Errorf("Types %s: %v", pair, err)
+					}
+				case 3:
+					if _, err := s.Dictionary(ctx, pair); err != nil {
+						errs <- fmt.Errorf("Dictionary %s: %v", pair, err)
+					}
+				case 4:
+					s.Invalidate(pair.A)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	observerDone.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if torn.Load() != 0 {
+		t.Fatal("observer saw torn cache stats")
+	}
+
+	// Quiesced: one more match per pair must still equal the reference,
+	// and leave the cache fully populated.
+	for _, pair := range pairs {
+		res, err := s.Match(ctx, pair)
+		if err != nil {
+			t.Fatalf("post-stress Match %s: %v", pair, err)
+		}
+		if flattenResult(res) != want[pair] {
+			t.Errorf("post-stress Match %s differs from reference", pair)
+		}
+	}
+	st := s.CacheStats()
+	if st.PairEntries != len(pairs) || st.TypeEntries == 0 {
+		t.Errorf("post-stress cache: %+v", st)
+	}
+	// Every cache entry traces back to at least one recorded miss.
+	if st.Misses < uint64(st.PairEntries+st.TypeEntries) {
+		t.Errorf("misses = %d < %d entries — builds escaped the counter",
+			st.Misses, st.PairEntries+st.TypeEntries)
+	}
+}

@@ -9,7 +9,10 @@
 // the same entity in other languages through cross-language links.
 package wiki
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Language identifies a Wikipedia language edition by its subdomain code
 // (e.g. "en" for English, "pt" for Portuguese, "vi" for Vietnamese).
@@ -71,3 +74,75 @@ var (
 	PtEn = LanguagePair{A: Portuguese, B: English}
 	VnEn = LanguagePair{A: Vietnamese, B: English}
 )
+
+// OrientPair orders two languages into the canonical pair used by the
+// all-pairs machinery: the hub (when one of them is the hub) goes on the
+// B side — matching the paper's other-to-English orientation (Pt–En,
+// Vi–En) — and otherwise the languages are ordered lexicographically.
+// Canonical orientation is what lets a batch and ad-hoc pairwise calls
+// share one artifact cache: both always ask for the same LanguagePair.
+func OrientPair(a, b, hub Language) LanguagePair {
+	switch {
+	case b == hub:
+		return LanguagePair{A: a, B: b}
+	case a == hub:
+		return LanguagePair{A: b, B: a}
+	case a <= b:
+		return LanguagePair{A: a, B: b}
+	default:
+		return LanguagePair{A: b, B: a}
+	}
+}
+
+// AllPairs enumerates every unordered pair of the given languages as
+// canonically oriented LanguagePairs (see OrientPair), sorted. Duplicate
+// languages are ignored.
+func AllPairs(langs []Language, hub Language) []LanguagePair {
+	uniq := dedupLanguages(langs)
+	out := make([]LanguagePair, 0, len(uniq)*(len(uniq)-1)/2)
+	for i, a := range uniq {
+		for _, b := range uniq[i+1:] {
+			out = append(out, OrientPair(a, b, hub))
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+// HubPairs enumerates the star of pairs connecting every language to the
+// hub — the pivot-mode pair plan — canonically oriented (hub on the B
+// side), sorted. The hub itself, and duplicates, are skipped.
+func HubPairs(langs []Language, hub Language) []LanguagePair {
+	uniq := dedupLanguages(langs)
+	out := make([]LanguagePair, 0, len(uniq))
+	for _, l := range uniq {
+		if l == hub {
+			continue
+		}
+		out = append(out, LanguagePair{A: l, B: hub})
+	}
+	sortPairs(out)
+	return out
+}
+
+func dedupLanguages(langs []Language) []Language {
+	seen := make(map[Language]bool, len(langs))
+	out := make([]Language, 0, len(langs))
+	for _, l := range langs {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortPairs(pairs []LanguagePair) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+}

@@ -1,0 +1,52 @@
+package wiki
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestOrientPair(t *testing.T) {
+	cases := []struct {
+		a, b, hub Language
+		want      string
+	}{
+		{Portuguese, English, English, "pt-en"},
+		{English, Portuguese, English, "pt-en"},
+		{Portuguese, Vietnamese, English, "pt-vi"},
+		{Vietnamese, Portuguese, English, "pt-vi"},
+		{English, Vietnamese, Portuguese, "en-vi"},
+		{Vietnamese, English, "", "en-vi"},
+	}
+	for _, c := range cases {
+		if got := OrientPair(c.a, c.b, c.hub).String(); got != c.want {
+			t.Errorf("OrientPair(%s, %s, hub=%s) = %s, want %s", c.a, c.b, c.hub, got, c.want)
+		}
+	}
+}
+
+func TestAllPairs(t *testing.T) {
+	langs := []Language{Vietnamese, English, Portuguese, English} // dup + unsorted
+	got := fmt.Sprint(AllPairs(langs, English))
+	if got != "[pt-en pt-vi vi-en]" {
+		t.Errorf("AllPairs = %v", got)
+	}
+	if n := len(AllPairs([]Language{English}, English)); n != 0 {
+		t.Errorf("AllPairs single language = %d pairs", n)
+	}
+	// Four languages: 6 unordered pairs.
+	if n := len(AllPairs([]Language{"de", "en", "fr", "pt"}, English)); n != 6 {
+		t.Errorf("AllPairs 4 languages = %d pairs, want 6", n)
+	}
+}
+
+func TestHubPairs(t *testing.T) {
+	got := fmt.Sprint(HubPairs([]Language{Vietnamese, English, Portuguese}, English))
+	if got != "[pt-en vi-en]" {
+		t.Errorf("HubPairs = %v", got)
+	}
+	// The hub itself contributes no pair even when absent from the set.
+	got = fmt.Sprint(HubPairs([]Language{Portuguese, Vietnamese}, English))
+	if got != "[pt-en vi-en]" {
+		t.Errorf("HubPairs without hub in set = %v", got)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/dump"
 	"repro/internal/eval"
 	"repro/internal/experiments"
+	"repro/internal/multi"
 	"repro/internal/query"
 	"repro/internal/service"
 	"repro/internal/sim"
@@ -195,6 +196,49 @@ var (
 	WithoutDictionary = service.WithoutDictionary
 )
 
+// All-pairs multilingual matching: Session.MatchAll / MatchAllStream
+// plan the language-pair DAG (pivot through a hub edition, or direct
+// all-pairs), run it on a bounded worker pool over the session's shared
+// artifact cache, and merge the pairwise correspondences into
+// cross-language attribute clusters with transitive derivation,
+// agreement scoring and direct-vs-transitive conflict detection
+// (internal/multi).
+type (
+	// MultiOptions configures an all-pairs batch (mode, hub, workers).
+	MultiOptions = multi.Options
+	// MultiMode selects pivot or direct pair coverage.
+	MultiMode = multi.Mode
+	// BatchResult is a completed all-pairs run: per-pair outcomes plus
+	// the merged correspondence clusters.
+	BatchResult = multi.BatchResult
+	// BatchPairOutcome is one pair's result or failure within a batch.
+	BatchPairOutcome = multi.PairOutcome
+	// BatchUpdate is one progress event from a streaming batch.
+	BatchUpdate = multi.Update
+	// Cluster is one cross-language attribute correspondence cluster.
+	Cluster = multi.Cluster
+	// ClusterAttr identifies an attribute node (language, type, name).
+	ClusterAttr = multi.Attr
+	// ClusterCorrespondence is one (direct or transitive) cross-language
+	// equivalence inside a cluster.
+	ClusterCorrespondence = multi.Correspondence
+	// ClusterConflict is a direct-vs-transitive disagreement.
+	ClusterConflict = multi.Conflict
+)
+
+// Batch modes.
+const (
+	// ModePivot matches every language against the hub and derives the
+	// rest transitively (N−1 runs).
+	ModePivot = multi.ModePivot
+	// ModeDirect matches every unordered pair head on (N(N−1)/2 runs)
+	// and cross-checks direct matches against transitive chains.
+	ModeDirect = multi.ModeDirect
+)
+
+// ParseMultiMode parses "pivot" or "direct".
+func ParseMultiMode(s string) (MultiMode, error) { return multi.ParseMode(s) }
+
 // Persistence: the offline/online split. A warm session's artifact
 // cache can be saved as a versioned binary snapshot (Session.Save,
 // internal/store format) and restored in another process, so servers
@@ -323,6 +367,15 @@ func WeightedScores(derived, truth Correspondences, freqA, freqB map[string]floa
 func MacroScores(derived, truth Correspondences) PRF {
 	return eval.Macro(derived, truth)
 }
+
+// BCubedScores computes B-cubed precision/recall of a predicted
+// clustering against a gold one — the cluster-level counterpart of the
+// pairwise metrics, used to evaluate all-pairs correspondence clusters.
+func BCubedScores(pred, gold [][]string) PRF { return eval.BCubed(pred, gold) }
+
+// PairCountingScores computes pair-counting cluster precision/recall:
+// co-clustered item pairs in pred scored against gold.
+func PairCountingScores(pred, gold [][]string) PRF { return eval.PairCounting(pred, gold) }
 
 // Querying (the Section 5 case study).
 type (
