@@ -15,6 +15,7 @@ import (
 	"bytes"
 	"context"
 	"io"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -492,4 +493,41 @@ func BenchmarkDumpWriteParse(b *testing.B) {
 			b.Fatal("no pages")
 		}
 	}
+}
+
+// BenchmarkHTTPMatchThroughput measures the serving path end to end
+// over wire protocol v1: a real HTTP server (middleware stack included)
+// over one warm session, driven concurrently by the client SDK. Each
+// iteration is a full POST /v1/match round trip whose alignment runs on
+// cached artifacts — the steady-state request wikimatchd serves under
+// load. The cmd-level twin is `benchall -run http`.
+func BenchmarkHTTPMatchThroughput(b *testing.B) {
+	s := smallSetup(b)
+	srv := httptest.NewServer(NewHTTPHandler(NewSession(s.Corpus)))
+	defer srv.Close()
+	c, err := NewAPIClient(srv.URL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	req := MatchRequest{Pair: "pt-en"}
+	warm, err := c.Match(ctx, req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(warm.Types) == 0 {
+		b.Fatal("warm match returned no types")
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := c.Match(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(resp.Results) != len(warm.Results) {
+				b.Fatalf("response lost results: %d vs %d", len(resp.Results), len(warm.Results))
+			}
+		}
+	})
 }

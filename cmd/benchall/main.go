@@ -7,11 +7,13 @@
 // artifacts) over a cold one — the cmd-level twin of the
 // BenchmarkSessionWarmVsCold gate — and "store" times snapshot
 // save/load against a cold artifact build, the cmd-level twin of
-// BenchmarkStoreRestoreVsCold.
+// BenchmarkStoreRestoreVsCold — and "http" drives a real wikimatchd
+// handler over wire protocol v1 through the client SDK, reporting warm
+// unary latency and request throughput.
 //
 // Usage:
 //
-//	benchall [-scale small|full] [-run all|table1|table2|table3|table5|table6|table7|figure3|figure4|figure5|figure6|figure7|svd|session|store]
+//	benchall [-scale small|full] [-run all|table1|table2|table3|table5|table6|table7|figure3|figure4|figure5|figure6|figure7|svd|session|store|http]
 package main
 
 import (
@@ -19,13 +21,17 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
+	"sync"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/linalg"
 	"repro/internal/lsi"
+	"repro/internal/protocol"
 	"repro/internal/service"
 	"repro/internal/synth"
 	"repro/internal/wiki"
@@ -91,6 +97,8 @@ func main() {
 		renderSessionTimings(s)
 	case "store":
 		renderStoreTimings(s)
+	case "http":
+		renderHTTPTimings(s)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
 		os.Exit(2)
@@ -198,6 +206,68 @@ func renderStoreTimings(s *experiments.Setup) {
 	fmt.Printf("%-22s %12s\n", "snapshot load", load.Round(time.Microsecond))
 	fmt.Printf("%-22s %12s\n", "match after restore", serve.Round(time.Microsecond))
 	fmt.Printf("load vs cold build: %.1fx faster\n", float64(cold)/float64(load))
+}
+
+// renderHTTPTimings measures the serving path end to end over wire
+// protocol v1: a real HTTP server over one warm session, driven by the
+// Go client SDK. Reported per pair: the unary /v1/match latency on the
+// warm cache, sequential and concurrent request throughput — the
+// cmd-level twin of BenchmarkHTTPMatchThroughput.
+func renderHTTPTimings(s *experiments.Setup) {
+	ctx := context.Background()
+	srv := httptest.NewServer(service.NewHandler(service.New(s.Corpus)))
+	defer srv.Close()
+	c, err := client.New(srv.URL)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "client:", err)
+		os.Exit(1)
+	}
+	const (
+		seqRequests = 16
+		conc        = 8
+	)
+	fmt.Printf("%-6s %12s %14s %14s\n", "pair", "warm-unary", "seq req/s", "conc req/s")
+	for _, pairName := range []string{"pt-en", "vi-en"} {
+		req := protocol.MatchRequest{Pair: pairName}
+		if _, err := c.Match(ctx, req); err != nil { // warm the cache
+			fmt.Fprintln(os.Stderr, "warm match:", err)
+			os.Exit(1)
+		}
+		warm := timeIt(func() {
+			if _, err := c.Match(ctx, req); err != nil {
+				fmt.Fprintln(os.Stderr, "match:", err)
+				os.Exit(1)
+			}
+		})
+		seq := timeIt(func() {
+			for i := 0; i < seqRequests; i++ {
+				if _, err := c.Match(ctx, req); err != nil {
+					fmt.Fprintln(os.Stderr, "match:", err)
+					os.Exit(1)
+				}
+			}
+		})
+		par := timeIt(func() {
+			var wg sync.WaitGroup
+			for w := 0; w < conc; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < seqRequests/conc; i++ {
+						if _, err := c.Match(ctx, req); err != nil {
+							fmt.Fprintln(os.Stderr, "match:", err)
+							os.Exit(1)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+		fmt.Printf("%-6s %12s %14.1f %14.1f\n", pairName,
+			warm.Round(time.Microsecond),
+			float64(seqRequests)/seq.Seconds(),
+			float64(seqRequests)/par.Seconds())
+	}
 }
 
 // timeIt returns the best of three runs — enough to flatten scheduler

@@ -1,9 +1,17 @@
 // Command wikimatch runs the WikiMatch aligner end to end: it generates
-// (or loads) a multilingual corpus, opens a matching session, matches
-// entity types and attributes across a language pair, and prints the
-// derived correspondences with their evaluation against the ground
-// truth. The -stream flag prints per-type results as they complete
-// instead of waiting for the whole pair.
+// (or loads) a multilingual corpus, matches entity types and attributes
+// across a language pair, and prints the derived correspondences with
+// their evaluation against the ground truth. The -stream flag prints
+// per-type results as they complete instead of waiting for the whole
+// pair.
+//
+// All matching goes through wire protocol v1 (one typed MatchRequest
+// per run). By default the request is served in process; with -remote
+// the same request is sent to a running wikimatchd, so the CLI becomes
+// a thin protocol client that reuses the daemon's warm artifact cache
+// instead of rebuilding dictionaries and LSI models locally. The output
+// is identical either way (the daemon must serve the same corpus, i.e.
+// the same -scale or -dumps).
 //
 // The matchall subcommand runs the all-pairs multilingual batch: every
 // language pair of the corpus is matched (pivot mode through a hub
@@ -11,7 +19,7 @@
 // pairwise correspondences are merged into cross-language attribute
 // clusters, with transitive Pt–Vi-style derivations, agreement scores
 // and conflict reports — evaluated against the generator's gold data
-// when the corpus is synthetic.
+// when the corpus is synthetic. It honours -remote too.
 //
 // The precompute subcommand is the offline half of the offline/online
 // split: it builds every artifact for the requested language pairs and
@@ -22,10 +30,12 @@
 //
 //	wikimatch [-pair pt-en|vi-en] [-type filme] [-scale small|full]
 //	          [-dumps dir]     load XML dumps (<lang>.xml) instead of generating
+//	          [-remote URL]    drive a running wikimatchd over protocol v1
 //	          [-tsim 0.6] [-tlsi 0.1] [-stream]
 //
 //	wikimatch matchall [-mode pivot|direct] [-hub en] [-workers N]
 //	          [-scale small|full] [-dumps dir] [-store out.wmsnap]
+//	          [-remote URL] [-timings=false]
 //	          [-clusters] [-tsim 0.6] [-tlsi 0.1]
 //
 //	wikimatch precompute -store artifacts.wmsnap
@@ -37,6 +47,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -52,84 +63,125 @@ import (
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "precompute" {
-		precompute(os.Args[2:])
-		return
+		os.Exit(precompute(os.Args[2:], os.Stdout, os.Stderr))
 	}
 	if len(os.Args) > 1 && os.Args[1] == "matchall" {
-		matchall(os.Args[2:])
-		return
+		os.Exit(matchallCmd(os.Args[2:], os.Stdout, os.Stderr))
 	}
-	pairFlag := flag.String("pair", "pt-en", "language pair: pt-en or vi-en")
-	typeFlag := flag.String("type", "", "restrict output to one source-language type name")
-	scale := flag.String("scale", "small", "generated corpus scale: small or full")
-	dumpsDir := flag.String("dumps", "", "directory with <lang>.xml dumps to load instead of generating")
-	tsim := flag.Float64("tsim", 0.6, "certain-match threshold Tsim")
-	tlsi := flag.Float64("tlsi", 0.1, "correlation threshold TLSI")
-	stream := flag.Bool("stream", false, "print per-type results as each type completes")
-	flag.Parse()
+	os.Exit(matchCmd(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	pair, err := repro.ParseLanguagePair(*pairFlag)
+// matchCmd is the default pairwise subcommand.
+func matchCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wikimatch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	pairFlag := fs.String("pair", "pt-en", "language pair: pt-en or vi-en")
+	typeFlag := fs.String("type", "", "match only one source-language type (single-type request)")
+	scale := fs.String("scale", "small", "generated corpus scale: small or full")
+	dumpsDir := fs.String("dumps", "", "directory with <lang>.xml dumps to load instead of generating")
+	remote := fs.String("remote", "", "wikimatchd base URL; match there instead of in process")
+	tsim := fs.Float64("tsim", 0.6, "certain-match threshold Tsim")
+	tlsi := fs.Float64("tlsi", 0.1, "correlation threshold TLSI")
+	stream := fs.Bool("stream", false, "print per-type results as each type completes")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *stream && *typeFlag != "" {
+		fmt.Fprintln(stderr, "wikimatch: -stream cannot be combined with -type (single-type requests cannot stream)")
+		return 2
+	}
+	req := repro.MatchRequest{Pair: *pairFlag, Type: *typeFlag}
+	setThresholdOverrides(fs, &req, tsim, tlsi)
+	if _, err := repro.ParseLanguagePair(*pairFlag); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	corpus, truth, err := loadCorpus(stdout, *dumpsDir, *scale)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
-
-	corpus, truth := loadCorpus(*dumpsDir, *scale)
+	backend, err := newBackend(*remote, corpus)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
 
 	stats := corpus.Stats()
-	fmt.Printf("corpus: %v articles, %v infoboxes, %v cross pairs\n\n",
+	fmt.Fprintf(stdout, "corpus: %v articles, %v infoboxes, %v cross pairs\n\n",
 		stats.Articles, stats.Infoboxes, stats.CrossPairs)
 
 	ctx := context.Background()
-	session := repro.NewSession(corpus, repro.WithTSim(*tsim), repro.WithTLSI(*tlsi))
-
-	types, err := session.Types(ctx, pair)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "match types:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("matched entity types (%s):\n", pair)
-	for _, tp := range types {
-		fmt.Printf("  %-28s ~ %s\n", tp[0], tp[1])
-	}
-	fmt.Println()
-
 	if *stream {
-		updates, err := session.MatchStream(ctx, pair)
+		lines, err := backend.Stream(ctx, req)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "stream:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "stream:", err)
+			return 1
 		}
-		for u := range updates {
-			if u.Err != nil {
-				fmt.Fprintln(os.Stderr, "stream:", u.Err)
-				os.Exit(1)
+		defer lines.Close()
+		for lines.Next() {
+			line := lines.Line()
+			if line.Error != nil {
+				fmt.Fprintln(stderr, "stream:", line.Error)
+				return 1
 			}
-			if *typeFlag != "" && u.TypeA != *typeFlag {
-				continue
+			if line.Type != nil {
+				printType(stdout, corpus, truth, line.Type, *pairFlag)
 			}
-			printType(corpus, truth, pair, u.TypeA, u.TypeB, u.Result)
 		}
-		return
+		if err := lines.Err(); err != nil {
+			fmt.Fprintln(stderr, "stream:", err)
+			return 1
+		}
+		return 0
 	}
 
-	res, err := session.Match(ctx, pair)
+	resp, err := backend.Match(ctx, req)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "match:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "match:", err)
+		return 1
 	}
-	for _, tp := range res.Types {
-		if *typeFlag != "" && tp[0] != *typeFlag {
-			continue
+	fmt.Fprintf(stdout, "matched entity types (%s):\n", resp.Pair)
+	for _, tp := range resp.Types {
+		fmt.Fprintf(stdout, "  %-28s ~ %s\n", tp[0], tp[1])
+	}
+	fmt.Fprintln(stdout)
+	for i := range resp.Results {
+		printType(stdout, corpus, truth, &resp.Results[i], resp.Pair)
+	}
+	return 0
+}
+
+// setThresholdOverrides attaches -tsim/-tlsi as per-request overrides
+// only when the user actually passed the flag: an untouched default
+// must not silently override the thresholds a remote daemon was
+// configured with.
+func setThresholdOverrides(fs *flag.FlagSet, req *repro.MatchRequest, tsim, tlsi *float64) {
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "tsim":
+			req.TSim = tsim
+		case "tlsi":
+			req.TLSI = tlsi
 		}
-		printType(corpus, truth, pair, tp[0], tp[1], res.PerType[tp])
+	})
+}
+
+// newBackend selects the in-process session or the remote protocol
+// client.
+func newBackend(remote string, corpus *repro.Corpus) (repro.Backend, error) {
+	if remote == "" {
+		return repro.NewLocalBackend(repro.NewSession(corpus)), nil
 	}
+	return repro.NewAPIClient(remote)
 }
 
 // loadCorpus builds the corpus from XML dumps when a directory is given,
 // otherwise generates the synthetic corpus (with its ground truth) at
-// the requested scale. Failures are fatal.
-func loadCorpus(dumpsDir, scale string) (*wiki.Corpus, *synth.GroundTruth) {
+// the requested scale.
+func loadCorpus(w io.Writer, dumpsDir, scale string) (*wiki.Corpus, *synth.GroundTruth, error) {
 	if dumpsDir != "" {
 		corpus := wiki.NewCorpus()
 		loaded := 0
@@ -140,24 +192,21 @@ func loadCorpus(dumpsDir, scale string) (*wiki.Corpus, *synth.GroundTruth) {
 				continue
 			}
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "open dump:", err)
-				os.Exit(1)
+				return nil, nil, fmt.Errorf("open dump: %w", err)
 			}
 			res, err := dump.LoadCorpus(corpus, f, lang)
 			f.Close()
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "load dump:", err)
-				os.Exit(1)
+				return nil, nil, fmt.Errorf("load dump %s: %w", path, err)
 			}
-			fmt.Printf("loaded %s: %d pages (%d skipped, %d errors)\n",
+			fmt.Fprintf(w, "loaded %s: %d pages (%d skipped, %d errors)\n",
 				path, res.Pages, res.Skipped, len(res.Errors))
 			loaded++
 		}
 		if loaded == 0 {
-			fmt.Fprintf(os.Stderr, "no <lang>.xml dumps found in %s\n", dumpsDir)
-			os.Exit(1)
+			return nil, nil, fmt.Errorf("no <lang>.xml dumps found in %s", dumpsDir)
 		}
-		return corpus, nil
+		return corpus, nil, nil
 	}
 	cfg := synth.SmallConfig()
 	if scale == "full" {
@@ -165,143 +214,184 @@ func loadCorpus(dumpsDir, scale string) (*wiki.Corpus, *synth.GroundTruth) {
 	}
 	corpus, truth, err := synth.Generate(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "generate:", err)
-		os.Exit(1)
+		return nil, nil, fmt.Errorf("generate: %w", err)
 	}
-	return corpus, truth
+	return corpus, truth, nil
 }
 
 // precompute is the offline artifact build: it warms a session for every
 // requested language pair and writes the whole artifact cache as one
 // snapshot that wikimatchd -store (or repro.RestoreSession) loads in
 // milliseconds.
-func precompute(args []string) {
-	fs := flag.NewFlagSet("wikimatch precompute", flag.ExitOnError)
+func precompute(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wikimatch precompute", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	storePath := fs.String("store", "artifacts.wmsnap", "snapshot file to write (atomic)")
 	pairsFlag := fs.String("pairs", "pt-en,vi-en", "comma-separated language pairs to precompute")
 	scale := fs.String("scale", "small", "generated corpus scale: small or full")
 	dumpsDir := fs.String("dumps", "", "directory with <lang>.xml dumps to load instead of generating")
 	tsim := fs.Float64("tsim", 0.6, "certain-match threshold Tsim")
 	tlsi := fs.Float64("tlsi", 0.1, "correlation threshold TLSI")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var pairs []wiki.LanguagePair
 	for _, raw := range strings.Split(*pairsFlag, ",") {
 		pair, err := repro.ParseLanguagePair(strings.TrimSpace(raw))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
 		pairs = append(pairs, pair)
 	}
 
-	corpus, _ := loadCorpus(*dumpsDir, *scale)
+	corpus, _, err := loadCorpus(stdout, *dumpsDir, *scale)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
 	session := repro.NewSession(corpus, repro.WithTSim(*tsim), repro.WithTLSI(*tlsi))
 	ctx := context.Background()
 	for _, pair := range pairs {
 		start := time.Now()
 		res, err := session.Match(ctx, pair)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "precompute %s: %v\n", pair, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "precompute %s: %v\n", pair, err)
+			return 1
 		}
-		fmt.Printf("built %s: %d types in %v\n", pair, len(res.Types), time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "built %s: %d types in %v\n", pair, len(res.Types), time.Since(start).Round(time.Millisecond))
 	}
 	start := time.Now()
 	if err := repro.SaveSessionSnapshot(session, *storePath); err != nil {
-		fmt.Fprintln(os.Stderr, "save snapshot:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "save snapshot:", err)
+		return 1
 	}
 	info, err := os.Stat(*storePath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "stat snapshot:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "stat snapshot:", err)
+		return 1
 	}
 	cs := session.CacheStats()
-	fmt.Printf("snapshot %s: %d pairs, %d types, %d bytes, written in %v\n",
+	fmt.Fprintf(stdout, "snapshot %s: %d pairs, %d types, %d bytes, written in %v\n",
 		*storePath, cs.PairEntries, cs.TypeEntries, info.Size(), time.Since(start).Round(time.Millisecond))
+	return 0
 }
 
-// matchall runs the all-pairs multilingual batch and prints the derived
-// cross-language correspondence clusters, streaming per-pair progress as
-// the bounded worker pool finishes pairs. With -store, the batch's whole
-// artifact cache is flushed as a snapshot afterwards — `matchall -store`
-// is precompute for every pair at once.
-func matchall(args []string) {
-	fs := flag.NewFlagSet("wikimatch matchall", flag.ExitOnError)
+// matchallCmd runs the all-pairs multilingual batch and prints the
+// derived cross-language correspondence clusters, streaming per-pair
+// progress as pairs finish. With -store (in-process only), the batch's
+// whole artifact cache is flushed as a snapshot afterwards.
+func matchallCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wikimatch matchall", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	modeFlag := fs.String("mode", "pivot", "pair coverage: pivot (through -hub) or direct (all pairs)")
 	hubFlag := fs.String("hub", "en", "pivot hub language edition")
 	workers := fs.Int("workers", 0, "concurrent pairs (0 = GOMAXPROCS)")
 	scale := fs.String("scale", "small", "generated corpus scale: small or full")
 	dumpsDir := fs.String("dumps", "", "directory with <lang>.xml dumps to load instead of generating")
-	storePath := fs.String("store", "", "write the batch's artifact snapshot here afterwards")
+	remote := fs.String("remote", "", "wikimatchd base URL; run the batch there instead of in process")
+	storePath := fs.String("store", "", "write the batch's artifact snapshot here afterwards (in-process only)")
 	clusters := fs.Bool("clusters", false, "print every cluster, not just the summary and samples")
+	timings := fs.Bool("timings", true, "print per-pair and total elapsed times")
 	tsim := fs.Float64("tsim", 0.6, "certain-match threshold Tsim")
 	tlsi := fs.Float64("tlsi", 0.1, "correlation threshold TLSI")
-	fs.Parse(args)
-
-	mode, err := repro.ParseMultiMode(*modeFlag)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	corpus, truth := loadCorpus(*dumpsDir, *scale)
-	langs := corpus.Languages()
-	fmt.Printf("corpus languages: %v\n", langs)
-
-	session := repro.NewSession(corpus, repro.WithTSim(*tsim), repro.WithTLSI(*tlsi))
-	ctx := context.Background()
-	updates, err := session.MatchAllStream(ctx, repro.MultiOptions{
-		Mode: mode, Hub: wiki.Language(*hubFlag), Workers: *workers,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "matchall:", err)
-		os.Exit(1)
+	if *remote != "" && *storePath != "" {
+		fmt.Fprintln(stderr, "matchall: -store is not supported with -remote (the artifacts live in the daemon)")
+		return 2
 	}
-	var batch *repro.BatchResult
-	for u := range updates {
-		if u.Outcome != nil {
-			o := u.Outcome
-			if o.Err != nil {
-				fmt.Printf("[%d/%d] %-8s FAILED: %v\n", u.Done, u.Total, o.Pair, o.Err)
+
+	corpus, truth, err := loadCorpus(stdout, *dumpsDir, *scale)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "corpus languages: %v\n", corpus.Languages())
+
+	var session *repro.Session
+	var backend repro.Backend
+	if *remote == "" {
+		session = repro.NewSession(corpus)
+		backend = repro.NewLocalBackend(session)
+	} else if backend, err = repro.NewAPIClient(*remote); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	req := repro.MatchRequest{All: true, Mode: *modeFlag, Hub: *hubFlag, Workers: *workers}
+	setThresholdOverrides(fs, &req, tsim, tlsi)
+	lines, err := backend.Stream(context.Background(), req)
+	if err != nil {
+		fmt.Fprintln(stderr, "matchall:", err)
+		return 1
+	}
+	defer lines.Close()
+	var batch *repro.MatchAllResponse
+	for lines.Next() {
+		line := lines.Line()
+		if o := line.Pair; o != nil {
+			if o.Error != "" {
+				fmt.Fprintf(stdout, "[%d/%d] %-8s FAILED: %v\n", line.Done, line.Total, o.Pair, o.Error)
 				continue
 			}
-			fmt.Printf("[%d/%d] %-8s %3d types %5d correspondences  %v\n",
-				u.Done, u.Total, o.Pair, len(o.Result.Types), o.Correspondences(),
-				o.Elapsed.Round(time.Millisecond))
+			if *timings {
+				fmt.Fprintf(stdout, "[%d/%d] %-8s %3d types %5d correspondences  %v\n",
+					line.Done, line.Total, o.Pair, o.Types, o.Correspondences,
+					(time.Duration(o.ElapsedMS * float64(time.Millisecond))).Round(time.Millisecond))
+			} else {
+				fmt.Fprintf(stdout, "[%d/%d] %-8s %3d types %5d correspondences\n",
+					line.Done, line.Total, o.Pair, o.Types, o.Correspondences)
+			}
 		}
-		if u.Final != nil {
-			batch = u.Final
+		if line.FinalAll != nil {
+			batch = line.FinalAll
 		}
+	}
+	if err := lines.Err(); err != nil {
+		fmt.Fprintln(stderr, "matchall:", err)
+		return 1
 	}
 	if batch == nil {
-		fmt.Fprintln(os.Stderr, "matchall: no result")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "matchall: no result")
+		return 1
 	}
 
-	printBatch(batch, *clusters)
+	if err := printBatch(stdout, batch, *clusters, *timings); err != nil {
+		fmt.Fprintln(stderr, "matchall:", err)
+		return 1
+	}
 	if truth != nil {
-		evalBatch(corpus, truth, batch)
+		if err := evalBatch(stdout, corpus, truth, batch); err != nil {
+			fmt.Fprintln(stderr, "matchall:", err)
+			return 1
+		}
 	}
 
 	if *storePath != "" {
 		if err := repro.SaveSessionSnapshot(session, *storePath); err != nil {
-			fmt.Fprintln(os.Stderr, "save snapshot:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "save snapshot:", err)
+			return 1
 		}
 		cs := session.CacheStats()
-		fmt.Printf("\nsnapshot %s: %d pairs, %d types\n", *storePath, cs.PairEntries, cs.TypeEntries)
+		fmt.Fprintf(stdout, "\nsnapshot %s: %d pairs, %d types\n", *storePath, cs.PairEntries, cs.TypeEntries)
 	}
+	return 0
 }
 
 // printBatch summarizes the clusters: counts by language span, conflict
 // totals, and (a sample of) the multilingual clusters themselves.
-func printBatch(batch *repro.BatchResult, all bool) {
+func printBatch(w io.Writer, batch *repro.MatchAllResponse, all, timings bool) error {
+	plan, err := batch.Plan()
+	if err != nil {
+		return err
+	}
 	spanCount := map[int]int{}
-	conflicts, derived := 0, 0
+	derived := 0
 	for _, cl := range batch.Clusters {
 		spanCount[len(cl.Languages)]++
-		conflicts += len(cl.Conflicts)
 		for _, corr := range cl.Correspondences {
 			if !corr.Direct {
 				derived++
@@ -313,14 +403,18 @@ func printBatch(batch *repro.BatchResult, all bool) {
 		spans = append(spans, span)
 	}
 	sort.Ints(spans)
-	fmt.Printf("\nplan %s → %d clusters (", batch.Plan, len(batch.Clusters))
+	fmt.Fprintf(w, "\nplan %s → %d clusters (", plan, len(batch.Clusters))
 	for i, span := range spans {
 		if i > 0 {
-			fmt.Print(", ")
+			fmt.Fprint(w, ", ")
 		}
-		fmt.Printf("%d spanning %d languages", spanCount[span], span)
+		fmt.Fprintf(w, "%d spanning %d languages", spanCount[span], span)
 	}
-	fmt.Printf("), %d transitive correspondences, %d conflicts, %v\n\n", derived, conflicts, batch.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "), %d transitive correspondences, %d conflicts", derived, batch.Conflicts)
+	if timings {
+		fmt.Fprintf(w, ", %v", (time.Duration(batch.ElapsedMS * float64(time.Millisecond))).Round(time.Millisecond))
+	}
+	fmt.Fprint(w, "\n\n")
 
 	shown := 0
 	for _, cl := range batch.Clusters {
@@ -328,37 +422,42 @@ func printBatch(batch *repro.BatchResult, all bool) {
 			continue
 		}
 		shown++
-		fmt.Printf("cluster %d (agreement %.2f):\n", cl.ID, cl.Agreement)
+		fmt.Fprintf(w, "cluster %d (agreement %.2f):\n", cl.ID, cl.Agreement)
 		for _, m := range cl.Members {
-			fmt.Printf("  %s\n", m)
+			fmt.Fprintf(w, "  %s\n", m)
 		}
 		for _, corr := range cl.Correspondences {
 			if !corr.Direct {
-				fmt.Printf("  ↯ %s ~ %s (transitive, confidence %.2f)\n", corr.A, corr.B, corr.Confidence)
+				fmt.Fprintf(w, "  ↯ %s ~ %s (transitive, confidence %.2f)\n", corr.A, corr.B, corr.Confidence)
 			}
 		}
 		for _, conflict := range cl.Conflicts {
-			fmt.Printf("  ✗ %s ~ %s implied via %s but directly rejected\n", conflict.A, conflict.B, conflict.Via)
+			fmt.Fprintf(w, "  ✗ %s ~ %s implied via %s but directly rejected\n", conflict.A, conflict.B, conflict.Via)
 		}
 	}
 	if !all && shown > 0 {
-		fmt.Printf("(showing %d multilingual clusters; -clusters prints all %d)\n", shown, len(batch.Clusters))
+		fmt.Fprintf(w, "(showing %d multilingual clusters; -clusters prints all %d)\n", shown, len(batch.Clusters))
 	}
+	return nil
 }
 
 // evalBatch scores the batch's induced per-pair correspondences —
 // including purely transitive pairs — against the generator's gold data.
-func evalBatch(corpus *wiki.Corpus, truth *synth.GroundTruth, batch *repro.BatchResult) {
+func evalBatch(w io.Writer, corpus *wiki.Corpus, truth *synth.GroundTruth, batch *repro.MatchAllResponse) error {
+	plan, err := batch.Plan()
+	if err != nil {
+		return err
+	}
 	langs := map[wiki.Language]bool{}
-	for _, pair := range batch.Plan.Pairs {
+	for _, pair := range plan.Pairs {
 		langs[pair.A], langs[pair.B] = true, true
 	}
 	var all []wiki.Language
 	for l := range langs {
 		all = append(all, l)
 	}
-	fmt.Printf("\ncluster-induced correspondences vs gold (macro):\n")
-	for _, pair := range wiki.AllPairs(all, batch.Plan.Hub) {
+	fmt.Fprintf(w, "\ncluster-induced correspondences vs gold (macro):\n")
+	for _, pair := range wiki.AllPairs(all, plan.Hub) {
 		induced := batch.Induced(pair)
 		var rows []eval.PRF
 		for tp, derivedSet := range induced {
@@ -376,40 +475,43 @@ func evalBatch(corpus *wiki.Corpus, truth *synth.GroundTruth, batch *repro.Batch
 			rows = append(rows, eval.Macro(derivedSet, gold))
 		}
 		if len(rows) == 0 {
-			fmt.Printf("  %-8s (nothing to score)\n", pair)
+			fmt.Fprintf(w, "  %-8s (nothing to score)\n", pair)
 			continue
 		}
 		avg := eval.Average(rows)
 		tag := ""
-		if !batch.Plan.Contains(pair.A, pair.B) {
+		if !plan.Contains(pair.A, pair.B) {
 			tag = "  (transitive only)"
 		}
-		fmt.Printf("  %-8s P=%.3f R=%.3f F=%.3f over %d types%s\n",
+		fmt.Fprintf(w, "  %-8s P=%.3f R=%.3f F=%.3f over %d types%s\n",
 			pair, avg.Precision, avg.Recall, avg.F, len(rows), tag)
 	}
+	return nil
 }
 
 // printType renders one type's correspondences and, when ground truth is
-// available, its weighted scores.
-func printType(corpus *wiki.Corpus, truth *synth.GroundTruth, pair wiki.LanguagePair, typeA, typeB string, tr *repro.TypeMatchResult) {
-	fmt.Printf("== %s ~ %s\n", typeA, typeB)
-	for _, p := range tr.CrossPairsSorted() {
-		fmt.Printf("  %-30s ~ %s\n", p[0], p[1])
+// available, its weighted scores. It works entirely from the wire DTO,
+// so local and remote runs print byte-identical output.
+func printType(w io.Writer, corpus *wiki.Corpus, truth *synth.GroundTruth, tr *repro.TypeMatchResultJSON, pairRaw string) {
+	fmt.Fprintf(w, "== %s ~ %s\n", tr.TypeA, tr.TypeB)
+	for _, c := range tr.Correspondences {
+		fmt.Fprintf(w, "  %-30s ~ %s\n", c.A, c.B)
 	}
 	if truth != nil {
-		if canon, ok := truth.CanonType(pair.A, typeA); ok {
-			tt := truth.Types[canon]
-			freqA, freqB := eval.AttributeFrequencies(corpus, pair, typeA, typeB)
-			g := eval.TruthPairs(freqA, freqB, pair, tt.Correct)
-			derived := make(eval.Correspondences)
-			for a, bs := range tr.Cross {
-				for b := range bs {
-					derived.Add(a, b)
+		pair, err := repro.ParseLanguagePair(pairRaw)
+		if err == nil {
+			if canon, ok := truth.CanonType(pair.A, tr.TypeA); ok {
+				tt := truth.Types[canon]
+				freqA, freqB := eval.AttributeFrequencies(corpus, pair, tr.TypeA, tr.TypeB)
+				g := eval.TruthPairs(freqA, freqB, pair, tt.Correct)
+				derived := make(eval.Correspondences)
+				for _, c := range tr.Correspondences {
+					derived.Add(c.A, c.B)
 				}
+				prf := eval.Weighted(derived, g, freqA, freqB)
+				fmt.Fprintf(w, "  → weighted P=%.2f R=%.2f F=%.2f\n", prf.Precision, prf.Recall, prf.F)
 			}
-			prf := eval.Weighted(derived, g, freqA, freqB)
-			fmt.Printf("  → weighted P=%.2f R=%.2f F=%.2f\n", prf.Precision, prf.Recall, prf.F)
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }

@@ -1,9 +1,16 @@
 // Command wikimatchd serves WikiMatch over HTTP: it generates (or loads)
 // a multilingual corpus, opens one shared matching session, and exposes
-// matching, streaming and corpus inspection as a JSON API. The session's
-// artifact cache makes repeated requests cheap — the first /match for a
-// pair builds the dictionary and the per-type LSI models, every later
-// request reuses them.
+// matching, streaming and corpus inspection through wire protocol v1 —
+// typed POST JSON endpoints under /v1/ with structured error envelopes —
+// plus the legacy GET API as compatibility shims. The session's artifact
+// cache makes repeated requests cheap — the first match for a pair
+// builds the dictionary and the per-type LSI models, every later request
+// reuses them.
+//
+// Every request runs through the middleware stack: request IDs, access
+// logging, a per-request timeout, a concurrency limiter that sheds
+// excess load with 429 + Retry-After, panic recovery, and counters
+// served at /v1/metrics.
 //
 // With -store, the daemon completes the offline/online split: on boot it
 // warm-starts the session from a snapshot written by `wikimatch
@@ -16,33 +23,37 @@
 // Usage:
 //
 //	wikimatchd [-addr :8080] [-scale small|full]
-//	           [-dumps dir]     load XML dumps (<lang>.xml) instead of generating
-//	           [-store file]    warm-start from snapshot; flush on shutdown
+//	           [-dumps dir]       load XML dumps (<lang>.xml) instead of generating
+//	           [-store file]      warm-start from snapshot; flush on shutdown
+//	           [-max-concurrent 64] [-max-streams 16]
+//	           [-request-timeout 5m] [-max-body 1048576]
 //	           [-tsim 0.6] [-tlsi 0.1]
 //
-// Endpoints:
+// Protocol v1 endpoints:
 //
-//	GET  /healthz                       liveness: snapshot age + cache stats
-//	GET  /corpus/stats                  corpus, cache and config snapshot
-//	GET  /match?pair=pt-en              full matching run (JSON)
-//	GET  /match/stream?pair=pt-en       per-type results as NDJSON
-//	GET  /match/{type}?pair=pt-en       one entity type's alignment
-//	GET  /matchall?mode=pivot&hub=en    all-pairs batch: cross-language
-//	                                    correspondence clusters (JSON)
-//	GET  /matchall/stream?mode=pivot    per-pair progress + clusters (NDJSON)
-//	POST /session/invalidate?lang=pt    drop cached artifacts
+//	POST /v1/match        pair or single-type match (JSON MatchRequest)
+//	POST /v1/matchall     all-pairs batch: correspondence clusters
+//	POST /v1/stream       NDJSON progress stream (pair or all-pairs)
+//	GET  /v1/corpus       corpus, cache and config snapshot
+//	POST /v1/invalidate   drop cached artifacts ({"lang":"pt"})
+//	GET  /v1/healthz      liveness: uptime, snapshot age, cache stats
+//	GET  /v1/metrics      middleware counters
+//
+// The legacy GET endpoints (/match, /match/{type}, /match/stream,
+// /matchall, /matchall/stream, /corpus/stats, /healthz, POST
+// /session/invalidate) remain as shims over the same handlers.
 //
 // Try:
 //
 //	wikimatch precompute -scale full -store artifacts.wmsnap
 //	wikimatchd -scale full -store artifacts.wmsnap
-//	curl localhost:8080/healthz
-//	curl localhost:8080/match?pair=vi-en
+//	curl localhost:8080/v1/healthz
+//	curl -X POST localhost:8080/v1/match -d '{"pair":"vi-en"}'
+//	wikimatch -remote http://localhost:8080 -pair vi-en
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -62,6 +73,10 @@ func main() {
 	scale := flag.String("scale", "small", "generated corpus scale: small or full")
 	dumpsDir := flag.String("dumps", "", "directory with <lang>.xml dumps to load instead of generating")
 	storePath := flag.String("store", "", "artifact snapshot file: warm-start from it on boot, flush to it on shutdown")
+	maxConcurrent := flag.Int("max-concurrent", 64, "max concurrently served requests (0 = unlimited); excess gets 429")
+	maxStreams := flag.Int("max-streams", 16, "max concurrently served NDJSON streams (0 = unlimited)")
+	requestTimeout := flag.Duration("request-timeout", 5*time.Minute, "per-request timeout for non-streaming endpoints (0 = none)")
+	maxBody := flag.Int64("max-body", 1<<20, "max request body bytes")
 	tsim := flag.Float64("tsim", 0.6, "certain-match threshold Tsim")
 	tlsi := flag.Float64("tlsi", 0.1, "correlation threshold TLSI")
 	flag.Parse()
@@ -77,30 +92,21 @@ func main() {
 	opts := []repro.SessionOption{repro.WithTSim(*tsim), repro.WithTLSI(*tlsi)}
 	session, flushOnExit := openSession(corpus, *storePath, opts)
 
-	started := time.Now()
-	mux := http.NewServeMux()
-	mux.Handle("/", repro.NewHTTPHandler(session))
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		resp := healthJSON{
-			Status:        "ok",
-			UptimeSeconds: time.Since(started).Seconds(),
-			Cache:         session.CacheStats(),
-		}
-		if at, ok := session.SnapshotTime(); ok {
-			resp.Snapshot.Loaded = true
-			resp.Snapshot.CreatedAt = at.UTC().Format(time.RFC3339Nano)
-			resp.Snapshot.AgeSeconds = time.Since(at).Seconds()
-		}
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(resp)
-	})
+	handler := repro.NewHTTPHandler(session,
+		repro.WithMaxConcurrent(*maxConcurrent),
+		repro.WithMaxStreams(*maxStreams),
+		repro.WithRequestTimeout(*requestTimeout),
+		repro.WithMaxBodyBytes(*maxBody),
+		repro.WithAccessLog(log.Default()),
+	)
 	server := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
-		// WriteTimeout bounds the whole response, including long /match
-		// builds and /match/stream NDJSON streams, so it is generous;
-		// IdleTimeout reaps idle keep-alive connections.
+		// WriteTimeout bounds the whole response, including long matches
+		// and NDJSON streams, so it is generous; the middleware's
+		// per-request timeout and per-line stream write deadlines are the
+		// tighter guards. IdleTimeout reaps idle keep-alive connections.
 		WriteTimeout: 10 * time.Minute,
 		IdleTimeout:  2 * time.Minute,
 	}
@@ -116,7 +122,7 @@ func main() {
 		_ = server.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("wikimatchd listening on %s", *addr)
+	log.Printf("wikimatchd listening on %s (protocol %s under /v1/)", *addr, repro.ProtocolVersion)
 	if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
@@ -135,18 +141,6 @@ func main() {
 		}
 	}
 	log.Print("wikimatchd stopped")
-}
-
-// healthJSON is the /healthz body.
-type healthJSON struct {
-	Status        string  `json:"status"`
-	UptimeSeconds float64 `json:"uptimeSeconds"`
-	Snapshot      struct {
-		Loaded     bool    `json:"loaded"`
-		CreatedAt  string  `json:"createdAt,omitempty"`
-		AgeSeconds float64 `json:"ageSeconds,omitempty"`
-	} `json:"snapshot"`
-	Cache repro.SessionCacheStats `json:"cache"`
 }
 
 // openSession warm-starts from the snapshot when possible, falling back

@@ -1,0 +1,345 @@
+// Package client is the Go SDK for the WikiMatch wire protocol v1: a
+// typed HTTP client for a running wikimatchd (unary calls, a streaming
+// NDJSON iterator, and automatic retries on retryable error codes), and
+// an in-process Local backend that serves the same interface straight
+// from a service.Session. Callers written against Backend run
+// identically in process and over the network — cmd/wikimatch's -remote
+// flag is exactly that switch.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"reflect"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// Backend is the protocol surface shared by the remote Client and the
+// in-process Local backend.
+type Backend interface {
+	// Match runs a pair or single-type request.
+	Match(ctx context.Context, req protocol.MatchRequest) (*protocol.MatchResponse, error)
+	// MatchAll runs an all-pairs batch request.
+	MatchAll(ctx context.Context, req protocol.MatchRequest) (*protocol.MatchAllResponse, error)
+	// Stream runs a pair or all-pairs request with streamed progress.
+	Stream(ctx context.Context, req protocol.MatchRequest) (*Stream, error)
+	// Stats snapshots the server's corpus, cache and configuration.
+	Stats(ctx context.Context) (*protocol.StatsResponse, error)
+	// Invalidate drops cached artifacts for a language ("" = all).
+	Invalidate(ctx context.Context, lang string) (*protocol.InvalidateResponse, error)
+}
+
+// Client speaks wire protocol v1 to a wikimatchd base URL.
+type Client struct {
+	base       string
+	httpClient *http.Client
+	maxRetries int
+	backoff    time.Duration
+	userAgent  string
+}
+
+// Option adjusts a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpClient = h } }
+
+// WithRetries sets how many times a retryable failure is retried
+// (default 2) and the base backoff delay between attempts (default
+// 250ms; doubled per attempt, capped by the server's Retry-After).
+func WithRetries(n int, backoff time.Duration) Option {
+	return func(c *Client) { c.maxRetries, c.backoff = n, backoff }
+}
+
+// WithUserAgent sets the User-Agent header.
+func WithUserAgent(ua string) Option { return func(c *Client) { c.userAgent = ua } }
+
+// New creates a client for a wikimatchd base URL ("http://host:8080").
+func New(base string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(base)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: invalid base URL %q", base)
+	}
+	c := &Client{
+		base:       strings.TrimRight(base, "/"),
+		httpClient: http.DefaultClient,
+		maxRetries: 2,
+		backoff:    250 * time.Millisecond,
+		userAgent:  "wikimatch-client/" + protocol.Version,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// Match implements Backend over POST /v1/match.
+func (c *Client) Match(ctx context.Context, req protocol.MatchRequest) (*protocol.MatchResponse, error) {
+	var out protocol.MatchResponse
+	if err := c.unary(ctx, http.MethodPost, "/v1/match", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MatchAll implements Backend over POST /v1/matchall.
+func (c *Client) MatchAll(ctx context.Context, req protocol.MatchRequest) (*protocol.MatchAllResponse, error) {
+	var out protocol.MatchAllResponse
+	if err := c.unary(ctx, http.MethodPost, "/v1/matchall", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats implements Backend over GET /v1/corpus.
+func (c *Client) Stats(ctx context.Context) (*protocol.StatsResponse, error) {
+	var out protocol.StatsResponse
+	if err := c.unary(ctx, http.MethodGet, "/v1/corpus", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Invalidate implements Backend over POST /v1/invalidate.
+func (c *Client) Invalidate(ctx context.Context, lang string) (*protocol.InvalidateResponse, error) {
+	var out protocol.InvalidateResponse
+	if err := c.unary(ctx, http.MethodPost, "/v1/invalidate", protocol.InvalidateRequest{Lang: lang}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthz probes GET /v1/healthz.
+func (c *Client) Healthz(ctx context.Context) (*protocol.Health, error) {
+	var out protocol.Health
+	if err := c.unary(ctx, http.MethodGet, "/v1/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics reads GET /v1/metrics.
+func (c *Client) Metrics(ctx context.Context) (*protocol.Metrics, error) {
+	var out protocol.Metrics
+	if err := c.unary(ctx, http.MethodGet, "/v1/metrics", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stream implements Backend over POST /v1/stream. The returned Stream
+// must be closed. Streams are not retried: a failure mid-stream would
+// replay lines the consumer already acted on.
+func (c *Client) Stream(ctx context.Context, req protocol.MatchRequest) (*Stream, error) {
+	resp, err := c.do(ctx, http.MethodPost, "/v1/stream", req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	return &Stream{
+		next: func() (protocol.StreamLine, bool, error) {
+			for sc.Scan() {
+				raw := bytes.TrimSpace(sc.Bytes())
+				if len(raw) == 0 {
+					continue
+				}
+				var line protocol.StreamLine
+				if err := json.Unmarshal(raw, &line); err != nil {
+					return protocol.StreamLine{}, false, fmt.Errorf("client: decode stream line: %w", err)
+				}
+				return line, true, nil
+			}
+			return protocol.StreamLine{}, false, sc.Err()
+		},
+		close: resp.Body.Close,
+	}, nil
+}
+
+// unary runs one request/response exchange with retries on retryable
+// protocol errors (and on transport errors, which cannot have left
+// matching side effects worth worrying about — the API is read-mostly
+// and Invalidate is idempotent).
+func (c *Client) unary(ctx context.Context, method, path string, in, out any) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.do(ctx, method, path, in)
+		if err == nil {
+			err = decodeResponse(resp, out)
+			if err == nil {
+				return nil
+			}
+		}
+		lastErr = err
+		if attempt >= c.maxRetries || !retryableErr(err) {
+			return lastErr
+		}
+		delay := c.backoff << attempt
+		if ra := retryAfter(err); ra > delay {
+			delay = ra
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return lastErr
+		}
+	}
+}
+
+// do issues one HTTP exchange. A nil body sends no payload.
+func (c *Client) do(ctx context.Context, method, path string, in any) (*http.Response, error) {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return nil, fmt.Errorf("client: encode request: %w", err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set("User-Agent", c.userAgent)
+	return c.httpClient.Do(req)
+}
+
+// decodeResponse decodes a 200 into out, or any other status into a
+// *protocol.Error. out is zeroed first: unary retries decode into the
+// same value, and a partially-decoded body from a failed earlier
+// attempt must not bleed into the attempt that succeeds (maps merge,
+// absent fields keep stale values).
+func decodeResponse(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if v := reflect.ValueOf(out); v.Kind() == reflect.Pointer && !v.IsNil() {
+		v.Elem().SetZero()
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+// retryAfterKey carries the server's Retry-After hint inside the error
+// details.
+const retryAfterKey = "retryAfter"
+
+// decodeError turns a non-200 response into a *protocol.Error,
+// synthesizing one from the status when the body carries no envelope (a
+// proxy's error page, say). The Retry-After header, when present, rides
+// along in the details.
+func decodeError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env protocol.ErrorEnvelope
+	e := &protocol.Error{}
+	if err := json.Unmarshal(raw, &env); err == nil && env.Error != nil && env.Error.Code != "" {
+		e = env.Error
+	} else {
+		e = protocol.Errorf(protocol.CodeForStatus(resp.StatusCode), "HTTP %d: %s",
+			resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		e = e.WithDetail(retryAfterKey, ra)
+	}
+	return e
+}
+
+// retryableErr reports whether an error is worth retrying: a retryable
+// protocol error, or a transport-level failure.
+func retryableErr(err error) bool {
+	var pe *protocol.Error
+	if errors.As(err, &pe) {
+		return pe.Retryable
+	}
+	// No protocol envelope: connection refused/reset et al.
+	return err != nil
+}
+
+// retryAfter extracts the server's Retry-After hint, if any.
+func retryAfter(err error) time.Duration {
+	var pe *protocol.Error
+	if !errors.As(err, &pe) || pe.Details == nil {
+		return 0
+	}
+	secs, convErr := strconv.Atoi(pe.Details[retryAfterKey])
+	if convErr != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// Stream iterates a progress stream line by line, whether the lines
+// arrive as NDJSON over HTTP or straight from an in-process session:
+//
+//	stream, err := backend.Stream(ctx, req)
+//	defer stream.Close()
+//	for stream.Next() {
+//	    line := stream.Line()
+//	    ...
+//	}
+//	err = stream.Err()
+type Stream struct {
+	next  func() (protocol.StreamLine, bool, error)
+	close func() error
+	line  protocol.StreamLine
+	err   error
+	done  bool
+}
+
+// Next advances to the next line, reporting false at end of stream or
+// on error (distinguish with Err).
+func (s *Stream) Next() bool {
+	if s.done {
+		return false
+	}
+	line, ok, err := s.next()
+	if !ok {
+		s.err = err
+		s.done = true
+		return false
+	}
+	s.line = line
+	return true
+}
+
+// Line returns the current line (valid after a true Next).
+func (s *Stream) Line() protocol.StreamLine { return s.line }
+
+// Err returns the terminal error, nil on a clean end of stream.
+func (s *Stream) Err() error { return s.err }
+
+// Close releases the stream's resources. It is safe to call at any
+// point; iterating after Close reports end of stream.
+func (s *Stream) Close() error {
+	s.done = true
+	if s.close != nil {
+		return s.close()
+	}
+	return nil
+}

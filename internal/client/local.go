@@ -1,0 +1,59 @@
+package client
+
+import (
+	"context"
+
+	"repro/internal/protocol"
+	"repro/internal/service"
+)
+
+// Local serves the Backend interface straight from an in-process
+// session — the same typed execution path a wikimatchd reached through
+// Client runs, with no HTTP in between. Code written against Backend
+// (cmd/wikimatch, tests asserting remote/local equivalence) switches
+// between the two with one assignment.
+type Local struct {
+	S *service.Session
+}
+
+// NewLocal wraps a session as a Backend.
+func NewLocal(s *service.Session) Local { return Local{S: s} }
+
+// Match implements Backend.
+func (l Local) Match(ctx context.Context, req protocol.MatchRequest) (*protocol.MatchResponse, error) {
+	return l.S.ServeMatch(ctx, req)
+}
+
+// MatchAll implements Backend.
+func (l Local) MatchAll(ctx context.Context, req protocol.MatchRequest) (*protocol.MatchAllResponse, error) {
+	return l.S.ServeMatchAll(ctx, req)
+}
+
+// Stream implements Backend.
+func (l Local) Stream(ctx context.Context, req protocol.MatchRequest) (*Stream, error) {
+	lines, err := l.S.ServeStream(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{
+		next: func() (protocol.StreamLine, bool, error) {
+			line, ok := <-lines
+			return line, ok, nil
+		},
+	}, nil
+}
+
+// Stats implements Backend.
+func (l Local) Stats(ctx context.Context) (*protocol.StatsResponse, error) {
+	stats := l.S.Stats()
+	return &stats, nil
+}
+
+// Invalidate implements Backend.
+func (l Local) Invalidate(ctx context.Context, lang string) (*protocol.InvalidateResponse, error) {
+	resolved, err := protocol.InvalidateRequest{Lang: lang}.Validate()
+	if err != nil {
+		return nil, err
+	}
+	return &protocol.InvalidateResponse{Dropped: l.S.Invalidate(resolved)}, nil
+}

@@ -1,0 +1,141 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// The stable error codes of protocol v1. Codes — not HTTP statuses —
+// are the contract clients dispatch on; the status is a transport
+// projection (see HTTPStatus).
+const (
+	// CodeInvalidArgument rejects a request that fails validation.
+	CodeInvalidArgument = "invalid_argument"
+	// CodeNotFound marks an unknown route or an unknown entity type.
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed rejects a known route hit with the wrong HTTP
+	// method (e.g. a mutating endpoint over GET).
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodePayloadTooLarge rejects a request body over the server's limit.
+	CodePayloadTooLarge = "payload_too_large"
+	// CodeOverloaded sheds a request the concurrency limiter could not
+	// admit; always retryable, paired with a Retry-After header.
+	CodeOverloaded = "overloaded"
+	// CodeCanceled reports a request whose context was cancelled (in
+	// practice a disconnected client).
+	CodeCanceled = "canceled"
+	// CodeDeadlineExceeded reports a request that outran the per-request
+	// timeout.
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeInternal is an unexpected server-side failure (including
+	// recovered panics).
+	CodeInternal = "internal"
+)
+
+// Error is the structured error of protocol v1. It is both the wire
+// form (inside ErrorEnvelope) and the error value the client SDK and
+// the in-process execution path return, so a caller switching on Code
+// behaves identically in process and over HTTP.
+type Error struct {
+	Code      string            `json:"code"`
+	Message   string            `json:"message"`
+	Retryable bool              `json:"retryable"`
+	Details   map[string]string `json:"details,omitempty"`
+}
+
+// ErrorEnvelope is the JSON body of every non-2xx v1 response.
+type ErrorEnvelope struct {
+	Error *Error `json:"error"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// Errorf builds an Error with a formatted message. Retryability is
+// derived from the code.
+func Errorf(code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...), Retryable: retryable(code)}
+}
+
+// WithDetail returns a copy of the error with one detail attached.
+func (e *Error) WithDetail(key, value string) *Error {
+	out := *e
+	out.Details = make(map[string]string, len(e.Details)+1)
+	for k, v := range e.Details {
+		out.Details[k] = v
+	}
+	out.Details[key] = value
+	return &out
+}
+
+// retryable reports whether a code marks a transient condition a client
+// may safely retry.
+func retryable(code string) bool {
+	switch code {
+	case CodeOverloaded, CodeCanceled, CodeDeadlineExceeded:
+		return true
+	}
+	return false
+}
+
+// HTTPStatus maps the code to its transport status.
+func (e *Error) HTTPStatus() int {
+	switch e.Code {
+	case CodeInvalidArgument:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	case CodePayloadTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case CodeOverloaded:
+		return http.StatusTooManyRequests
+	case CodeCanceled:
+		return http.StatusServiceUnavailable
+	case CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+// CodeForStatus is the reverse transport mapping, used by the client
+// when a response carries no decodable envelope (a proxy error page,
+// say).
+func CodeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeInvalidArgument
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusMethodNotAllowed:
+		return CodeMethodNotAllowed
+	case http.StatusRequestEntityTooLarge:
+		return CodePayloadTooLarge
+	case http.StatusTooManyRequests:
+		return CodeOverloaded
+	case http.StatusServiceUnavailable:
+		return CodeCanceled
+	case http.StatusGatewayTimeout:
+		return CodeDeadlineExceeded
+	}
+	return CodeInternal
+}
+
+// FromErr coerces any error into a protocol *Error: *Error values pass
+// through, context cancellation and deadline errors get their dedicated
+// retryable codes, everything else becomes CodeInternal.
+func FromErr(err error) *Error {
+	var pe *Error
+	switch {
+	case errors.As(err, &pe):
+		return pe
+	case errors.Is(err, context.DeadlineExceeded):
+		return Errorf(CodeDeadlineExceeded, "%s", err.Error())
+	case errors.Is(err, context.Canceled):
+		return Errorf(CodeCanceled, "%s", err.Error())
+	}
+	return Errorf(CodeInternal, "%s", err.Error())
+}

@@ -154,17 +154,23 @@ func normalizeNDJSON(t *testing.T, body []byte) []byte {
 }
 
 // ndjsonKey orders stream lines deterministically: final/cluster lines
-// last, pair/type progress lines by their identifying name.
+// last, pair/type progress lines by their identifying name. Handles
+// both the legacy line shapes and v1's StreamLine.
 func ndjsonKey(line string) string {
 	var v map[string]any
 	if err := json.Unmarshal([]byte(line), &v); err != nil {
 		return "z" + line
 	}
-	if _, ok := v["final"]; ok {
-		return "y:final"
+	for _, finalKey := range []string{"final", "finalMatch", "finalAll"} {
+		if _, ok := v[finalKey]; ok {
+			return "y:final"
+		}
 	}
 	if p, ok := v["pair"].(map[string]any); ok {
 		return fmt.Sprintf("p:%v", p["pair"])
+	}
+	if tr, ok := v["type"].(map[string]any); ok {
+		return fmt.Sprintf("t:%v", tr["typeA"])
 	}
 	if ta, ok := v["typeA"].(string); ok {
 		return "t:" + ta
@@ -180,8 +186,12 @@ func scrubVolatile(v any) {
 	switch x := v.(type) {
 	case map[string]any:
 		for k, val := range x {
-			if k == "elapsedMs" {
+			switch k {
+			case "elapsedMs", "uptimeSeconds", "ageSeconds":
 				x[k] = 0.0
+				continue
+			case "createdAt":
+				x[k] = "scrubbed"
 				continue
 			}
 			scrubVolatile(val)

@@ -1,0 +1,262 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// The typed /v1/ endpoints of wire protocol v1. Every matching
+// endpoint is POST JSON over protocol.MatchRequest; every error is a
+// structured envelope (code / message / retryable / details).
+
+// serverState bundles what the handlers need beyond the session: the
+// stack configuration, process start time (for /v1/healthz) and the
+// middleware's live counters (for /v1/metrics).
+type serverState struct {
+	s       *Session
+	cfg     HandlerConfig
+	started time.Time
+	metrics *serverMetrics
+}
+
+// NewHandler builds the wikimatchd HTTP API over one shared session:
+// the typed /v1/ protocol, the legacy GET shims riding on the same
+// execution path, and the middleware stack (request IDs, access log,
+// per-request timeouts, load shedding, panic recovery, metrics) around
+// both.
+//
+//	POST /v1/match        pair or single-type match, JSON in/out
+//	POST /v1/matchall     all-pairs batch with correspondence clusters
+//	POST /v1/stream       NDJSON progress stream (pair or all-pairs)
+//	GET  /v1/corpus       corpus, cache and configuration snapshot
+//	POST /v1/invalidate   drop cached artifacts for a language
+//	GET  /v1/healthz      liveness: uptime, snapshot age, cache stats
+//	GET  /v1/metrics      middleware counters
+//
+// Legacy (pre-v1) endpoints — GET /match, /match/{type}, /match/stream,
+// /matchall, /matchall/stream, /corpus/stats, POST /session/invalidate
+// — remain as thin shims over the same handlers.
+func NewHandler(s *Session, opts ...HandlerOption) http.Handler {
+	cfg := DefaultHandlerConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	cfg = cfg.withDefaults()
+	st := &serverState{s: s, cfg: cfg, started: time.Now()}
+	mux := http.NewServeMux()
+	registerV1(mux, st)
+	registerShims(mux, st)
+	h, metrics := wrapMiddleware(mux, cfg)
+	st.metrics = metrics
+	return h
+}
+
+func registerV1(mux *http.ServeMux, st *serverState) {
+	mux.HandleFunc("/v1/match", st.method(http.MethodPost, st.handleMatch))
+	mux.HandleFunc("/v1/matchall", st.method(http.MethodPost, st.handleMatchAll))
+	mux.HandleFunc("/v1/stream", st.method(http.MethodPost, st.handleStream))
+	mux.HandleFunc("/v1/corpus", st.method(http.MethodGet, st.handleCorpus))
+	mux.HandleFunc("/v1/invalidate", st.method(http.MethodPost, st.handleInvalidate))
+	mux.HandleFunc("/v1/healthz", st.method(http.MethodGet, st.handleHealthz))
+	mux.HandleFunc("/v1/metrics", st.method(http.MethodGet, st.handleMetrics))
+	// Unknown /v1/ routes get the structured envelope, not net/http's
+	// plain-text 404.
+	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+		writeEnvelope(w, protocol.Errorf(protocol.CodeNotFound, "no such endpoint %s", r.URL.Path))
+	})
+}
+
+// method guards a route's HTTP method with a structured 405.
+func (st *serverState) method(want string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != want {
+			w.Header().Set("Allow", want)
+			writeEnvelope(w, protocol.Errorf(protocol.CodeMethodNotAllowed,
+				"method %s not allowed on %s (use %s)", r.Method, r.URL.Path, want))
+			return
+		}
+		h(w, r)
+	}
+}
+
+// decodeBody decodes a JSON request body strictly: unknown fields and
+// trailing data after the first value are protocol errors. An empty
+// body decodes to the zero request, so `curl -X POST /v1/match` runs
+// the default pt-en pair.
+func decodeBody(r *http.Request, v any) *protocol.Error {
+	if r.Body == nil {
+		return nil
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	err := dec.Decode(v)
+	if err == nil {
+		var extra json.RawMessage
+		if trailErr := dec.Decode(&extra); !errors.Is(trailErr, io.EOF) {
+			return bodyError(trailErr, "request body must contain exactly one JSON object")
+		}
+		return nil
+	}
+	if errors.Is(err, io.EOF) {
+		return nil
+	}
+	return bodyError(err, "")
+}
+
+// bodyError classifies a body read/decode failure; override replaces
+// the decoder's message when set.
+func bodyError(err error, override string) *protocol.Error {
+	var maxErr *http.MaxBytesError
+	if errors.As(err, &maxErr) {
+		return protocol.Errorf(protocol.CodePayloadTooLarge, "request body exceeds %d bytes", maxErr.Limit)
+	}
+	if override != "" {
+		return protocol.Errorf(protocol.CodeInvalidArgument, "invalid request body: %s", override)
+	}
+	return protocol.Errorf(protocol.CodeInvalidArgument, "invalid request body: %v", err)
+}
+
+func (st *serverState) handleMatch(w http.ResponseWriter, r *http.Request) {
+	var req protocol.MatchRequest
+	if e := decodeBody(r, &req); e != nil {
+		writeEnvelope(w, e)
+		return
+	}
+	resp, err := st.s.ServeMatch(r.Context(), req)
+	if err != nil {
+		writeEnvelope(w, protocol.FromErr(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (st *serverState) handleMatchAll(w http.ResponseWriter, r *http.Request) {
+	var req protocol.MatchRequest
+	if e := decodeBody(r, &req); e != nil {
+		writeEnvelope(w, e)
+		return
+	}
+	if !req.All && (req.Pair != "" || req.Type != "") {
+		writeEnvelope(w, protocol.Errorf(protocol.CodeInvalidArgument,
+			"pair-scoped request must be sent to /v1/match"))
+		return
+	}
+	resp, err := st.s.ServeMatchAll(r.Context(), req)
+	if err != nil {
+		writeEnvelope(w, protocol.FromErr(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (st *serverState) handleStream(w http.ResponseWriter, r *http.Request) {
+	var req protocol.MatchRequest
+	if e := decodeBody(r, &req); e != nil {
+		writeEnvelope(w, e)
+		return
+	}
+	// The relay's cancel is the slow-reader guard's lever: a write
+	// deadline miss cancels the in-flight matching work, and the
+	// session-side buffers (sized for the whole run) are dropped with the
+	// channel instead of pinning until the client drains them.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	lines, err := st.s.ServeStream(ctx, req)
+	if err != nil {
+		writeEnvelope(w, protocol.FromErr(err))
+		return
+	}
+	st.streamNDJSON(w, cancel, lines, func(line protocol.StreamLine) (any, bool) {
+		return line, true
+	})
+}
+
+// streamNDJSON writes a line stream as NDJSON through a per-line
+// translation (identity for v1, the legacy shapes for the shims), with
+// the slow-reader guard applied: each line's write runs under a fresh
+// deadline — armed immediately before the write, so slow matching
+// between lines never counts against it — and a failed write cancels
+// the producer and drains it so no goroutine or buffer outlives the
+// dead connection. Writers without deadline support (httptest
+// recorders) just skip the guard.
+func (st *serverState) streamNDJSON(w http.ResponseWriter, cancel context.CancelFunc, lines <-chan protocol.StreamLine, translate func(protocol.StreamLine) (any, bool)) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	for line := range lines {
+		out, ok := translate(line)
+		if !ok {
+			continue
+		}
+		if st.cfg.StreamWriteTimeout > 0 {
+			_ = rc.SetWriteDeadline(time.Now().Add(st.cfg.StreamWriteTimeout))
+		}
+		if err := enc.Encode(out); err != nil {
+			cancel()
+			for range lines {
+			}
+			return
+		}
+		_ = rc.Flush()
+	}
+	// Disarm so a keep-alive connection is not poisoned by a stale
+	// deadline.
+	if st.cfg.StreamWriteTimeout > 0 {
+		_ = rc.SetWriteDeadline(time.Time{})
+	}
+}
+
+func (st *serverState) handleCorpus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, st.s.Stats())
+}
+
+func (st *serverState) handleInvalidate(w http.ResponseWriter, r *http.Request) {
+	var req protocol.InvalidateRequest
+	if e := decodeBody(r, &req); e != nil {
+		writeEnvelope(w, e)
+		return
+	}
+	lang, err := req.Validate()
+	if err != nil {
+		writeEnvelope(w, protocol.FromErr(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, protocol.InvalidateResponse{Dropped: st.s.Invalidate(lang)})
+}
+
+func (st *serverState) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, st.health())
+}
+
+// health assembles the /v1/healthz body (shared with the legacy
+// /healthz shim).
+func (st *serverState) health() protocol.Health {
+	h := protocol.Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(st.started).Seconds(),
+		Cache:         st.s.CacheStats(),
+	}
+	if at, ok := st.s.SnapshotTime(); ok {
+		h.Snapshot.Loaded = true
+		h.Snapshot.CreatedAt = at.UTC().Format(time.RFC3339Nano)
+		h.Snapshot.AgeSeconds = time.Since(at).Seconds()
+	}
+	return h
+}
+
+func (st *serverState) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, st.metrics.snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dict"
+	"repro/internal/protocol"
 	"repro/internal/wiki"
 )
 
@@ -96,6 +97,16 @@ func (s *Session) Corpus() *wiki.Corpus { return s.corpus }
 // artifacts and caching whatever it has to build. The result is identical
 // to a cold core.Matcher.Match run with the same configuration.
 func (s *Session) Match(ctx context.Context, pair wiki.LanguagePair) (*core.Result, error) {
+	return s.matchWith(ctx, pair, s.m)
+}
+
+// matchWith is Match with an explicit matcher, the seam that lets a
+// protocol request override matching thresholds per request: m scores
+// and aligns, while artifact construction (and the cache key space)
+// stays bound to the session's own configuration. Thresholds do not
+// shape artifacts, so any threshold-overridden matcher reuses the
+// shared cache safely.
+func (s *Session) matchWith(ctx context.Context, pair wiki.LanguagePair, m *core.Matcher) (*core.Result, error) {
 	pe, err := s.pairArtifacts(ctx, pair)
 	if err != nil {
 		return nil, err
@@ -113,11 +124,16 @@ func (s *Session) Match(ctx context.Context, pair wiki.LanguagePair) (*core.Resu
 			return s.typeArtifacts(ctx, pair, typeA, typeB, pe.dict)
 		},
 	}
-	return s.m.MatchCtx(ctx, s.corpus, pair, art)
+	return m.MatchCtx(ctx, s.corpus, pair, art)
 }
 
 // MatchType aligns one entity-type pair, reusing cached artifacts.
 func (s *Session) MatchType(ctx context.Context, pair wiki.LanguagePair, typeA, typeB string) (*core.TypeResult, error) {
+	return s.matchTypeWith(ctx, pair, typeA, typeB, s.m)
+}
+
+// matchTypeWith is MatchType with an explicit matcher (see matchWith).
+func (s *Session) matchTypeWith(ctx context.Context, pair wiki.LanguagePair, typeA, typeB string, m *core.Matcher) (*core.TypeResult, error) {
 	pe, err := s.pairArtifacts(ctx, pair)
 	if err != nil {
 		return nil, err
@@ -126,7 +142,7 @@ func (s *Session) MatchType(ctx context.Context, pair wiki.LanguagePair, typeA, 
 	if err != nil {
 		return nil, err
 	}
-	return s.m.MatchTypeCtx(ctx, s.corpus, pair, typeA, typeB, pe.dict, art)
+	return m.MatchTypeCtx(ctx, s.corpus, pair, typeA, typeB, pe.dict, art)
 }
 
 // Types returns the entity-type alignment for a pair (cached after the
@@ -178,15 +194,10 @@ func (s *Session) Invalidate(lang wiki.Language) int {
 // CacheStats is a snapshot of the artifact cache. RestoredPairs and
 // RestoredTypes count the entries a warm start seeded from a persisted
 // snapshot (service.Restore); they stay 0 for cold sessions, making
-// warm-started processes observable through /corpus/stats and /healthz.
-type CacheStats struct {
-	PairEntries   int    `json:"pairEntries"`
-	TypeEntries   int    `json:"typeEntries"`
-	Hits          uint64 `json:"hits"`
-	Misses        uint64 `json:"misses"`
-	RestoredPairs int    `json:"restoredPairs"`
-	RestoredTypes int    `json:"restoredTypes"`
-}
+// warm-started processes observable through /v1/corpus and /v1/healthz.
+// The wire form lives in internal/protocol; this alias keeps the
+// session API self-contained.
+type CacheStats = protocol.CacheStats
 
 // CacheStats reports cache occupancy, the hit/miss counters accumulated
 // over the session's lifetime, and how many entries were restored from a

@@ -1,0 +1,204 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+
+	"repro/internal/multi"
+	"repro/internal/protocol"
+	"repro/internal/wiki"
+)
+
+// The legacy (pre-v1) GET API, kept as thin shims over the v1
+// execution path: each shim translates its query-string parameters into
+// a protocol.MatchRequest, runs the same ServeMatch/ServeMatchAll/
+// ServeStream code the /v1/ endpoints use, and renders the historical
+// response shapes — free-text {"error": ...} bodies included — so
+// recorded clients (and the golden tests) keep working byte for byte.
+// New integrations should use /v1/; see the README's migration table.
+
+// Legacy wire aliases. These shapes did not change in v1, so the legacy
+// names simply point at the protocol types.
+type (
+	// CorrespondenceJSON is one derived cross-language correspondence.
+	CorrespondenceJSON = protocol.Correspondence
+	// TypeResultJSON is the wire form of one type's alignment outcome.
+	TypeResultJSON = protocol.TypeResult
+	// MatchResponseJSON is the wire form of a full /match run.
+	MatchResponseJSON = protocol.MatchResponse
+	// StatsResponseJSON is the wire form of /corpus/stats.
+	StatsResponseJSON = protocol.StatsResponse
+	// MatchAllPairJSON summarizes one pair's outcome within a batch.
+	MatchAllPairJSON = protocol.MatchAllPair
+)
+
+// MatchAllResponseJSON is the legacy wire form of a full /matchall run.
+// v1's MatchAllResponse additionally reports the resolved pair plan;
+// the legacy shape stays frozen without it.
+type MatchAllResponseJSON struct {
+	Mode      string             `json:"mode"`
+	Hub       string             `json:"hub"`
+	Pairs     []MatchAllPairJSON `json:"pairs"`
+	Clusters  []multi.Cluster    `json:"clusters"`
+	Conflicts int                `json:"conflicts"`
+	ElapsedMS float64            `json:"elapsedMs"`
+	Cache     CacheStats         `json:"cache"`
+}
+
+// MatchAllStreamLineJSON is one NDJSON line of /matchall/stream: pair
+// progress lines first (completion order), then a final line carrying
+// the merged clusters.
+type MatchAllStreamLineJSON struct {
+	Done  int                   `json:"done"`
+	Total int                   `json:"total"`
+	Pair  *MatchAllPairJSON     `json:"pair,omitempty"`
+	Final *MatchAllResponseJSON `json:"final,omitempty"`
+}
+
+// errorJSON is the legacy uniform error body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// ParsePair parses a "pt-en"-style language pair. "vn-en" is accepted as
+// an alias of the paper's Vietnamese–English pair.
+func ParsePair(s string) (wiki.LanguagePair, error) { return protocol.ParsePair(s) }
+
+func registerShims(mux *http.ServeMux, st *serverState) {
+	mux.HandleFunc("GET /corpus/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, st.s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, st.health())
+	})
+	mux.HandleFunc("GET /match", func(w http.ResponseWriter, r *http.Request) {
+		resp, err := st.s.ServeMatch(r.Context(), protocol.MatchRequest{Pair: r.URL.Query().Get("pair")})
+		if err != nil {
+			writeLegacyError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /match/{type}", func(w http.ResponseWriter, r *http.Request) {
+		req := protocol.MatchRequest{Pair: r.URL.Query().Get("pair"), Type: r.PathValue("type")}
+		resp, err := st.s.ServeMatch(r.Context(), req)
+		if err != nil {
+			writeLegacyError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp.Results[0])
+	})
+	mux.HandleFunc("GET /match/stream", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithCancel(r.Context())
+		defer cancel()
+		lines, err := st.s.ServeStream(ctx, protocol.MatchRequest{Pair: r.URL.Query().Get("pair")})
+		if err != nil {
+			writeLegacyError(w, err)
+			return
+		}
+		st.streamNDJSON(w, cancel, lines, func(line protocol.StreamLine) (any, bool) {
+			switch {
+			case line.Type != nil:
+				return line.Type, true
+			case line.Error != nil:
+				return errorJSON{Error: line.Error.Message}, true
+			}
+			return nil, false // v1 carries a final summary; the legacy stream never did
+		})
+	})
+	mux.HandleFunc("GET /matchall", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := matchAllShimRequest(w, r)
+		if !ok {
+			return
+		}
+		resp, err := st.s.ServeMatchAll(r.Context(), req)
+		if err != nil {
+			writeLegacyError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, legacyMatchAll(resp))
+	})
+	mux.HandleFunc("GET /matchall/stream", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := matchAllShimRequest(w, r)
+		if !ok {
+			return
+		}
+		ctx, cancel := context.WithCancel(r.Context())
+		defer cancel()
+		lines, err := st.s.ServeStream(ctx, req)
+		if err != nil {
+			writeLegacyError(w, err)
+			return
+		}
+		st.streamNDJSON(w, cancel, lines, func(line protocol.StreamLine) (any, bool) {
+			out := MatchAllStreamLineJSON{Done: line.Done, Total: line.Total, Pair: line.Pair}
+			if line.FinalAll != nil {
+				out.Final = legacyMatchAll(line.FinalAll)
+			}
+			return out, true
+		})
+	})
+	mux.HandleFunc("POST /session/invalidate", func(w http.ResponseWriter, r *http.Request) {
+		lang, err := protocol.InvalidateRequest{Lang: r.URL.Query().Get("lang")}.Validate()
+		if err != nil {
+			writeLegacyError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, protocol.InvalidateResponse{Dropped: st.s.Invalidate(lang)})
+	})
+	// Mutating over GET was never supported; reject it explicitly with
+	// the structured 405 envelope instead of net/http's plain-text one.
+	mux.HandleFunc("GET /session/invalidate", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", http.MethodPost)
+		writeEnvelope(w, protocol.Errorf(protocol.CodeMethodNotAllowed,
+			"method GET not allowed on /session/invalidate (use POST)"))
+	})
+}
+
+// matchAllShimRequest translates /matchall query parameters. Workers is
+// parsed here because its historical error body quotes the raw string;
+// mode and hub flow through the shared validator, whose messages are
+// identical to the legacy ones.
+func matchAllShimRequest(w http.ResponseWriter, r *http.Request) (protocol.MatchRequest, bool) {
+	req := protocol.MatchRequest{All: true, Mode: r.URL.Query().Get("mode"), Hub: r.URL.Query().Get("hub")}
+	if raw := r.URL.Query().Get("workers"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: "invalid workers " + strconv.Quote(raw)})
+			return protocol.MatchRequest{}, false
+		}
+		req.Workers = n
+	}
+	return req, true
+}
+
+// legacyMatchAll freezes a v1 MatchAllResponse into the legacy shape.
+func legacyMatchAll(resp *protocol.MatchAllResponse) *MatchAllResponseJSON {
+	return &MatchAllResponseJSON{
+		Mode:      resp.Mode,
+		Hub:       resp.Hub,
+		Pairs:     resp.Pairs,
+		Clusters:  resp.Clusters,
+		Conflicts: resp.Conflicts,
+		ElapsedMS: resp.ElapsedMS,
+		Cache:     resp.Cache,
+	}
+}
+
+// writeLegacyError renders a protocol error in the legacy free-text
+// shape with the legacy status mapping (cancellation as 503, validation
+// as 400, unknown types as 404, everything else 500).
+func writeLegacyError(w http.ResponseWriter, err error) {
+	e := protocol.FromErr(err)
+	status := http.StatusInternalServerError
+	switch e.Code {
+	case protocol.CodeInvalidArgument:
+		status = http.StatusBadRequest
+	case protocol.CodeNotFound:
+		status = http.StatusNotFound
+	case protocol.CodeCanceled, protocol.CodeDeadlineExceeded:
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorJSON{Error: e.Message})
+}

@@ -30,6 +30,11 @@ type TypeUpdate struct {
 // Artifacts are cached exactly as in Match, so a stream warms the cache
 // for later calls and vice versa.
 func (s *Session) MatchStream(ctx context.Context, pair wiki.LanguagePair) (<-chan TypeUpdate, error) {
+	return s.streamWith(ctx, pair, s.m)
+}
+
+// streamWith is MatchStream with an explicit matcher (see matchWith).
+func (s *Session) streamWith(ctx context.Context, pair wiki.LanguagePair, m *core.Matcher) (<-chan TypeUpdate, error) {
 	pe, err := s.pairArtifacts(ctx, pair)
 	if err != nil {
 		return nil, err
@@ -45,7 +50,7 @@ func (s *Session) MatchStream(ctx context.Context, pair wiki.LanguagePair) (<-ch
 			u := TypeUpdate{Index: i, Total: len(types), TypeA: tp[0], TypeB: tp[1]}
 			art, err := s.typeArtifacts(ctx, pair, tp[0], tp[1], pe.dict)
 			if err == nil {
-				u.Result, err = s.m.MatchTypeCtx(ctx, s.corpus, pair, tp[0], tp[1], pe.dict, art)
+				u.Result, err = m.MatchTypeCtx(ctx, s.corpus, pair, tp[0], tp[1], pe.dict, art)
 			}
 			u.Err = err
 			out <- u

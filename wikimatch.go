@@ -36,12 +36,14 @@ import (
 	"os"
 
 	"repro/internal/baselines"
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/dict"
 	"repro/internal/dump"
 	"repro/internal/eval"
 	"repro/internal/experiments"
 	"repro/internal/multi"
+	"repro/internal/protocol"
 	"repro/internal/query"
 	"repro/internal/service"
 	"repro/internal/sim"
@@ -273,10 +275,107 @@ func RestoreSessionFromFile(c *Corpus, path string, opts ...SessionOption) (*Ses
 	return service.Restore(c, f, opts...)
 }
 
-// NewHTTPHandler builds the wikimatchd HTTP API over a session: /match,
-// /match/{type}, /match/stream (NDJSON), /corpus/stats and
-// /session/invalidate. See cmd/wikimatchd.
-func NewHTTPHandler(s *Session) http.Handler { return service.NewHandler(s) }
+// Wire protocol v1: the typed request/response API served under /v1/
+// and spoken by the client SDK. One MatchRequest shape drives pair,
+// single-type and all-pairs matching, unary or streaming, with a shared
+// validation path across the in-process Session, the HTTP layer and the
+// CLI; errors are structured envelopes with stable codes.
+type (
+	// MatchRequest is the typed request of protocol v1.
+	MatchRequest = protocol.MatchRequest
+	// MatchResponse answers a pair or single-type match.
+	MatchResponse = protocol.MatchResponse
+	// MatchAllResponse answers an all-pairs batch.
+	MatchAllResponse = protocol.MatchAllResponse
+	// StreamLine is one progress line of a streaming request.
+	StreamLine = protocol.StreamLine
+	// TypeMatchResultJSON is the wire form of one entity type's
+	// alignment outcome.
+	TypeMatchResultJSON = protocol.TypeResult
+	// APIError is the structured protocol error (code / message /
+	// retryable / details); it is both the wire envelope's payload and
+	// the error value returned in process.
+	APIError = protocol.Error
+)
+
+// ProtocolVersion is the wire protocol version ("v1").
+const ProtocolVersion = protocol.Version
+
+// The stable protocol error codes.
+const (
+	ErrCodeInvalidArgument  = protocol.CodeInvalidArgument
+	ErrCodeNotFound         = protocol.CodeNotFound
+	ErrCodeMethodNotAllowed = protocol.CodeMethodNotAllowed
+	ErrCodePayloadTooLarge  = protocol.CodePayloadTooLarge
+	ErrCodeOverloaded       = protocol.CodeOverloaded
+	ErrCodeCanceled         = protocol.CodeCanceled
+	ErrCodeDeadlineExceeded = protocol.CodeDeadlineExceeded
+	ErrCodeInternal         = protocol.CodeInternal
+)
+
+// The client SDK: a typed HTTP client for a running wikimatchd and an
+// in-process backend over a Session serving the same interface.
+type (
+	// APIClient speaks protocol v1 to a wikimatchd base URL: unary
+	// calls, a streaming iterator, and retries on retryable codes.
+	APIClient = client.Client
+	// APIClientOption adjusts an APIClient.
+	APIClientOption = client.Option
+	// Backend is the protocol surface shared by APIClient and
+	// LocalBackend.
+	Backend = client.Backend
+	// LocalBackend serves the Backend interface from an in-process
+	// Session.
+	LocalBackend = client.Local
+	// APIStream iterates a streaming response line by line.
+	APIStream = client.Stream
+)
+
+// NewAPIClient creates a protocol v1 client for a wikimatchd base URL.
+func NewAPIClient(base string, opts ...APIClientOption) (*APIClient, error) {
+	return client.New(base, opts...)
+}
+
+// NewLocalBackend wraps a session as a Backend, so code written against
+// the protocol runs in process without a server.
+func NewLocalBackend(s *Session) LocalBackend { return client.NewLocal(s) }
+
+// Client SDK options.
+var (
+	// WithHTTPClient replaces the SDK's underlying *http.Client.
+	WithHTTPClient = client.WithHTTPClient
+	// WithRetries sets the retry budget and base backoff delay.
+	WithRetries = client.WithRetries
+)
+
+// HTTP serving options (the middleware stack of NewHTTPHandler).
+type HTTPHandlerOption = service.HandlerOption
+
+var (
+	// WithMaxConcurrent bounds concurrently served requests; excess load
+	// is shed with 429 + Retry-After.
+	WithMaxConcurrent = service.WithMaxConcurrent
+	// WithMaxStreams bounds concurrently served NDJSON streams.
+	WithMaxStreams = service.WithMaxStreams
+	// WithRequestTimeout bounds each non-streaming request.
+	WithRequestTimeout = service.WithRequestTimeout
+	// WithMaxBodyBytes caps request body size.
+	WithMaxBodyBytes = service.WithMaxBodyBytes
+	// WithStreamWriteTimeout bounds each NDJSON line write.
+	WithStreamWriteTimeout = service.WithStreamWriteTimeout
+	// WithAccessLog enables per-request access logging.
+	WithAccessLog = service.WithAccessLog
+)
+
+// NewHTTPHandler builds the wikimatchd HTTP API over a session: the
+// typed /v1/ protocol (POST JSON + NDJSON streaming, structured
+// errors), the legacy GET endpoints as compatibility shims, and the
+// middleware stack (request IDs, access logging, per-request timeouts,
+// load shedding, panic recovery, /v1/metrics counters) around both. See
+// cmd/wikimatchd.
+func NewHTTPHandler(s *Session, opts ...HTTPHandlerOption) http.Handler {
+	return service.NewHandler(s, opts...)
+}
 
 // ParseLanguagePair parses a "pt-en"-style pair string ("vn-en" is an
 // alias for Vietnamese–English).
