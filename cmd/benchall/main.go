@@ -1,24 +1,29 @@
 // Command benchall regenerates every table and figure of the paper's
 // evaluation and prints them in the same row/series layout the paper
-// reports. Three extra experiments time the substrate: "svd" compares
+// reports. Four extra experiments time the substrate: "svd" compares
 // the seed's dense-Jacobi-then-truncate decomposition against the sparse
 // subsystem over every type's occurrence matrix, "session" measures the
 // serving-path speedup of a warm session (cached dictionaries and LSI
 // artifacts) over a cold one — the cmd-level twin of the
-// BenchmarkSessionWarmVsCold gate — and "store" times snapshot
-// save/load against a cold artifact build, the cmd-level twin of
+// BenchmarkSessionWarmVsCold gate — "store" times snapshot save/load
+// against a cold artifact build, the cmd-level twin of
 // BenchmarkStoreRestoreVsCold — and "http" drives a real wikimatchd
 // handler over wire protocol v1 through the client SDK, reporting warm
-// unary latency and request throughput.
+// unary latency and request throughput. "timings" runs all four.
+//
+// The timing experiments can emit machine-readable output with -json:
+// one JSON document carrying the measured sections, for regression
+// tracking and the CI warm-session speedup gate.
 //
 // Usage:
 //
-//	benchall [-scale small|full] [-run all|table1|table2|table3|table5|table6|table7|figure3|figure4|figure5|figure6|figure7|svd|session|store|http]
+//	benchall [-scale small|full] [-run all|table1..table7|figure3..figure7|svd|session|store|http|timings] [-json]
 package main
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http/httptest"
@@ -39,7 +44,8 @@ import (
 
 func main() {
 	scale := flag.String("scale", "full", "corpus scale: small or full")
-	run := flag.String("run", "all", "experiment to run (all, table1..table7, figure3..figure7, svd)")
+	run := flag.String("run", "all", "experiment to run (all, table1..table7, figure3..figure7, svd, session, store, http, timings)")
+	jsonOut := flag.Bool("json", false, "emit the timing experiments (svd/session/store/http/timings) as one JSON document")
 	flag.Parse()
 
 	cfg := synth.DefaultConfig()
@@ -53,6 +59,37 @@ func main() {
 	}
 	mcfg := core.DefaultConfig()
 	w := os.Stdout
+
+	if *jsonOut {
+		doc := timingDoc{Scale: *scale}
+		switch *run {
+		case "svd":
+			doc.SVD = measureSVD(s)
+		case "session":
+			doc.Session = measureSession(s)
+		case "store":
+			st := measureStore(s)
+			doc.Store = &st
+		case "http":
+			doc.HTTP = measureHTTP(s)
+		case "timings":
+			doc.SVD = measureSVD(s)
+			doc.Session = measureSession(s)
+			st := measureStore(s)
+			doc.Store = &st
+			doc.HTTP = measureHTTP(s)
+		default:
+			fmt.Fprintf(os.Stderr, "-json applies to the timing experiments only (svd, session, store, http, timings), not %q\n", *run)
+			os.Exit(2)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, "encode:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	switch *run {
 	case "all":
@@ -92,25 +129,82 @@ func main() {
 	case "extensions":
 		experiments.RenderExtensions(w, s.Extensions(mcfg))
 	case "svd":
-		renderSVDTimings(s)
+		renderSVDTimings(measureSVD(s))
 	case "session":
-		renderSessionTimings(s)
+		renderSessionTimings(measureSession(s))
 	case "store":
-		renderStoreTimings(s)
+		renderStoreTimings(measureStore(s))
 	case "http":
-		renderHTTPTimings(s)
+		renderHTTPTimings(measureHTTP(s))
+	case "timings":
+		renderSVDTimings(measureSVD(s))
+		fmt.Println()
+		renderSessionTimings(measureSession(s))
+		fmt.Println()
+		renderStoreTimings(measureStore(s))
+		fmt.Println()
+		renderHTTPTimings(measureHTTP(s))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
 		os.Exit(2)
 	}
 }
 
-// renderSVDTimings compares the seed's dense Jacobi SVD with the sparse
-// path lsi.Build uses today, per entity type, on the type's real
+// timingDoc is the -json output: only the measured sections are present.
+type timingDoc struct {
+	Scale   string          `json:"scale"`
+	SVD     []svdTiming     `json:"svd,omitempty"`
+	Session []sessionTiming `json:"session,omitempty"`
+	Store   *storeTiming    `json:"store,omitempty"`
+	HTTP    []httpTiming    `json:"http,omitempty"`
+}
+
+// svdTiming is one entity type's dense-vs-sparse decomposition timing.
+type svdTiming struct {
+	Pair     string  `json:"pair"`
+	Type     string  `json:"type"`
+	Rows     int     `json:"rows"`
+	Cols     int     `json:"cols"`
+	NNZ      int     `json:"nnz"`
+	DenseNS  int64   `json:"denseNs"`
+	SparseNS int64   `json:"sparseNs"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// sessionTiming is one pair's cold-vs-warm session match timing.
+type sessionTiming struct {
+	Pair    string  `json:"pair"`
+	Types   int     `json:"types"`
+	ColdNS  int64   `json:"coldNs"`
+	WarmNS  int64   `json:"warmNs"`
+	Speedup float64 `json:"speedup"`
+}
+
+// storeTiming is the snapshot save/load timing against a cold build.
+type storeTiming struct {
+	RestoredPairs int     `json:"restoredPairs"`
+	RestoredTypes int     `json:"restoredTypes"`
+	SnapshotBytes int     `json:"snapshotBytes"`
+	ColdNS        int64   `json:"coldNs"`
+	SaveNS        int64   `json:"saveNs"`
+	LoadNS        int64   `json:"loadNs"`
+	ServeNS       int64   `json:"serveNs"`
+	LoadSpeedup   float64 `json:"loadSpeedup"`
+}
+
+// httpTiming is one pair's wire-protocol serving-path timing.
+type httpTiming struct {
+	Pair          string  `json:"pair"`
+	WarmUnaryNS   int64   `json:"warmUnaryNs"`
+	SeqReqPerSec  float64 `json:"seqReqPerSec"`
+	ConcReqPerSec float64 `json:"concReqPerSec"`
+}
+
+// measureSVD compares the seed's dense Jacobi SVD with the sparse path
+// lsi.Build uses today, per entity type, on the type's real
 // dual-occurrence matrix.
-func renderSVDTimings(s *experiments.Setup) {
-	fmt.Printf("%-6s %-22s %10s %9s %12s %12s %8s\n",
-		"pair", "type", "matrix", "nnz", "dense-jacobi", "sparse-auto", "speedup")
+func measureSVD(s *experiments.Setup) []svdTiming {
+	var out []svdTiming
 	for _, pair := range s.Pairs() {
 		for _, tc := range s.Cases(pair) {
 			_, index := lsi.IndexAttrs(tc.TD.Duals, tc.TD.Attrs...)
@@ -118,21 +212,35 @@ func renderSVDTimings(s *experiments.Setup) {
 			dense := sp.Dense()
 			denseT := timeIt(func() { linalg.TruncatedSVD(dense, lsi.DefaultRank) })
 			sparseT := timeIt(func() { linalg.SparseTruncatedSVD(sp, lsi.DefaultRank) })
-			fmt.Printf("%-6s %-22s %4d×%-5d %9d %12s %12s %7.1fx\n",
-				pair, tc.Canon, sp.Rows, sp.Cols, sp.NNZ(),
-				denseT.Round(time.Microsecond), sparseT.Round(time.Microsecond),
-				float64(denseT)/float64(sparseT))
+			out = append(out, svdTiming{
+				Pair: pair.String(), Type: tc.Canon,
+				Rows: sp.Rows, Cols: sp.Cols, NNZ: sp.NNZ(),
+				DenseNS: int64(denseT), SparseNS: int64(sparseT),
+				Speedup: float64(denseT) / float64(sparseT),
+			})
 		}
+	}
+	return out
+}
+
+func renderSVDTimings(rows []svdTiming) {
+	fmt.Printf("%-6s %-22s %10s %9s %12s %12s %8s\n",
+		"pair", "type", "matrix", "nnz", "dense-jacobi", "sparse-auto", "speedup")
+	for _, r := range rows {
+		fmt.Printf("%-6s %-22s %4d×%-5d %9d %12s %12s %7.1fx\n",
+			r.Pair, r.Type, r.Rows, r.Cols, r.NNZ,
+			time.Duration(r.DenseNS).Round(time.Microsecond),
+			time.Duration(r.SparseNS).Round(time.Microsecond), r.Speedup)
 	}
 }
 
-// renderSessionTimings measures the artifact cache's serving-path win:
-// per pair, a cold session match (fresh session each run, rebuilding
+// measureSession measures the artifact cache's serving-path win: per
+// pair, a cold session match (fresh session each run, rebuilding
 // dictionary + per-type LSI models) against a warm match on one
 // prewarmed session (alignment only).
-func renderSessionTimings(s *experiments.Setup) {
+func measureSession(s *experiments.Setup) []sessionTiming {
 	ctx := context.Background()
-	fmt.Printf("%-6s %6s %12s %12s %8s\n", "pair", "types", "cold", "warm", "speedup")
+	var out []sessionTiming
 	for _, pair := range []wiki.LanguagePair{wiki.PtEn, wiki.VnEn} {
 		var types int
 		cold := timeIt(func() {
@@ -154,17 +262,30 @@ func renderSessionTimings(s *experiments.Setup) {
 				os.Exit(1)
 			}
 		})
+		out = append(out, sessionTiming{
+			Pair: pair.String(), Types: types,
+			ColdNS: int64(cold), WarmNS: int64(warm),
+			Speedup: float64(cold) / float64(warm),
+		})
+	}
+	return out
+}
+
+func renderSessionTimings(rows []sessionTiming) {
+	fmt.Printf("%-6s %6s %12s %12s %8s\n", "pair", "types", "cold", "warm", "speedup")
+	for _, r := range rows {
 		fmt.Printf("%-6s %6d %12s %12s %7.1fx\n",
-			pair, types, cold.Round(time.Microsecond), warm.Round(time.Microsecond),
-			float64(cold)/float64(warm))
+			r.Pair, r.Types,
+			time.Duration(r.ColdNS).Round(time.Microsecond),
+			time.Duration(r.WarmNS).Round(time.Microsecond), r.Speedup)
 	}
 }
 
-// renderStoreTimings measures the persistence layer's offline/online
-// split at the chosen -scale: building every artifact cold (fresh
-// session, both pairs) versus saving the warm cache as a snapshot and
-// restoring it — the warm-start path wikimatchd -store takes on boot.
-func renderStoreTimings(s *experiments.Setup) {
+// measureStore measures the persistence layer's offline/online split at
+// the chosen -scale: building every artifact cold (fresh session, both
+// pairs) versus saving the warm cache as a snapshot and restoring it —
+// the warm-start path wikimatchd -store takes on boot.
+func measureStore(s *experiments.Setup) storeTiming {
 	ctx := context.Background()
 	pairs := []wiki.LanguagePair{wiki.PtEn, wiki.VnEn}
 	matchAll := func(sess *service.Session) {
@@ -198,22 +319,32 @@ func renderStoreTimings(s *experiments.Setup) {
 	serve := timeIt(func() { matchAll(restored) })
 
 	cs := restored.CacheStats()
-	fmt.Printf("artifacts: %d pairs, %d types, snapshot %d bytes\n",
-		cs.RestoredPairs, cs.RestoredTypes, buf.Len())
-	fmt.Printf("%-22s %12s\n", "stage", "time")
-	fmt.Printf("%-22s %12s\n", "cold build+match", cold.Round(time.Microsecond))
-	fmt.Printf("%-22s %12s\n", "snapshot save", save.Round(time.Microsecond))
-	fmt.Printf("%-22s %12s\n", "snapshot load", load.Round(time.Microsecond))
-	fmt.Printf("%-22s %12s\n", "match after restore", serve.Round(time.Microsecond))
-	fmt.Printf("load vs cold build: %.1fx faster\n", float64(cold)/float64(load))
+	return storeTiming{
+		RestoredPairs: cs.RestoredPairs, RestoredTypes: cs.RestoredTypes,
+		SnapshotBytes: buf.Len(),
+		ColdNS:        int64(cold), SaveNS: int64(save),
+		LoadNS: int64(load), ServeNS: int64(serve),
+		LoadSpeedup: float64(cold) / float64(load),
+	}
 }
 
-// renderHTTPTimings measures the serving path end to end over wire
-// protocol v1: a real HTTP server over one warm session, driven by the
-// Go client SDK. Reported per pair: the unary /v1/match latency on the
-// warm cache, sequential and concurrent request throughput — the
-// cmd-level twin of BenchmarkHTTPMatchThroughput.
-func renderHTTPTimings(s *experiments.Setup) {
+func renderStoreTimings(st storeTiming) {
+	fmt.Printf("artifacts: %d pairs, %d types, snapshot %d bytes\n",
+		st.RestoredPairs, st.RestoredTypes, st.SnapshotBytes)
+	fmt.Printf("%-22s %12s\n", "stage", "time")
+	fmt.Printf("%-22s %12s\n", "cold build+match", time.Duration(st.ColdNS).Round(time.Microsecond))
+	fmt.Printf("%-22s %12s\n", "snapshot save", time.Duration(st.SaveNS).Round(time.Microsecond))
+	fmt.Printf("%-22s %12s\n", "snapshot load", time.Duration(st.LoadNS).Round(time.Microsecond))
+	fmt.Printf("%-22s %12s\n", "match after restore", time.Duration(st.ServeNS).Round(time.Microsecond))
+	fmt.Printf("load vs cold build: %.1fx faster\n", st.LoadSpeedup)
+}
+
+// measureHTTP measures the serving path end to end over wire protocol
+// v1: a real HTTP server over one warm session, driven by the Go client
+// SDK. Reported per pair: the unary /v1/match latency on the warm
+// cache, sequential and concurrent request throughput — the cmd-level
+// twin of BenchmarkHTTPMatchThroughput.
+func measureHTTP(s *experiments.Setup) []httpTiming {
 	ctx := context.Background()
 	srv := httptest.NewServer(service.NewHandler(service.New(s.Corpus)))
 	defer srv.Close()
@@ -226,7 +357,7 @@ func renderHTTPTimings(s *experiments.Setup) {
 		seqRequests = 16
 		conc        = 8
 	)
-	fmt.Printf("%-6s %12s %14s %14s\n", "pair", "warm-unary", "seq req/s", "conc req/s")
+	var out []httpTiming
 	for _, pairName := range []string{"pt-en", "vi-en"} {
 		req := protocol.MatchRequest{Pair: pairName}
 		if _, err := c.Match(ctx, req); err != nil { // warm the cache
@@ -263,10 +394,22 @@ func renderHTTPTimings(s *experiments.Setup) {
 			}
 			wg.Wait()
 		})
-		fmt.Printf("%-6s %12s %14.1f %14.1f\n", pairName,
-			warm.Round(time.Microsecond),
-			float64(seqRequests)/seq.Seconds(),
-			float64(seqRequests)/par.Seconds())
+		out = append(out, httpTiming{
+			Pair:          pairName,
+			WarmUnaryNS:   int64(warm),
+			SeqReqPerSec:  float64(seqRequests) / seq.Seconds(),
+			ConcReqPerSec: float64(seqRequests) / par.Seconds(),
+		})
+	}
+	return out
+}
+
+func renderHTTPTimings(rows []httpTiming) {
+	fmt.Printf("%-6s %12s %14s %14s\n", "pair", "warm-unary", "seq req/s", "conc req/s")
+	for _, r := range rows {
+		fmt.Printf("%-6s %12s %14.1f %14.1f\n", r.Pair,
+			time.Duration(r.WarmUnaryNS).Round(time.Microsecond),
+			r.SeqReqPerSec, r.ConcReqPerSec)
 	}
 }
 

@@ -35,6 +35,7 @@
 //	POST /v1/matchall     all-pairs batch: correspondence clusters
 //	POST /v1/stream       NDJSON progress stream (pair or all-pairs)
 //	GET  /v1/corpus       corpus, cache and config snapshot
+//	POST /v1/corpus/delta apply article upserts/removes to the live corpus
 //	POST /v1/invalidate   drop cached artifacts ({"lang":"pt"})
 //	GET  /v1/healthz      liveness: uptime, snapshot age, cache stats
 //	GET  /v1/metrics      middleware counters

@@ -1,0 +1,156 @@
+// Package artifact is the session's artifact-cache engine: a keyed
+// single-flight build executor over the pipeline's fixed dependency
+// graph.
+//
+// # Keys and the dependency graph
+//
+// Every cacheable artifact is addressed by a typed Key of one of three
+// kinds, mirroring the paper's pipeline stages:
+//
+//	corpus(lang)             the per-language corpus slice (virtual)
+//	pair(A-B)                the pair-level artifacts: translation
+//	                         dictionary + entity-type alignment
+//	type(A-B, typeA, typeB)  one type pair's similarity workspace and
+//	                         LSI model
+//
+// Dependencies are declared by the keys themselves (Key.Deps): a pair
+// node depends on the corpus slices of both of its languages, and a
+// type node depends on its pair node (whose dictionary and alignment
+// are inputs to the type build). Corpus nodes are virtual — they are
+// never built or stored — and exist purely as invalidation anchors:
+// invalidating corpus(vi) transitively drops every pair node containing
+// Vietnamese and every type node under those pairs, and nothing else.
+//
+// # Build execution
+//
+// Get is single-flight per key: concurrent requests for the same key
+// share one build, waiters block on the builder's completion with their
+// own contexts, and a builder cancelled mid-build discards its entry so
+// surviving waiters retry with their own contexts. An entry invalidated
+// while its build is in flight is orphaned: the builder still returns
+// its value to its own caller, but the value never re-enters the graph,
+// and waiters parked on the orphaned entry retry against the live graph
+// instead of consuming the stale value.
+//
+// # Epochs
+//
+// The graph carries an epoch that advances on every Apply (the
+// corpus-delta path). Get callers pass the epoch they captured together
+// with their corpus snapshot; a caller from a superseded epoch builds
+// privately — correct for its own corpus snapshot, never cached — so an
+// old-generation request can never seed the new graph with artifacts
+// built from a corpus the graph no longer serves.
+//
+// # Statistics
+//
+// The engine keeps aggregate hit/miss/failure counters and per-node
+// build/hit/failure counts that survive invalidation, so a caller can
+// assert that an incremental update rebuilt exactly the dirty nodes.
+// Misses count completed builds only; builds that fail (in practice:
+// cancelled contexts) count as failures, keeping the miss rate an
+// honest measure of work materialized into the cache.
+package artifact
+
+import (
+	"fmt"
+
+	"repro/internal/wiki"
+)
+
+// Kind classifies a Key into its pipeline stage.
+type Kind uint8
+
+// The three node kinds, in dependency order.
+const (
+	KindCorpus Kind = iota // per-language corpus slice (virtual, never built)
+	KindPair               // dictionary + entity-type alignment
+	KindType               // similarity workspace + LSI model
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindCorpus:
+		return "corpus"
+	case KindPair:
+		return "pair"
+	case KindType:
+		return "type"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Key addresses one node of the artifact graph. Only the fields
+// relevant to the Kind are set: Lang for corpus nodes, Pair for pair
+// nodes, Pair+TypeA+TypeB for type nodes. Keys are comparable and used
+// directly as map keys.
+type Key struct {
+	Kind         Kind
+	Lang         wiki.Language
+	Pair         wiki.LanguagePair
+	TypeA, TypeB string
+}
+
+// CorpusKey returns the virtual invalidation anchor for one language's
+// corpus slice.
+func CorpusKey(lang wiki.Language) Key {
+	return Key{Kind: KindCorpus, Lang: lang}
+}
+
+// PairKey returns the key of a pair's dictionary + alignment node.
+func PairKey(pair wiki.LanguagePair) Key {
+	return Key{Kind: KindPair, Pair: pair}
+}
+
+// TypeKey returns the key of one type pair's similarity workspace + LSI
+// model node.
+func TypeKey(pair wiki.LanguagePair, typeA, typeB string) Key {
+	return Key{Kind: KindType, Pair: pair, TypeA: typeA, TypeB: typeB}
+}
+
+// Deps returns the node's declared dependencies: a pair node depends on
+// the corpus slices of both its languages, a type node on its pair
+// node, and a corpus node on nothing.
+func (k Key) Deps() []Key {
+	switch k.Kind {
+	case KindPair:
+		return []Key{CorpusKey(k.Pair.A), CorpusKey(k.Pair.B)}
+	case KindType:
+		return []Key{PairKey(k.Pair)}
+	}
+	return nil
+}
+
+// String renders the key for diagnostics, e.g. "type(pt-en film/filme)".
+func (k Key) String() string {
+	switch k.Kind {
+	case KindCorpus:
+		return fmt.Sprintf("corpus(%s)", k.Lang)
+	case KindPair:
+		return fmt.Sprintf("pair(%s)", k.Pair)
+	case KindType:
+		return fmt.Sprintf("type(%s %s/%s)", k.Pair, k.TypeA, k.TypeB)
+	}
+	return fmt.Sprintf("key(%d)", uint8(k.Kind))
+}
+
+// less orders keys canonically (kind, language, pair, type pair) for
+// deterministic enumeration.
+func (k Key) less(o Key) bool {
+	if k.Kind != o.Kind {
+		return k.Kind < o.Kind
+	}
+	if k.Lang != o.Lang {
+		return k.Lang < o.Lang
+	}
+	if k.Pair.A != o.Pair.A {
+		return k.Pair.A < o.Pair.A
+	}
+	if k.Pair.B != o.Pair.B {
+		return k.Pair.B < o.Pair.B
+	}
+	if k.TypeA != o.TypeA {
+		return k.TypeA < o.TypeA
+	}
+	return k.TypeB < o.TypeB
+}

@@ -104,6 +104,25 @@ func (d *Dictionary) TranslateOrKeep(phrase string) string {
 // Len returns the number of entries.
 func (d *Dictionary) Len() int { return len(d.entries) }
 
+// Equal reports whether two dictionaries have the same direction and
+// the same entries. Nil dictionaries (the NoDictionary ablation) are
+// equal only to nil. The session's delta path uses this to decide
+// whether a corpus edit actually changed a pair's dictionary.
+func (d *Dictionary) Equal(o *Dictionary) bool {
+	if d == nil || o == nil {
+		return d == nil && o == nil
+	}
+	if d.From != o.From || d.To != o.To || len(d.entries) != len(o.entries) {
+		return false
+	}
+	for k, v := range d.entries {
+		if ov, ok := o.entries[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
 // Entries returns the dictionary contents sorted by key, for inspection.
 func (d *Dictionary) Entries() [][2]string {
 	keys := make([]string, 0, len(d.entries))

@@ -138,3 +138,41 @@ func TestLabelTranslatorErrorRateStatistics(t *testing.T) {
 		t.Errorf("literal fraction = %v, want ≈0.5", frac)
 	}
 }
+
+func TestDictionaryEqual(t *testing.T) {
+	a := New(wiki.Portuguese, wiki.English)
+	a.Add("Cidade de Deus", "City of God")
+	a.Add("Central do Brasil", "Central Station")
+
+	b := New(wiki.Portuguese, wiki.English)
+	b.Add("Central do Brasil", "Central Station")
+	b.Add("Cidade de Deus", "City of God")
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("same entries in different insertion order not Equal")
+	}
+
+	var nilDict *Dictionary
+	if !nilDict.Equal(nil) {
+		t.Error("nil.Equal(nil) = false")
+	}
+	if a.Equal(nil) || nilDict.Equal(a) {
+		t.Error("nil compared equal to a populated dictionary")
+	}
+
+	c := New(wiki.Vietnamese, wiki.English)
+	c.Add("Cidade de Deus", "City of God")
+	c.Add("Central do Brasil", "Central Station")
+	if a.Equal(c) {
+		t.Error("dictionaries with different language pairs compared equal")
+	}
+
+	d := New(wiki.Portuguese, wiki.English)
+	d.Add("Cidade de Deus", "City of God")
+	if a.Equal(d) {
+		t.Error("different sizes compared equal")
+	}
+	d.Add("Central do Brasil", "Estação Central")
+	if a.Equal(d) {
+		t.Error("different target titles compared equal")
+	}
+}

@@ -1,0 +1,93 @@
+package protocol
+
+import (
+	"strings"
+
+	"repro/internal/wiki"
+)
+
+// DeltaRequest is the body of POST /v1/corpus/delta: a batch of corpus
+// edits applied atomically. Upserts add or replace whole articles;
+// Removes delete them. At least one edit is required.
+type DeltaRequest struct {
+	Upserts []DeltaUpsert `json:"upserts,omitempty"`
+	Removes []DeltaRef    `json:"removes,omitempty"`
+}
+
+// DeltaUpsert adds or replaces one article, supplied as raw wikitext —
+// the same form the corpus loader ingests. The server parses the
+// infobox, categories and interlanguage links out of it.
+type DeltaUpsert struct {
+	Lang     string `json:"lang"`
+	Title    string `json:"title"`
+	Wikitext string `json:"wikitext"`
+}
+
+// DeltaRef names one article to remove.
+type DeltaRef struct {
+	Lang  string `json:"lang"`
+	Title string `json:"title"`
+}
+
+// Validate parses the request into a wiki.Delta, rejecting invalid
+// languages, empty titles, unparseable wikitext and empty deltas.
+func (r DeltaRequest) Validate() (wiki.Delta, error) {
+	if len(r.Upserts) == 0 && len(r.Removes) == 0 {
+		return wiki.Delta{}, Errorf(CodeInvalidArgument, "delta has no edits")
+	}
+	var d wiki.Delta
+	for _, u := range r.Upserts {
+		lang := wiki.Language(u.Lang)
+		if !lang.Valid() {
+			return wiki.Delta{}, Errorf(CodeInvalidArgument, "upsert: invalid language %q", u.Lang)
+		}
+		if strings.TrimSpace(u.Title) == "" {
+			return wiki.Delta{}, Errorf(CodeInvalidArgument, "upsert: empty title")
+		}
+		a, err := wiki.ParsePage(lang, u.Title, u.Wikitext)
+		if err != nil {
+			return wiki.Delta{}, Errorf(CodeInvalidArgument, "upsert %s:%s: %v", u.Lang, u.Title, err)
+		}
+		d.Upserts = append(d.Upserts, a)
+	}
+	for _, ref := range r.Removes {
+		lang := wiki.Language(ref.Lang)
+		if !lang.Valid() {
+			return wiki.Delta{}, Errorf(CodeInvalidArgument, "remove: invalid language %q", ref.Lang)
+		}
+		if strings.TrimSpace(ref.Title) == "" {
+			return wiki.Delta{}, Errorf(CodeInvalidArgument, "remove: empty title")
+		}
+		d.Removes = append(d.Removes, wiki.Key{Language: lang, Title: ref.Title})
+	}
+	return d, nil
+}
+
+// DeltaPair reports what one delta did to one affected cached pair.
+type DeltaPair struct {
+	Pair string `json:"pair"`
+	// Rebuilt reports that the pair-level artifacts (dictionary or
+	// entity-type alignment) changed: the node was reseeded with a
+	// fresh build and every type node under it was dropped.
+	Rebuilt bool `json:"rebuilt"`
+	// DroppedTypes lists the type nodes invalidated under this pair.
+	DroppedTypes [][2]string `json:"droppedTypes"`
+}
+
+// DeltaResponse answers POST /v1/corpus/delta: what the edit batch did
+// to the corpus and which cached artifacts it invalidated.
+type DeltaResponse struct {
+	Added       int         `json:"added"`
+	Updated     int         `json:"updated"`
+	Removed     int         `json:"removed"`
+	Fingerprint string      `json:"fingerprint"` // new corpus fingerprint, hex
+	Languages   []string    `json:"languages"`   // languages the delta touched, sorted
+	Pairs       []DeltaPair `json:"pairs"`       // affected cached pairs, sorted
+	// DroppedPairs/DroppedTypes total the invalidated graph nodes
+	// (rebuilt pair nodes count under DroppedPairs: the old node was
+	// dropped, even though a fresh one was seeded in its place).
+	DroppedPairs int        `json:"droppedPairs"`
+	DroppedTypes int        `json:"droppedTypes"`
+	ElapsedMS    float64    `json:"elapsedMs"`
+	Cache        CacheStats `json:"cache"`
+}

@@ -29,12 +29,17 @@ type TypeResult struct {
 
 // CacheStats is a snapshot of a session's artifact cache. RestoredPairs
 // and RestoredTypes count entries a warm start seeded from a persisted
-// snapshot; they stay 0 for cold sessions.
+// snapshot; they stay 0 for cold sessions. Misses count completed
+// builds only; Failures counts builds that did not complete (in
+// practice: cancelled contexts) and is omitted while zero so the
+// failure-free wire bodies are unchanged from earlier protocol
+// revisions.
 type CacheStats struct {
 	PairEntries   int    `json:"pairEntries"`
 	TypeEntries   int    `json:"typeEntries"`
 	Hits          uint64 `json:"hits"`
 	Misses        uint64 `json:"misses"`
+	Failures      uint64 `json:"failures,omitempty"`
 	RestoredPairs int    `json:"restoredPairs"`
 	RestoredTypes int    `json:"restoredTypes"`
 }
@@ -137,9 +142,15 @@ func (r InvalidateRequest) Validate() (wiki.Language, error) {
 	return lang, nil
 }
 
-// InvalidateResponse reports how many cache entries were dropped.
+// InvalidateResponse reports how many cache entries were dropped,
+// with the per-kind breakdown the artifact graph tracks: Pairs counts
+// dropped pair-level nodes (dictionary + alignment), Types dropped
+// type-level nodes (similarity workspace + LSI model); Dropped is
+// their sum. The legacy /session/invalidate shim renders only Dropped.
 type InvalidateResponse struct {
 	Dropped int `json:"dropped"`
+	Pairs   int `json:"pairs"`
+	Types   int `json:"types"`
 }
 
 // SnapshotInfo describes the artifact snapshot a warm-started server

@@ -1,0 +1,219 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/protocol"
+	"repro/internal/wiki"
+)
+
+// DeltaPairEffect reports what one corpus delta did to one affected
+// cached pair.
+type DeltaPairEffect struct {
+	Pair wiki.LanguagePair
+	// Rebuilt reports that the pair-level artifacts (dictionary or
+	// entity-type alignment) changed: the old node and every type node
+	// under it were dropped, and the fresh pair build was seeded in
+	// place so the next match does not pay for it again.
+	Rebuilt bool
+	// DroppedTypes lists the type nodes invalidated under this pair,
+	// sorted.
+	DroppedTypes [][2]string
+}
+
+// DeltaResult summarizes an ApplyDelta call: what changed in the
+// corpus and which artifact-graph nodes were invalidated.
+type DeltaResult struct {
+	Added, Updated, Removed int
+	// Fingerprint is the edited corpus's fingerprint — the key a
+	// post-delta snapshot will carry.
+	Fingerprint uint64
+	// Languages lists the language editions the delta touched, sorted.
+	Languages []wiki.Language
+	// Pairs describes every affected cached pair, sorted by pair.
+	Pairs []DeltaPairEffect
+	// DroppedPairs/DroppedTypes total the invalidated graph nodes
+	// (rebuilt pairs count: their old node was dropped).
+	DroppedPairs, DroppedTypes int
+}
+
+// ApplyDelta applies a batch of corpus edits and invalidates exactly
+// the artifact-graph nodes the edits dirtied. The corpus is swapped
+// copy-on-write: in-flight requests keep matching against the corpus
+// generation they started on (their late builds stay private to that
+// generation), while every request that starts after ApplyDelta
+// returns sees the edited corpus.
+//
+// Invalidation is as fine-grained as the dependency graph allows. For
+// every cached pair containing an edited language, the pair-level
+// artifacts are rebuilt from the edited corpus and diffed: if the
+// dictionary and entity-type alignment are unchanged (the common case
+// for infobox value edits, which feed neither), the pair node is kept
+// and only the type nodes whose entity types lost or gained articles
+// are dropped; otherwise the pair node is reseeded with the fresh
+// build and every type node under it is dropped. A warm re-match after
+// a single-article value edit therefore rebuilds only that article's
+// type artifacts — every other node reports a cache hit.
+//
+// The graph update is atomic: no concurrent request can observe the
+// new corpus paired with stale artifacts, and a delta cancelled by ctx
+// during the diff phase leaves corpus and cache untouched.
+func (s *Session) ApplyDelta(ctx context.Context, d wiki.Delta) (*DeltaResult, error) {
+	s.deltaMu.Lock()
+	defer s.deltaMu.Unlock()
+
+	old := s.state.Load()
+	newCorpus, eff, err := old.corpus.WithDelta(d)
+	if err != nil {
+		return nil, err
+	}
+
+	// Diff phase (outside the engine lock, cancellable): rebuild the
+	// pair-level artifacts of every affected cached pair from the
+	// edited corpus and compare with the cached value. Pair builds are
+	// deterministic per corpus, so a concurrent rebuild of the same
+	// node cannot change the verdict.
+	type pairPlan struct {
+		pair  wiki.LanguagePair
+		fresh *pairData
+		equal bool
+	}
+	touched := func(p wiki.LanguagePair) bool {
+		_, a := eff.Types[p.A]
+		_, b := eff.Types[p.B]
+		return a || b
+	}
+	seen := make(map[wiki.LanguagePair]bool)
+	var plans []*pairPlan
+	for _, kind := range []artifact.Kind{artifact.KindPair, artifact.KindType} {
+		for _, k := range s.eng.Keys(kind) {
+			if seen[k.Pair] || !touched(k.Pair) {
+				continue
+			}
+			seen[k.Pair] = true
+			fresh, err := s.buildPairData(ctx, newCorpus, k.Pair)
+			if err != nil {
+				return nil, err
+			}
+			pl := &pairPlan{pair: k.Pair, fresh: fresh}
+			if v, ok := s.eng.Value(artifact.PairKey(k.Pair)); ok {
+				cached := v.(*pairData)
+				pl.equal = alignmentsEqual(cached.types, fresh.types) && cached.dict.Equal(fresh.dict)
+			}
+			plans = append(plans, pl)
+		}
+	}
+	sort.Slice(plans, func(i, j int) bool { return plans[i].pair.String() < plans[j].pair.String() })
+
+	res := &DeltaResult{
+		Added:       eff.Added,
+		Updated:     eff.Updated,
+		Removed:     eff.Removed,
+		Fingerprint: newCorpus.Fingerprint(),
+		Languages:   eff.Languages(),
+	}
+
+	// Commit phase: one atomic graph update. Type keys are
+	// re-enumerated under the lock so nodes built during the diff phase
+	// are classified too (by type name, so the verdicts still apply).
+	dropped := s.eng.Apply(func(tx *artifact.Tx) {
+		byPair := make(map[wiki.LanguagePair][]artifact.Key)
+		for _, k := range tx.Keys(artifact.KindType) {
+			byPair[k.Pair] = append(byPair[k.Pair], k)
+		}
+		for _, pl := range plans {
+			pe := DeltaPairEffect{Pair: pl.pair}
+			if pl.equal {
+				for _, tk := range byPair[pl.pair] {
+					if eff.Types[pl.pair.A][tk.TypeA] || eff.Types[pl.pair.B][tk.TypeB] {
+						tx.Invalidate(tk)
+						pe.DroppedTypes = append(pe.DroppedTypes, [2]string{tk.TypeA, tk.TypeB})
+					}
+				}
+			} else {
+				// The pair-level artifacts changed (or the pair node was
+				// in flight): drop the whole subtree and seed the fresh
+				// pair build so the work done for the diff is not wasted.
+				pe.Rebuilt = true
+				for _, tk := range byPair[pl.pair] {
+					pe.DroppedTypes = append(pe.DroppedTypes, [2]string{tk.TypeA, tk.TypeB})
+				}
+				tx.Invalidate(artifact.PairKey(pl.pair))
+				tx.Seed(artifact.PairKey(pl.pair), pl.fresh)
+			}
+			sort.Slice(pe.DroppedTypes, func(i, j int) bool {
+				if pe.DroppedTypes[i][0] != pe.DroppedTypes[j][0] {
+					return pe.DroppedTypes[i][0] < pe.DroppedTypes[j][0]
+				}
+				return pe.DroppedTypes[i][1] < pe.DroppedTypes[j][1]
+			})
+			res.Pairs = append(res.Pairs, pe)
+		}
+		s.state.Store(&sessionState{corpus: newCorpus, epoch: tx.Epoch()})
+	})
+	res.DroppedPairs = dropped[artifact.KindPair]
+	res.DroppedTypes = dropped[artifact.KindType]
+	return res, nil
+}
+
+// alignmentsEqual compares two entity-type alignments element-wise.
+func alignmentsEqual(a, b [][2]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ServeDelta answers a DeltaRequest — the typed execution path behind
+// POST /v1/corpus/delta.
+func (s *Session) ServeDelta(ctx context.Context, req protocol.DeltaRequest) (*protocol.DeltaResponse, error) {
+	d, err := req.Validate()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := s.ApplyDelta(ctx, d)
+	if err != nil {
+		switch {
+		case errors.Is(err, wiki.ErrNoSuchArticle):
+			return nil, protocol.Errorf(protocol.CodeNotFound, "%v", err)
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			return nil, protocol.FromErr(err)
+		default:
+			return nil, protocol.Errorf(protocol.CodeInvalidArgument, "%v", err)
+		}
+	}
+	resp := &protocol.DeltaResponse{
+		Added:        res.Added,
+		Updated:      res.Updated,
+		Removed:      res.Removed,
+		Fingerprint:  fmt.Sprintf("%016x", res.Fingerprint),
+		Languages:    []string{},
+		Pairs:        []protocol.DeltaPair{},
+		DroppedPairs: res.DroppedPairs,
+		DroppedTypes: res.DroppedTypes,
+		ElapsedMS:    msSince(start),
+		Cache:        s.CacheStats(),
+	}
+	for _, l := range res.Languages {
+		resp.Languages = append(resp.Languages, l.String())
+	}
+	for _, pe := range res.Pairs {
+		dp := protocol.DeltaPair{Pair: pe.Pair.String(), Rebuilt: pe.Rebuilt, DroppedTypes: pe.DroppedTypes}
+		if dp.DroppedTypes == nil {
+			dp.DroppedTypes = [][2]string{}
+		}
+		resp.Pairs = append(resp.Pairs, dp)
+	}
+	return resp, nil
+}

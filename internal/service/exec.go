@@ -71,7 +71,7 @@ func (s *Session) ServeMatchAll(ctx context.Context, req protocol.MatchRequest) 
 		return nil, err
 	}
 	start := time.Now()
-	res, err := multi.Run(ctx, s.pairMatcherFor(r.Overrides), s.corpus.Languages(), r.Multi)
+	res, err := multi.Run(ctx, s.pairMatcherFor(r.Overrides), s.Corpus().Languages(), r.Multi)
 	if err != nil {
 		return nil, protocol.FromErr(err)
 	}
@@ -95,7 +95,7 @@ func (s *Session) ServeStream(ctx context.Context, req protocol.MatchRequest) (<
 		return nil, protocol.Errorf(protocol.CodeInvalidArgument, "single-type requests cannot stream; use /v1/match")
 	}
 	if r.All {
-		updates, err := multi.Stream(ctx, s.pairMatcherFor(r.Overrides), s.corpus.Languages(), r.Multi)
+		updates, err := multi.Stream(ctx, s.pairMatcherFor(r.Overrides), s.Corpus().Languages(), r.Multi)
 		if err != nil {
 			return nil, protocol.FromErr(err)
 		}
@@ -178,7 +178,7 @@ func (s *Session) relayAllStream(updates <-chan multi.Update) <-chan protocol.St
 // GET /v1/corpus and the legacy /corpus/stats shim.
 func (s *Session) Stats() protocol.StatsResponse {
 	return protocol.StatsResponse{
-		Corpus: s.corpus.Stats(),
+		Corpus: s.Corpus().Stats(),
 		Cache:  s.CacheStats(),
 		Config: s.cfg,
 	}

@@ -1,0 +1,94 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/wiki"
+)
+
+// TestFailureCounterOnWire: a build aborted by cancellation lands in
+// Failures — not Misses — and the counter travels the whole serving
+// path: Session.CacheStats, the protocol DTO, and the /v1/corpus JSON
+// body, where failures is omitted while zero (keeping historical
+// responses byte-identical) and appears once a build has failed.
+func TestFailureCounterOnWire(t *testing.T) {
+	s := New(smallCorpus(t))
+	h := NewHandler(s)
+
+	corpusBody := func() map[string]any {
+		srv := httptest.NewServer(h)
+		defer srv.Close()
+		resp, err := http.Get(srv.URL + "/v1/corpus")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v map[string]any
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatalf("invalid /v1/corpus body: %v\n%s", err, raw)
+		}
+		return v["cache"].(map[string]any)
+	}
+
+	if cache := corpusBody(); func() bool { _, ok := cache["failures"]; return ok }() {
+		t.Fatalf("fresh session: failures key present in %v, want omitted while zero", cache)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Match(ctx, wiki.PtEn); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Match err = %v, want context.Canceled", err)
+	}
+	cs := s.CacheStats()
+	if cs.Failures == 0 {
+		t.Fatal("cancelled build not counted in Failures")
+	}
+	if cs.Misses != 0 {
+		t.Fatalf("cancelled build counted as %d misses, want 0", cs.Misses)
+	}
+
+	cache := corpusBody()
+	got, ok := cache["failures"]
+	if !ok {
+		t.Fatalf("failures key missing from /v1/corpus cache after a failed build: %v", cache)
+	}
+	if got.(float64) != float64(cs.Failures) {
+		t.Fatalf("/v1/corpus failures = %v, want %d", got, cs.Failures)
+	}
+
+	// A healthy match afterwards: the failure tally is sticky, misses
+	// now count the completed builds.
+	if _, err := s.Match(context.Background(), wiki.PtEn); err != nil {
+		t.Fatal(err)
+	}
+	after := s.CacheStats()
+	if after.Failures != cs.Failures {
+		t.Fatalf("Failures moved %d -> %d on a successful match", cs.Failures, after.Failures)
+	}
+	if after.Misses == 0 {
+		t.Fatal("completed builds not counted in Misses")
+	}
+	if body := corpusBody(); !strings.Contains(asJSON(t, body), `"failures"`) {
+		t.Fatalf("failures key dropped after successful match: %v", body)
+	}
+}
+
+func asJSON(t *testing.T, v any) string {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}

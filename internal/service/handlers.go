@@ -31,13 +31,14 @@ type serverState struct {
 // per-request timeouts, load shedding, panic recovery, metrics) around
 // both.
 //
-//	POST /v1/match        pair or single-type match, JSON in/out
-//	POST /v1/matchall     all-pairs batch with correspondence clusters
-//	POST /v1/stream       NDJSON progress stream (pair or all-pairs)
-//	GET  /v1/corpus       corpus, cache and configuration snapshot
-//	POST /v1/invalidate   drop cached artifacts for a language
-//	GET  /v1/healthz      liveness: uptime, snapshot age, cache stats
-//	GET  /v1/metrics      middleware counters
+//	POST /v1/match         pair or single-type match, JSON in/out
+//	POST /v1/matchall      all-pairs batch with correspondence clusters
+//	POST /v1/stream        NDJSON progress stream (pair or all-pairs)
+//	GET  /v1/corpus        corpus, cache and configuration snapshot
+//	POST /v1/corpus/delta  apply article edits, invalidate dirty artifacts
+//	POST /v1/invalidate    drop cached artifacts for a language
+//	GET  /v1/healthz       liveness: uptime, snapshot age, cache stats
+//	GET  /v1/metrics       middleware counters
 //
 // Legacy (pre-v1) endpoints — GET /match, /match/{type}, /match/stream,
 // /matchall, /matchall/stream, /corpus/stats, POST /session/invalidate
@@ -62,6 +63,7 @@ func registerV1(mux *http.ServeMux, st *serverState) {
 	mux.HandleFunc("/v1/matchall", st.method(http.MethodPost, st.handleMatchAll))
 	mux.HandleFunc("/v1/stream", st.method(http.MethodPost, st.handleStream))
 	mux.HandleFunc("/v1/corpus", st.method(http.MethodGet, st.handleCorpus))
+	mux.HandleFunc("/v1/corpus/delta", st.method(http.MethodPost, st.handleDelta))
 	mux.HandleFunc("/v1/invalidate", st.method(http.MethodPost, st.handleInvalidate))
 	mux.HandleFunc("/v1/healthz", st.method(http.MethodGet, st.handleHealthz))
 	mux.HandleFunc("/v1/metrics", st.method(http.MethodGet, st.handleMetrics))
@@ -228,7 +230,26 @@ func (st *serverState) handleInvalidate(w http.ResponseWriter, r *http.Request) 
 		writeEnvelope(w, protocol.FromErr(err))
 		return
 	}
-	writeJSON(w, http.StatusOK, protocol.InvalidateResponse{Dropped: st.s.Invalidate(lang)})
+	pairs, types := st.s.InvalidateDetail(lang)
+	writeJSON(w, http.StatusOK, protocol.InvalidateResponse{
+		Dropped: pairs + types,
+		Pairs:   pairs,
+		Types:   types,
+	})
+}
+
+func (st *serverState) handleDelta(w http.ResponseWriter, r *http.Request) {
+	var req protocol.DeltaRequest
+	if e := decodeBody(r, &req); e != nil {
+		writeEnvelope(w, e)
+		return
+	}
+	resp, err := st.s.ServeDelta(r.Context(), req)
+	if err != nil {
+		writeEnvelope(w, protocol.FromErr(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (st *serverState) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -16,7 +16,7 @@ import (
 // pairwise calls (and vice versa). Per-pair failures are recorded in the
 // result's outcomes without aborting the batch.
 func (s *Session) MatchAll(ctx context.Context, opts multi.Options) (*multi.BatchResult, error) {
-	return multi.Run(ctx, s, s.corpus.Languages(), opts)
+	return multi.Run(ctx, s, s.Corpus().Languages(), opts)
 }
 
 // MatchAllStream is MatchAll with per-pair progress: the channel
@@ -25,5 +25,5 @@ func (s *Session) MatchAll(ctx context.Context, opts multi.Options) (*multi.Batc
 // buffered for the whole batch, so an abandoned consumer never strands
 // the workers.
 func (s *Session) MatchAllStream(ctx context.Context, opts multi.Options) (<-chan multi.Update, error) {
-	return multi.Stream(ctx, s, s.corpus.Languages(), opts)
+	return multi.Stream(ctx, s, s.Corpus().Languages(), opts)
 }

@@ -4,6 +4,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/store"
 	"repro/internal/wiki"
@@ -12,60 +13,52 @@ import (
 // Save serializes the session's completed artifact cache — per-pair
 // dictionaries and entity-type alignments, per-type similarity
 // workspaces and LSI models — as a versioned snapshot keyed by the
-// corpus fingerprint. In-flight and failed builds are skipped, so Save
-// is safe to call at any time on a live session; what lands in the
-// snapshot is exactly what a restored session will serve. Section
-// content and order are canonical (the same cache contents always
-// produce the same section bytes); only the header's creation timestamp
-// varies between saves.
+// corpus fingerprint. The engine exports only completed, successful
+// nodes (in-flight and failed builds are skipped), so Save is safe to
+// call at any time on a live session; what lands in the snapshot is
+// exactly what a restored session will serve. Section content and
+// order are canonical (the same cache contents always produce the same
+// section bytes); only the header's creation timestamp varies between
+// saves.
 //
 // Save streams to w; callers persisting to disk should wrap it in
 // store.WriteFile for an atomic temp-file-and-rename write.
 func (s *Session) Save(w io.Writer) error {
+	// Hold deltaMu so the fingerprint and the exported graph belong to
+	// the same corpus generation: ApplyDelta swaps both under this lock.
+	s.deltaMu.Lock()
+	st := s.state.Load()
+	nodes := s.eng.Export()
+	s.deltaMu.Unlock()
+
 	snap := &store.Snapshot{
-		Fingerprint: s.corpus.Fingerprint(),
+		Fingerprint: st.corpus.Fingerprint(),
 		CreatedAt:   time.Now(),
 		Config:      s.cfg,
 	}
-
-	// Collect completed entries under the lock; encoding happens after.
-	s.mu.Lock()
-	for pair, e := range s.pairArts {
-		if !entryDone(e.done) || e.err != nil {
-			continue
+	for _, n := range nodes {
+		switch n.Key.Kind {
+		case artifact.KindPair:
+			pd := n.Value.(*pairData)
+			snap.Pairs = append(snap.Pairs, store.PairArtifacts{
+				Pair:  n.Key.Pair,
+				Types: pd.types,
+				Dict:  pd.dict,
+			})
+		case artifact.KindType:
+			art := n.Value.(*core.TypeArtifacts)
+			snap.Types = append(snap.Types, store.TypeArtifacts{
+				Pair:  n.Key.Pair,
+				TypeA: n.Key.TypeA,
+				TypeB: n.Key.TypeB,
+				TD:    art.TD,
+				LSI:   art.LSI,
+			})
 		}
-		snap.Pairs = append(snap.Pairs, store.PairArtifacts{
-			Pair:  pair,
-			Types: e.types,
-			Dict:  e.dict,
-		})
 	}
-	for key, e := range s.typeArts {
-		if !entryDone(e.done) || e.err != nil {
-			continue
-		}
-		snap.Types = append(snap.Types, store.TypeArtifacts{
-			Pair:  key.pair,
-			TypeA: key.typeA,
-			TypeB: key.typeB,
-			TD:    e.art.TD,
-			LSI:   e.art.LSI,
-		})
-	}
-	s.mu.Unlock()
 
 	// store.Write sorts the sections into their canonical order itself.
 	return store.Write(w, snap)
-}
-
-// entryDone reports whether a build's done channel is closed.
-func entryDone(done chan struct{}) bool {
-	select {
-	case <-done:
-		return true
-	default:
-		return false
-	}
 }
 
 // Restore builds a warm session from a snapshot written by Save. The
@@ -78,9 +71,10 @@ func entryDone(done chan struct{}) bool {
 // (Tsim, TLSI, TEg, the ablation switches of Algorithm 1) may differ
 // freely since the alignment itself runs per request.
 //
-// Every artifact in the snapshot is seeded into the cache as a completed
-// entry: the first Match against a restored pair counts as cache hits in
-// CacheStats and returns a result byte-identical to a cold build's.
+// Every artifact in the snapshot is seeded into the engine as a
+// completed node: the first Match against a restored pair counts as
+// cache hits in CacheStats and returns a result byte-identical to a
+// cold build's.
 func Restore(c *wiki.Corpus, r io.Reader, opts ...Option) (*Session, error) {
 	snap, err := store.Read(r)
 	if err != nil {
@@ -98,40 +92,26 @@ func Restore(c *wiki.Corpus, r io.Reader, opts ...Option) (*Session, error) {
 	}
 
 	s := &Session{
-		corpus:        c,
-		cfg:           cfg,
-		m:             core.NewMatcher(cfg),
-		pairArts:      make(map[wiki.LanguagePair]*pairEntry, len(snap.Pairs)),
-		typeArts:      make(map[typeKey]*typeEntry, len(snap.Types)),
-		restoredPairs: len(snap.Pairs),
-		restoredTypes: len(snap.Types),
-		snapshotTime:  snap.CreatedAt,
+		cfg:          cfg,
+		m:            core.NewMatcher(cfg),
+		eng:          artifact.NewEngine(),
+		snapshotTime: snap.CreatedAt,
 	}
+	s.state.Store(&sessionState{corpus: c})
 	for _, p := range snap.Pairs {
-		e := &pairEntry{done: closedChan(), types: p.Types, dict: p.Dict}
-		if e.types == nil {
+		pd := &pairData{types: p.Types, dict: p.Dict}
+		if pd.types == nil {
 			// Preserve the cache invariant: a nil alignment is the
 			// compute-it sentinel, an empty one is a cached fact.
-			e.types = [][2]string{}
+			pd.types = [][2]string{}
 		}
-		s.pairArts[p.Pair] = e
+		s.eng.Seed(artifact.PairKey(p.Pair), pd)
 	}
 	for _, t := range snap.Types {
-		key := typeKey{pair: t.Pair, typeA: t.TypeA, typeB: t.TypeB}
-		s.typeArts[key] = &typeEntry{
-			done: closedChan(),
-			art:  &core.TypeArtifacts{TD: t.TD, LSI: t.LSI},
-		}
+		s.eng.Seed(artifact.TypeKey(t.Pair, t.TypeA, t.TypeB),
+			&core.TypeArtifacts{TD: t.TD, LSI: t.LSI})
 	}
 	return s, nil
-}
-
-// closedChan returns an already-closed channel: restored entries are
-// born complete.
-func closedChan() chan struct{} {
-	ch := make(chan struct{})
-	close(ch)
-	return ch
 }
 
 // checkArtifactConfig rejects restores whose effective configuration

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"repro/internal/artifact"
 	"repro/internal/store"
 	"repro/internal/wiki"
 )
@@ -85,10 +86,19 @@ func TestSaveSkipsIncomplete(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Plant a never-completing in-flight entry; Save must skip it.
-	s.mu.Lock()
-	s.pairArts[wiki.VnEn] = &pairEntry{done: make(chan struct{})}
-	s.mu.Unlock()
+	// Start a build that blocks until the test ends: Save must skip the
+	// in-flight vi-en pair entry it creates in the engine.
+	inBuild := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go func() {
+		_, _ = s.eng.Get(ctx, artifact.PairKey(wiki.VnEn), 0, func(context.Context) (any, error) {
+			close(inBuild)
+			<-release
+			return nil, context.Canceled
+		})
+	}()
+	<-inBuild
 
 	var buf bytes.Buffer
 	if err := s.Save(&buf); err != nil {

@@ -1,17 +1,23 @@
 // Package service exposes WikiMatch as a long-lived matching service.
-// A Session wraps one corpus and one matcher configuration and owns a
-// keyed artifact cache — per-pair translation dictionaries and
-// entity-type alignments, per-type similarity workspaces (sim.TypeData)
-// and LSI models — so repeated and overlapping match calls reuse the
-// expensive construction work instead of recomputing it. All methods are
-// safe for concurrent use; identical artifacts requested concurrently are
-// built exactly once (single-flight), and every match entrypoint honours
-// context cancellation down to the chunk boundaries of the pair-scoring
-// hot path.
+// A Session wraps one corpus and one matcher configuration and serves
+// as a thin facade over the internal/artifact engine — the keyed
+// dependency graph that caches per-pair translation dictionaries and
+// entity-type alignments and per-type similarity workspaces
+// (sim.TypeData) and LSI models — so repeated and overlapping match
+// calls reuse the expensive construction work instead of recomputing
+// it. All methods are safe for concurrent use; identical artifacts
+// requested concurrently are built exactly once (single-flight), and
+// every match entrypoint honours context cancellation down to the chunk
+// boundaries of the pair-scoring hot path.
 //
-// The cached artifacts are inputs to Algorithm 1, not its outputs: every
-// Match call still runs the alignment itself, so a warm call returns a
-// result identical to a cold one — only faster.
+// The cached artifacts are inputs to Algorithm 1, not its outputs:
+// every Match call still runs the alignment itself, so a warm call
+// returns a result identical to a cold one — only faster.
+//
+// The corpus itself is mutable through ApplyDelta (see delta.go): the
+// session swaps in an edited corpus copy-on-write and invalidates
+// exactly the graph nodes the edit dirtied, so a re-match after a
+// single-article edit rebuilds only that article's type artifacts.
 package service
 
 import (
@@ -20,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/dict"
 	"repro/internal/protocol"
@@ -29,46 +36,38 @@ import (
 // Session is a long-lived matching service over one corpus. Create it
 // with New; the zero value is not usable.
 type Session struct {
+	cfg core.Config
+	m   *core.Matcher
+	eng *artifact.Engine
+
+	// state is the session's current (corpus, engine epoch) pair,
+	// swapped atomically by ApplyDelta. Every request captures it once
+	// and runs entirely against that snapshot: a request racing a delta
+	// is consistently pre-delta or post-delta, never a mix.
+	state atomic.Pointer[sessionState]
+
+	// deltaMu serializes corpus mutations (and Save's consistent read
+	// of corpus + graph); the artifact engine has its own lock.
+	deltaMu sync.Mutex
+
+	// snapshotTime is the creation time of the snapshot this session
+	// was restored from (zero for cold sessions). Set once before the
+	// session is shared; read-only after.
+	snapshotTime time.Time
+}
+
+// sessionState pins one corpus generation to the engine epoch it was
+// current at.
+type sessionState struct {
 	corpus *wiki.Corpus
-	cfg    core.Config
-	m      *core.Matcher
-
-	mu       sync.Mutex
-	pairArts map[wiki.LanguagePair]*pairEntry
-	typeArts map[typeKey]*typeEntry
-	hits     atomic.Uint64
-	misses   atomic.Uint64
-
-	// Warm-start provenance: how many cache entries Restore seeded from a
-	// snapshot, and that snapshot's creation time (zero for cold
-	// sessions). Set once before the session is shared; read-only after.
-	restoredPairs int
-	restoredTypes int
-	snapshotTime  time.Time
+	epoch  uint64
 }
 
-// typeKey identifies one per-type artifact set. The matcher configuration
-// is fixed per session, so it is not part of the key.
-type typeKey struct {
-	pair         wiki.LanguagePair
-	typeA, typeB string
-}
-
-// pairEntry caches the pair-level artifacts: the entity-type alignment
-// and the translation dictionary. done is closed when the build finishes
-// (successfully or not).
-type pairEntry struct {
-	done  chan struct{}
+// pairData is the pair-level artifact node's value: the entity-type
+// alignment and the translation dictionary.
+type pairData struct {
 	types [][2]string
 	dict  *dict.Dictionary
-	err   error
-}
-
-// typeEntry caches one type pair's similarity workspace and LSI model.
-type typeEntry struct {
-	done chan struct{}
-	art  *core.TypeArtifacts
-	err  error
 }
 
 // New creates a session over the corpus. Options adjust the matcher
@@ -78,20 +77,20 @@ func New(c *wiki.Corpus, opts ...Option) *Session {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	return &Session{
-		corpus:   c,
-		cfg:      cfg,
-		m:        core.NewMatcher(cfg),
-		pairArts: make(map[wiki.LanguagePair]*pairEntry),
-		typeArts: make(map[typeKey]*typeEntry),
+	s := &Session{
+		cfg: cfg,
+		m:   core.NewMatcher(cfg),
+		eng: artifact.NewEngine(),
 	}
+	s.state.Store(&sessionState{corpus: c})
+	return s
 }
 
 // Config returns the session's matcher configuration.
 func (s *Session) Config() core.Config { return s.cfg }
 
-// Corpus returns the corpus the session serves.
-func (s *Session) Corpus() *wiki.Corpus { return s.corpus }
+// Corpus returns the corpus the session currently serves.
+func (s *Session) Corpus() *wiki.Corpus { return s.state.Load().corpus }
 
 // Match runs WikiMatch end to end for a language pair, reusing any cached
 // artifacts and caching whatever it has to build. The result is identical
@@ -107,24 +106,25 @@ func (s *Session) Match(ctx context.Context, pair wiki.LanguagePair) (*core.Resu
 // shape artifacts, so any threshold-overridden matcher reuses the
 // shared cache safely.
 func (s *Session) matchWith(ctx context.Context, pair wiki.LanguagePair, m *core.Matcher) (*core.Result, error) {
-	pe, err := s.pairArtifacts(ctx, pair)
+	st := s.state.Load()
+	pd, err := s.pairArtifacts(ctx, st, pair)
 	if err != nil {
 		return nil, err
 	}
 	// Copy the cached alignment: MatchCtx hands Types to the caller via
 	// Result.Types, and a caller reordering its result must not corrupt
 	// the shared cache entry.
-	types := make([][2]string, len(pe.types))
-	copy(types, pe.types)
+	types := make([][2]string, len(pd.types))
+	copy(types, pd.types)
 	art := &core.MatchArtifacts{
 		Types:    types,
-		Dict:     pe.dict,
+		Dict:     pd.dict,
 		HaveDict: true,
 		PerType: func(ctx context.Context, typeA, typeB string) (*core.TypeArtifacts, error) {
-			return s.typeArtifacts(ctx, pair, typeA, typeB, pe.dict)
+			return s.typeArtifacts(ctx, st, pair, typeA, typeB, pd.dict)
 		},
 	}
-	return m.MatchCtx(ctx, s.corpus, pair, art)
+	return m.MatchCtx(ctx, st.corpus, pair, art)
 }
 
 // MatchType aligns one entity-type pair, reusing cached artifacts.
@@ -134,61 +134,62 @@ func (s *Session) MatchType(ctx context.Context, pair wiki.LanguagePair, typeA, 
 
 // matchTypeWith is MatchType with an explicit matcher (see matchWith).
 func (s *Session) matchTypeWith(ctx context.Context, pair wiki.LanguagePair, typeA, typeB string, m *core.Matcher) (*core.TypeResult, error) {
-	pe, err := s.pairArtifacts(ctx, pair)
+	st := s.state.Load()
+	pd, err := s.pairArtifacts(ctx, st, pair)
 	if err != nil {
 		return nil, err
 	}
-	art, err := s.typeArtifacts(ctx, pair, typeA, typeB, pe.dict)
+	art, err := s.typeArtifacts(ctx, st, pair, typeA, typeB, pd.dict)
 	if err != nil {
 		return nil, err
 	}
-	return m.MatchTypeCtx(ctx, s.corpus, pair, typeA, typeB, pe.dict, art)
+	return m.MatchTypeCtx(ctx, st.corpus, pair, typeA, typeB, pd.dict, art)
 }
 
 // Types returns the entity-type alignment for a pair (cached after the
 // first call).
 func (s *Session) Types(ctx context.Context, pair wiki.LanguagePair) ([][2]string, error) {
-	pe, err := s.pairArtifacts(ctx, pair)
+	pd, err := s.pairArtifacts(ctx, s.state.Load(), pair)
 	if err != nil {
 		return nil, err
 	}
-	out := make([][2]string, len(pe.types))
-	copy(out, pe.types)
+	out := make([][2]string, len(pd.types))
+	copy(out, pd.types)
 	return out, nil
 }
 
 // Dictionary returns the pair's cached translation dictionary (nil when
 // the session runs the NoDictionary ablation).
 func (s *Session) Dictionary(ctx context.Context, pair wiki.LanguagePair) (*dict.Dictionary, error) {
-	pe, err := s.pairArtifacts(ctx, pair)
+	pd, err := s.pairArtifacts(ctx, s.state.Load(), pair)
 	if err != nil {
 		return nil, err
 	}
-	return pe.dict, nil
+	return pd.dict, nil
 }
 
 // Invalidate drops every cached artifact that involves the language —
-// pair entries whose pair contains it and type entries derived from such
-// pairs — and returns how many entries were dropped. The zero Language
-// drops the whole cache. In-flight builds are unaffected: they complete
-// into their (now orphaned) entries and the next request rebuilds.
+// pair nodes whose pair contains it and, transitively, the type nodes
+// built under those pairs — and returns how many entries were dropped.
+// The zero Language drops the whole cache. In-flight builds are
+// orphaned: they complete into their discarded entries, waiters retry,
+// and the next request rebuilds.
 func (s *Session) Invalidate(lang wiki.Language) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	dropped := 0
-	for pair := range s.pairArts {
-		if lang == "" || pair.Contains(lang) {
-			delete(s.pairArts, pair)
-			dropped++
-		}
+	pairs, types := s.InvalidateDetail(lang)
+	return pairs + types
+}
+
+// InvalidateDetail is Invalidate with the per-kind breakdown the v1
+// wire response reports: how many pair and how many type entries were
+// dropped.
+func (s *Session) InvalidateDetail(lang wiki.Language) (pairs, types int) {
+	var dropped map[artifact.Kind]int
+	if lang == "" {
+		dropped = s.eng.InvalidateAll()
+	} else {
+		dropped = s.eng.Invalidate(artifact.CorpusKey(lang))
 	}
-	for key := range s.typeArts {
-		if lang == "" || key.pair.Contains(lang) {
-			delete(s.typeArts, key)
-			dropped++
-		}
-	}
-	return dropped
+	return dropped[artifact.KindPair], dropped[artifact.KindType]
 }
 
 // CacheStats is a snapshot of the artifact cache. RestoredPairs and
@@ -199,19 +200,20 @@ func (s *Session) Invalidate(lang wiki.Language) int {
 // session API self-contained.
 type CacheStats = protocol.CacheStats
 
-// CacheStats reports cache occupancy, the hit/miss counters accumulated
-// over the session's lifetime, and how many entries were restored from a
-// snapshot at warm start.
+// CacheStats reports cache occupancy, the hit/miss/failure counters
+// accumulated over the session's lifetime, and how many entries were
+// restored from a snapshot at warm start. Misses count completed
+// builds only; cancelled or failed builds land in Failures.
 func (s *Session) CacheStats() CacheStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	es := s.eng.Stats()
 	return CacheStats{
-		PairEntries:   len(s.pairArts),
-		TypeEntries:   len(s.typeArts),
-		Hits:          s.hits.Load(),
-		Misses:        s.misses.Load(),
-		RestoredPairs: s.restoredPairs,
-		RestoredTypes: s.restoredTypes,
+		PairEntries:   es.Entries[artifact.KindPair],
+		TypeEntries:   es.Entries[artifact.KindType],
+		Hits:          es.Hits,
+		Misses:        es.Misses,
+		Failures:      es.Failures,
+		RestoredPairs: es.Restored[artifact.KindPair],
+		RestoredTypes: es.Restored[artifact.KindType],
 	}
 }
 
@@ -223,108 +225,59 @@ func (s *Session) SnapshotTime() (time.Time, bool) {
 }
 
 // pairArtifacts returns the pair-level artifacts, building them once per
-// pair. Concurrent callers for the same pair share one build; if the
-// builder's context is cancelled, the entry is discarded and surviving
-// waiters retry with their own contexts.
-func (s *Session) pairArtifacts(ctx context.Context, pair wiki.LanguagePair) (*pairEntry, error) {
-	for {
-		s.mu.Lock()
-		e, ok := s.pairArts[pair]
-		if !ok {
-			e = &pairEntry{done: make(chan struct{})}
-			s.pairArts[pair] = e
-			s.mu.Unlock()
-			s.misses.Add(1)
-			s.buildPairEntry(ctx, pair, e)
-			if e.err != nil {
-				return nil, e.err
-			}
-			return e, nil
-		}
-		s.mu.Unlock()
-		select {
-		case <-e.done:
-			if e.err != nil {
-				if ctx.Err() != nil {
-					return nil, ctx.Err()
-				}
-				continue // builder was cancelled, not us: rebuild
-			}
-			s.hits.Add(1)
-			return e, nil
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
+// pair through the engine. Concurrent callers for the same pair share
+// one build; if the builder's context is cancelled, the entry is
+// discarded and surviving waiters retry with their own contexts.
+func (s *Session) pairArtifacts(ctx context.Context, st *sessionState, pair wiki.LanguagePair) (*pairData, error) {
+	v, err := s.eng.Get(ctx, artifact.PairKey(pair), st.epoch, func(ctx context.Context) (any, error) {
+		return s.buildPairData(ctx, st.corpus, pair)
+	})
+	if err != nil {
+		return nil, err
 	}
+	return v.(*pairData), nil
 }
 
-func (s *Session) buildPairEntry(ctx context.Context, pair wiki.LanguagePair, e *pairEntry) {
-	defer close(e.done)
+// buildPairData builds one pair node's value from the given corpus
+// generation.
+func (s *Session) buildPairData(ctx context.Context, c *wiki.Corpus, pair wiki.LanguagePair) (*pairData, error) {
 	// The corpus-wide entity-type scan is the one build stage that is not
 	// itself cancellable, so don't even start it for a dead context (a
 	// disconnected client on a cold pair).
-	if e.err = ctx.Err(); e.err == nil {
-		e.types = core.MatchEntityTypes(s.corpus, pair)
-		if e.types == nil {
-			// Keep the cached alignment non-nil: nil is MatchArtifacts'
-			// compute-it sentinel, and an empty alignment must still count
-			// as cached on warm calls.
-			e.types = [][2]string{}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pd := &pairData{types: core.MatchEntityTypes(c, pair)}
+	if pd.types == nil {
+		// Keep the cached alignment non-nil: nil is MatchArtifacts'
+		// compute-it sentinel, and an empty alignment must still count
+		// as cached on warm calls.
+		pd.types = [][2]string{}
+	}
+	if !s.cfg.NoDictionary {
+		var err error
+		if pd.dict, err = dict.BuildCtx(ctx, c, pair.A, pair.B); err != nil {
+			return nil, err
 		}
 	}
-	if e.err == nil && !s.cfg.NoDictionary {
-		e.dict, e.err = dict.BuildCtx(ctx, s.corpus, pair.A, pair.B)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	if e.err == nil {
-		e.err = ctx.Err()
-	}
-	if e.err != nil {
-		s.mu.Lock()
-		if s.pairArts[pair] == e {
-			delete(s.pairArts, pair)
-		}
-		s.mu.Unlock()
-	}
+	return pd, nil
 }
 
-// typeArtifacts returns one type pair's artifacts, building them once.
-func (s *Session) typeArtifacts(ctx context.Context, pair wiki.LanguagePair, typeA, typeB string, d *dict.Dictionary) (*core.TypeArtifacts, error) {
-	key := typeKey{pair: pair, typeA: typeA, typeB: typeB}
-	for {
-		s.mu.Lock()
-		e, ok := s.typeArts[key]
-		if !ok {
-			e = &typeEntry{done: make(chan struct{})}
-			s.typeArts[key] = e
-			s.mu.Unlock()
-			s.misses.Add(1)
-			e.art, e.err = s.m.BuildTypeArtifacts(ctx, s.corpus, pair, typeA, typeB, d)
-			if e.err != nil {
-				s.mu.Lock()
-				if s.typeArts[key] == e {
-					delete(s.typeArts, key)
-				}
-				s.mu.Unlock()
-			}
-			close(e.done)
-			if e.err != nil {
-				return nil, e.err
-			}
-			return e.art, nil
+// typeArtifacts returns one type pair's artifacts, building them once
+// through the engine.
+func (s *Session) typeArtifacts(ctx context.Context, st *sessionState, pair wiki.LanguagePair, typeA, typeB string, d *dict.Dictionary) (*core.TypeArtifacts, error) {
+	v, err := s.eng.Get(ctx, artifact.TypeKey(pair, typeA, typeB), st.epoch, func(ctx context.Context) (any, error) {
+		art, err := s.m.BuildTypeArtifacts(ctx, st.corpus, pair, typeA, typeB, d)
+		if err != nil {
+			return nil, err
 		}
-		s.mu.Unlock()
-		select {
-		case <-e.done:
-			if e.err != nil {
-				if ctx.Err() != nil {
-					return nil, ctx.Err()
-				}
-				continue
-			}
-			s.hits.Add(1)
-			return e.art, nil
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
+		return art, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	return v.(*core.TypeArtifacts), nil
 }

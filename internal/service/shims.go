@@ -61,6 +61,13 @@ type errorJSON struct {
 	Error string `json:"error"`
 }
 
+// invalidateJSON freezes the legacy /session/invalidate body: v1's
+// InvalidateResponse grew a per-kind breakdown, but the legacy shape
+// stays byte-identical without it.
+type invalidateJSON struct {
+	Dropped int `json:"dropped"`
+}
+
 // ParsePair parses a "pt-en"-style language pair. "vn-en" is accepted as
 // an alias of the paper's Vietnamese–English pair.
 func ParsePair(s string) (wiki.LanguagePair, error) { return protocol.ParsePair(s) }
@@ -145,7 +152,7 @@ func registerShims(mux *http.ServeMux, st *serverState) {
 			writeLegacyError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, protocol.InvalidateResponse{Dropped: st.s.Invalidate(lang)})
+		writeJSON(w, http.StatusOK, invalidateJSON{Dropped: st.s.Invalidate(lang)})
 	})
 	// Mutating over GET was never supported; reject it explicitly with
 	// the structured 405 envelope instead of net/http's plain-text one.

@@ -35,11 +35,12 @@ func (s *Session) MatchStream(ctx context.Context, pair wiki.LanguagePair) (<-ch
 
 // streamWith is MatchStream with an explicit matcher (see matchWith).
 func (s *Session) streamWith(ctx context.Context, pair wiki.LanguagePair, m *core.Matcher) (<-chan TypeUpdate, error) {
-	pe, err := s.pairArtifacts(ctx, pair)
+	st := s.state.Load()
+	pd, err := s.pairArtifacts(ctx, st, pair)
 	if err != nil {
 		return nil, err
 	}
-	types := pe.types
+	types := pd.types
 	// Each type emits at most one update, so this buffer guarantees no
 	// send ever blocks — abandoned streams cannot strand the pool.
 	out := make(chan TypeUpdate, len(types))
@@ -48,9 +49,9 @@ func (s *Session) streamWith(ctx context.Context, pair wiki.LanguagePair, m *cor
 		core.ParallelTypes(ctx, len(types), func(i int) {
 			tp := types[i]
 			u := TypeUpdate{Index: i, Total: len(types), TypeA: tp[0], TypeB: tp[1]}
-			art, err := s.typeArtifacts(ctx, pair, tp[0], tp[1], pe.dict)
+			art, err := s.typeArtifacts(ctx, st, pair, tp[0], tp[1], pd.dict)
 			if err == nil {
-				u.Result, err = m.MatchTypeCtx(ctx, s.corpus, pair, tp[0], tp[1], pe.dict, art)
+				u.Result, err = m.MatchTypeCtx(ctx, st.corpus, pair, tp[0], tp[1], pd.dict, art)
 			}
 			u.Err = err
 			out <- u

@@ -208,3 +208,124 @@ func TestSessionStressWithInvalidate(t *testing.T) {
 			st.Misses, st.PairEntries+st.TypeEntries)
 	}
 }
+
+// TestSessionStressWithDelta races ApplyDelta against in-flight Match,
+// MatchType and Invalidate traffic. The corpus toggles between two
+// generations (a value edit applied and reverted), so every successful
+// pt-en result must be byte-identical to one of the two cold
+// references — a request that raced a delta must be consistently
+// pre-delta or post-delta, never a blend of corpus and stale
+// artifacts. vi-en is never touched by the deltas, so its results must
+// stay constant throughout. Run under -race this is the delta path's
+// data-race gate.
+func TestSessionStressWithDelta(t *testing.T) {
+	c := smallCorpus(t)
+	s := New(c)
+	ctx := context.Background()
+
+	types := core.MatchEntityTypes(c, wiki.PtEn)
+	if len(types) == 0 {
+		t.Fatal("no aligned types for pt-en")
+	}
+	orig := editableArticle(t, c, wiki.Portuguese, types[0][0])
+	edited := orig.Clone()
+	edited.Infobox.Attrs[0].Text += " (stress)"
+
+	editedCorpus, _, err := c.WithDelta(wiki.Delta{Upserts: []*wiki.Article{edited.Clone()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptWant := map[string]bool{}
+	for _, cc := range []*wiki.Corpus{c, editedCorpus} {
+		res, err := New(cc).Match(ctx, wiki.PtEn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptWant[flattenResult(res)] = true
+	}
+	viRef, err := New(c).Match(ctx, wiki.VnEn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viWant := flattenResult(viRef)
+
+	const (
+		workers    = 6
+		iterations = 4
+		toggles    = 8
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*iterations+toggles)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < toggles; i++ {
+			up := edited
+			if i%2 == 1 {
+				up = orig
+			}
+			if _, err := s.ApplyDelta(ctx, wiki.Delta{Upserts: []*wiki.Article{up.Clone()}}); err != nil {
+				errs <- fmt.Errorf("ApplyDelta toggle %d: %v", i, err)
+			}
+		}
+	}()
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					res, err := s.Match(ctx, wiki.PtEn)
+					if err != nil {
+						errs <- fmt.Errorf("Match pt-en: %v", err)
+						continue
+					}
+					if !ptWant[flattenResult(res)] {
+						errs <- fmt.Errorf("pt-en result matches neither corpus generation")
+					}
+				case 1:
+					res, err := s.Match(ctx, wiki.VnEn)
+					if err != nil {
+						errs <- fmt.Errorf("Match vi-en: %v", err)
+						continue
+					}
+					if flattenResult(res) != viWant {
+						errs <- fmt.Errorf("vi-en result changed under pt-only deltas")
+					}
+				case 2:
+					tp := types[0]
+					if _, err := s.MatchType(ctx, wiki.PtEn, tp[0], tp[1]); err != nil {
+						errs <- fmt.Errorf("MatchType pt-en: %v", err)
+					}
+				case 3:
+					s.Invalidate(wiki.Portuguese)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Quiesced: the session must agree byte for byte with a cold session
+	// over whatever corpus generation it settled on.
+	for _, pair := range []wiki.LanguagePair{wiki.PtEn, wiki.VnEn} {
+		res, err := s.Match(ctx, pair)
+		if err != nil {
+			t.Fatalf("post-stress Match %s: %v", pair, err)
+		}
+		cold, err := New(s.Corpus()).Match(ctx, pair)
+		if err != nil {
+			t.Fatalf("post-stress cold Match %s: %v", pair, err)
+		}
+		if flattenResult(res) != flattenResult(cold) {
+			t.Errorf("post-stress %s: warm session disagrees with cold session on its own corpus", pair)
+		}
+	}
+	if st := s.CacheStats(); st.PairEntries != 2 || st.TypeEntries == 0 {
+		t.Errorf("post-stress cache: %+v", st)
+	}
+}

@@ -55,6 +55,8 @@ func v1GoldenCases() []v1GoldenCase {
 		{name: "v1_stream_pair", method: post, path: "/v1/stream", body: `{"pair":"vi-en"}`, wantStatus: 200, ndjson: true},
 		{name: "v1_stream_all", method: post, path: "/v1/stream", body: `{"all":true,"workers":1}`, wantStatus: 200, ndjson: true},
 		{name: "v1_corpus", method: get, path: "/v1/corpus", wantStatus: 200},
+		{name: "v1_delta_upsert", method: post, path: "/v1/corpus/delta",
+			body: `{"upserts":[{"lang":"pt","title":"Página Dourada","wikitext":"{{Infobox filme | nome = Página Dourada}} [[en:Golden Page]]"}]}`, wantStatus: 200},
 		{name: "v1_invalidate_vi", method: post, path: "/v1/invalidate", body: `{"lang":"vi"}`, wantStatus: 200},
 		{name: "v1_healthz", method: get, path: "/v1/healthz", wantStatus: 200},
 		{name: "v1_metrics", method: get, path: "/v1/metrics", wantStatus: 200},
@@ -69,10 +71,17 @@ func v1GoldenCases() []v1GoldenCase {
 		{name: "v1_error_scope_mismatch", method: post, path: "/v1/matchall", body: `{"pair":"pt-en"}`, wantStatus: 400},
 		{name: "v1_error_stream_type", method: post, path: "/v1/stream", body: `{"pair":"pt-en","type":"filme"}`, wantStatus: 400},
 		{name: "v1_error_bad_lang", method: post, path: "/v1/invalidate", body: `{"lang":"UPPER"}`, wantStatus: 400},
+		{name: "v1_error_delta_empty", method: post, path: "/v1/corpus/delta", body: `{}`, wantStatus: 400},
+		{name: "v1_error_delta_bad_lang", method: post, path: "/v1/corpus/delta",
+			body: `{"upserts":[{"lang":"XX","title":"T","wikitext":""}]}`, wantStatus: 400},
+		{name: "v1_error_delta_bad_wikitext", method: post, path: "/v1/corpus/delta",
+			body: `{"upserts":[{"lang":"pt","title":"Quebrada","wikitext":"{{Infobox filme | nome = x"}]}`, wantStatus: 400},
 
 		// not_found (404).
 		{name: "v1_error_unknown_type", method: post, path: "/v1/match", body: `{"pair":"pt-en","type":"no-such-type"}`, wantStatus: 404},
 		{name: "v1_error_unknown_route", method: get, path: "/v1/nope", wantStatus: 404},
+		{name: "v1_error_delta_remove_missing", method: post, path: "/v1/corpus/delta",
+			body: `{"removes":[{"lang":"pt","title":"Não Existe"}]}`, wantStatus: 404},
 
 		// method_not_allowed (405) — including the mutating-over-GET fix
 		// on the legacy invalidate shim.

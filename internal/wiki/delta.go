@@ -1,0 +1,144 @@
+package wiki
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrNoSuchArticle marks a delta that removes an article the corpus
+// does not hold.
+var ErrNoSuchArticle = errors.New("no such article")
+
+// Delta is a batch of corpus edits: whole-article upserts (add or
+// replace) and removals. A Delta is applied copy-on-write with
+// Corpus.WithDelta.
+type Delta struct {
+	Upserts []*Article
+	Removes []Key
+}
+
+// DeltaEffect summarizes what a Delta changed, in the terms the
+// artifact cache needs for fine-grained invalidation.
+type DeltaEffect struct {
+	Added, Updated, Removed int
+	// Types records, per language the delta touched, the entity types
+	// whose article set changed — the union of every edited article's
+	// old and new types, untyped articles excluded. A touched language
+	// is present even when its type set is empty (e.g. an edit to an
+	// untyped article), because titles and cross-links still feed the
+	// pair-level dictionary.
+	Types map[Language]map[string]bool
+}
+
+// Languages returns the languages the delta touched, sorted.
+func (e *DeltaEffect) Languages() []Language {
+	out := make([]Language, 0, len(e.Types))
+	for l := range e.Types {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WithDelta applies the edit batch copy-on-write: it returns a new
+// corpus sharing the untouched article values (articles are immutable
+// throughout the pipeline) while c remains exactly as it was, so
+// readers holding c — including in-flight artifact builds — are never
+// disturbed.
+//
+// Per-language insertion order is preserved for surviving articles,
+// with replacements substituted in place and additions appended (in
+// key order); Corpus.Pairs therefore enumerates unchanged article
+// pairs in the same order as before, which keeps artifacts built from
+// untouched entity types byte-identical across the swap.
+//
+// The whole batch validates before anything is applied: a nil or
+// invalid upsert, a duplicate edit for one key, an upsert-and-remove
+// of the same key, a removal of an absent article (ErrNoSuchArticle)
+// or an empty delta each fail the call with no effect.
+func (c *Corpus) WithDelta(d Delta) (*Corpus, *DeltaEffect, error) {
+	if len(d.Upserts) == 0 && len(d.Removes) == 0 {
+		return nil, nil, errors.New("delta: no edits")
+	}
+	up := make(map[Key]*Article, len(d.Upserts))
+	for _, a := range d.Upserts {
+		if a == nil {
+			return nil, nil, errors.New("delta: nil upsert")
+		}
+		if err := a.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("delta: %w", err)
+		}
+		k := a.Key()
+		if _, dup := up[k]; dup {
+			return nil, nil, fmt.Errorf("delta: duplicate upsert %s", k)
+		}
+		up[k] = a
+	}
+	rm := make(map[Key]bool, len(d.Removes))
+	for _, k := range d.Removes {
+		if rm[k] {
+			return nil, nil, fmt.Errorf("delta: duplicate remove %s", k)
+		}
+		if _, both := up[k]; both {
+			return nil, nil, fmt.Errorf("delta: %s both upserted and removed", k)
+		}
+		if _, ok := c.byKey[k]; !ok {
+			return nil, nil, fmt.Errorf("delta: remove %s: %w", k, ErrNoSuchArticle)
+		}
+		rm[k] = true
+	}
+
+	eff := &DeltaEffect{Types: make(map[Language]map[string]bool)}
+	touch := func(lang Language, types ...string) {
+		tm := eff.Types[lang]
+		if tm == nil {
+			tm = make(map[string]bool)
+			eff.Types[lang] = tm
+		}
+		for _, t := range types {
+			if t != "" {
+				tm[t] = true
+			}
+		}
+	}
+
+	out := NewCorpus()
+	for _, lang := range c.langList {
+		for _, a := range c.byLang[lang] {
+			k := a.Key()
+			switch {
+			case rm[k]:
+				eff.Removed++
+				touch(lang, a.Type)
+			case up[k] != nil:
+				repl := up[k]
+				eff.Updated++
+				touch(lang, a.Type, repl.Type)
+				// Clone the caller's article so later mutations on their
+				// side cannot reach into the corpus.
+				out.MustAdd(repl.Clone())
+				delete(up, k)
+			default:
+				out.MustAdd(a)
+			}
+		}
+	}
+	added := make([]Key, 0, len(up))
+	for k := range up {
+		added = append(added, k)
+	}
+	sort.Slice(added, func(i, j int) bool {
+		if added[i].Language != added[j].Language {
+			return added[i].Language < added[j].Language
+		}
+		return added[i].Title < added[j].Title
+	})
+	for _, k := range added {
+		a := up[k]
+		eff.Added++
+		touch(a.Language, a.Type)
+		out.MustAdd(a.Clone())
+	}
+	return out, eff, nil
+}

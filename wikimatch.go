@@ -169,6 +169,15 @@ type (
 	SessionCacheStats = service.CacheStats
 	// TypeUpdate is one streamed per-type result from Session.MatchStream.
 	TypeUpdate = service.TypeUpdate
+	// ArticleKey identifies one article (language + title) in a corpus —
+	// the unit CorpusDelta removals name.
+	ArticleKey = wiki.Key
+	// CorpusDelta is a batch of corpus edits (whole-article upserts and
+	// removals) for Session.ApplyDelta.
+	CorpusDelta = wiki.Delta
+	// DeltaResult reports what an applied delta changed in the corpus and
+	// which cached artifacts it invalidated.
+	DeltaResult = service.DeltaResult
 )
 
 // NewSession creates a matching session over the corpus. Options start
