@@ -25,7 +25,7 @@ type entry struct {
 // NodeStats counts one node's lifetime activity. The counters survive
 // invalidation: a node rebuilt after a corpus delta reports Builds == 2.
 type NodeStats struct {
-	Builds   uint64 // completed successful builds (including delta reseeds)
+	Builds   uint64 // successful builds that entered the graph (including delta reseeds)
 	Hits     uint64 // completed-entry reuses
 	Failures uint64 // failed builds (in practice: cancelled contexts)
 	Restored bool   // the node was seeded from a snapshot at least once
@@ -36,7 +36,7 @@ type Stats struct {
 	Entries  map[Kind]int // live completed or in-flight entries per kind
 	Restored map[Kind]int // snapshot-seeded entries per kind (never decremented)
 	Hits     uint64
-	Misses   uint64 // completed builds only; failures are counted separately
+	Misses   uint64 // completed builds that entered the graph; failures count separately
 	Failures uint64
 }
 
@@ -147,8 +147,14 @@ func (e *Engine) finishBuild(key Key, ent *entry) {
 		}
 		return
 	}
-	// Count the miss only now that the build completed: cancelled builds
-	// must not inflate the miss rate.
+	// Count the miss only now that the build completed — and only if the
+	// entry is still the live node. Cancelled builds must not inflate the
+	// miss rate, and a build orphaned mid-flight (invalidated, or replaced
+	// by a Tx.Seed) never enters the graph, so it is not work materialized
+	// into the cache; its waiters retry and their rebuilds count.
+	if e.nodes[key] != ent {
+		return
+	}
 	e.misses++
 	ns.Builds++
 }

@@ -248,6 +248,14 @@ func TestWaitersRetryOrphanedEntry(t *testing.T) {
 	if v, ok := e.Value(key); !ok || v != "fresh" {
 		t.Fatalf("graph holds %v/%v, want fresh", v, ok)
 	}
+	// The orphaned "stale" build completed into a discarded entry: only
+	// the waiter's rebuild materialized into the cache, so only it counts.
+	if s := e.Stats(); s.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (orphaned build must not count)", s.Misses)
+	}
+	if ns := e.NodeStats(key); ns.Builds != 1 {
+		t.Fatalf("node builds = %d, want 1 (orphaned build must not count)", ns.Builds)
+	}
 }
 
 func TestCancelledBuilderWaitersRetry(t *testing.T) {

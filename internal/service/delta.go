@@ -35,7 +35,10 @@ type DeltaResult struct {
 	Fingerprint uint64
 	// Languages lists the language editions the delta touched, sorted.
 	Languages []wiki.Language
-	// Pairs describes every affected cached pair, sorted by pair.
+	// Pairs describes every affected pair that was cached when the
+	// delta's diff phase began, sorted by pair. A pair cached
+	// concurrently with the delta is dropped and counted in
+	// DroppedPairs/DroppedTypes but carries no per-pair effect.
 	Pairs []DeltaPairEffect
 	// DroppedPairs/DroppedTypes total the invalidated graph nodes
 	// (rebuilt pairs count: their old node was dropped).
@@ -70,7 +73,7 @@ func (s *Session) ApplyDelta(ctx context.Context, d wiki.Delta) (*DeltaResult, e
 	old := s.state.Load()
 	newCorpus, eff, err := old.corpus.WithDelta(d)
 	if err != nil {
-		return nil, err
+		return nil, &deltaRejectedError{err}
 	}
 
 	// Diff phase (outside the engine lock, cancellable): rebuild the
@@ -109,6 +112,9 @@ func (s *Session) ApplyDelta(ctx context.Context, d wiki.Delta) (*DeltaResult, e
 		}
 	}
 	sort.Slice(plans, func(i, j int) bool { return plans[i].pair.String() < plans[j].pair.String() })
+	if s.deltaTestHook != nil {
+		s.deltaTestHook()
+	}
 
 	res := &DeltaResult{
 		Added:       eff.Added,
@@ -125,6 +131,10 @@ func (s *Session) ApplyDelta(ctx context.Context, d wiki.Delta) (*DeltaResult, e
 		byPair := make(map[wiki.LanguagePair][]artifact.Key)
 		for _, k := range tx.Keys(artifact.KindType) {
 			byPair[k.Pair] = append(byPair[k.Pair], k)
+		}
+		planned := make(map[wiki.LanguagePair]bool, len(plans))
+		for _, pl := range plans {
+			planned[pl.pair] = true
 		}
 		for _, pl := range plans {
 			pe := DeltaPairEffect{Pair: pl.pair}
@@ -154,12 +164,34 @@ func (s *Session) ApplyDelta(ctx context.Context, d wiki.Delta) (*DeltaResult, e
 			})
 			res.Pairs = append(res.Pairs, pe)
 		}
+		// Touched nodes with no plan were cached between the diff
+		// enumeration and this commit: they were built from the pre-delta
+		// corpus and there is no fresh build to diff them against, so drop
+		// them outright — they must not survive the epoch bump. Pair
+		// invalidation drops its type dependents transitively; the type
+		// sweep catches type nodes whose pair node is absent or in flight.
+		for _, kind := range []artifact.Kind{artifact.KindPair, artifact.KindType} {
+			for _, k := range tx.Keys(kind) {
+				if !planned[k.Pair] && touched(k.Pair) {
+					tx.Invalidate(k)
+				}
+			}
+		}
 		s.state.Store(&sessionState{corpus: newCorpus, epoch: tx.Epoch()})
 	})
 	res.DroppedPairs = dropped[artifact.KindPair]
 	res.DroppedTypes = dropped[artifact.KindType]
 	return res, nil
 }
+
+// deltaRejectedError marks a corpus-validation failure from
+// Corpus.WithDelta — the one ApplyDelta failure class that is the
+// client's fault. It renders as the underlying error, so wire messages
+// are unchanged; ServeDelta dispatches on it to pick the error code.
+type deltaRejectedError struct{ err error }
+
+func (e *deltaRejectedError) Error() string { return e.err.Error() }
+func (e *deltaRejectedError) Unwrap() error { return e.err }
 
 // alignmentsEqual compares two entity-type alignments element-wise.
 func alignmentsEqual(a, b [][2]string) bool {
@@ -184,13 +216,16 @@ func (s *Session) ServeDelta(ctx context.Context, req protocol.DeltaRequest) (*p
 	start := time.Now()
 	res, err := s.ApplyDelta(ctx, d)
 	if err != nil {
+		// Only corpus-validation failures are the client's fault; diff-phase
+		// build failures and cancellations keep their own codes via FromErr.
+		var rejected *deltaRejectedError
 		switch {
 		case errors.Is(err, wiki.ErrNoSuchArticle):
 			return nil, protocol.Errorf(protocol.CodeNotFound, "%v", err)
-		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-			return nil, protocol.FromErr(err)
-		default:
+		case errors.As(err, &rejected):
 			return nil, protocol.Errorf(protocol.CodeInvalidArgument, "%v", err)
+		default:
+			return nil, protocol.FromErr(err)
 		}
 	}
 	resp := &protocol.DeltaResponse{

@@ -235,6 +235,97 @@ func TestApplyDeltaRemoveCrossLinkedArticle(t *testing.T) {
 	}
 }
 
+// TestApplyDeltaDropsNodesCachedDuringDiff: a pair cached for the first
+// time while ApplyDelta's diff phase runs was built from the pre-delta
+// corpus and has no diff plan. The commit must still drop it — a node
+// slipping through that window would survive the epoch bump and serve
+// stale artifacts against the post-delta corpus indefinitely.
+func TestApplyDeltaDropsNodesCachedDuringDiff(t *testing.T) {
+	c := smallCorpus(t)
+	s := New(c)
+	ctx := context.Background()
+	types, err := New(c).Types(ctx, wiki.PtEn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The delta's diff phase sees an empty cache (no plans); the hook then
+	// caches pt-en from the pre-delta corpus inside the commit window.
+	var cachedTypes int
+	s.deltaTestHook = func() {
+		if _, err := s.Match(ctx, wiki.PtEn); err != nil {
+			t.Errorf("racing match: %v", err)
+		}
+		cachedTypes = s.CacheStats().TypeEntries
+	}
+	ed := editableArticle(t, c, wiki.Portuguese, types[0][0]).Clone()
+	ed.Infobox.Attrs[0].Text += " (editado)"
+	res, err := s.ApplyDelta(ctx, wiki.Delta{Upserts: []*wiki.Article{ed}})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if cachedTypes == 0 {
+		t.Fatal("racing match cached no type nodes; the window was not exercised")
+	}
+
+	// The racing pair had no plan, so it carries no per-pair effect — but
+	// every node it cached must be gone from the post-delta graph.
+	if len(res.Pairs) != 0 {
+		t.Errorf("res.Pairs = %+v, want empty (pair was not cached at diff time)", res.Pairs)
+	}
+	if res.DroppedPairs != 1 || res.DroppedTypes != cachedTypes {
+		t.Errorf("dropped = %d pairs / %d types, want 1 / %d (the racing fill)",
+			res.DroppedPairs, res.DroppedTypes, cachedTypes)
+	}
+	if st := s.CacheStats(); st.PairEntries != 0 || st.TypeEntries != 0 {
+		t.Errorf("post-delta cache holds %d pairs / %d types, want empty", st.PairEntries, st.TypeEntries)
+	}
+
+	// A warm re-match rebuilds from the edited corpus, byte-identical to
+	// a cold session over it.
+	post, err := s.Match(ctx, wiki.PtEn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, err := New(s.Corpus()).Match(ctx, wiki.PtEn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flattenResult(post) != flattenResult(coldRes) {
+		t.Error("post-delta match differs from a cold session on the edited corpus")
+	}
+	if ns := s.eng.NodeStats(artifact.PairKey(wiki.PtEn)); ns.Builds != 2 {
+		t.Errorf("pair builds = %d, want 2 (racing fill + post-delta rebuild)", ns.Builds)
+	}
+}
+
+// TestServeDeltaBuildFailureIsNotClientError: a diff-phase build failure
+// inside ApplyDelta is a server-side problem and must not surface as
+// invalid_argument.
+func TestServeDeltaBuildFailureIsNotClientError(t *testing.T) {
+	c := smallCorpus(t)
+	s := New(c)
+	ctx := context.Background()
+	if _, err := s.Match(ctx, wiki.PtEn); err != nil {
+		t.Fatal(err)
+	}
+	// A pre-cancelled context passes request and corpus validation, so
+	// the failure comes from the diff-phase build, not the client's input.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	_, err := s.ServeDelta(cancelled, protocol.DeltaRequest{Upserts: []protocol.DeltaUpsert{{
+		Lang:     "pt",
+		Title:    "Página Nova",
+		Wikitext: "{{Infobox filme | nome = Página Nova}}",
+	}}})
+	if err == nil {
+		t.Fatal("cancelled delta succeeded")
+	}
+	if pe := protocol.FromErr(err); pe.Code != protocol.CodeCanceled {
+		t.Errorf("code = %q, want %q (server-side failure blamed on the client)", pe.Code, protocol.CodeCanceled)
+	}
+}
+
 // TestApplyDeltaColdCache: a delta against a session with an empty
 // cache touches no graph nodes and simply swaps the corpus.
 func TestApplyDeltaColdCache(t *testing.T) {

@@ -54,6 +54,11 @@ type Session struct {
 	// was restored from (zero for cold sessions). Set once before the
 	// session is shared; read-only after.
 	snapshotTime time.Time
+
+	// deltaTestHook, when non-nil, runs between ApplyDelta's diff phase
+	// and its commit — a test seam for injecting cache fills into that
+	// window. Set only by tests, before the session is shared.
+	deltaTestHook func()
 }
 
 // sessionState pins one corpus generation to the engine epoch it was
