@@ -17,7 +17,15 @@
 //
 // Usage:
 //
-//	benchall [-scale small|full] [-run all|table1..table7|figure3..figure7|svd|session|store|http|timings] [-json]
+// A fifth timing experiment, "router", measures the fleet layer: it
+// builds wikimatchd, boots single-core replica subprocesses
+// (GOMAXPROCS=1 each, simulating small nodes), and compares a direct
+// all-pairs batch on one replica against the same batch
+// scatter-gathered by an in-process router over three shard replicas —
+// plus the warm unary router-hop overhead. It shells out to the go
+// toolchain and must run from inside the repository.
+//
+//	benchall [-scale small|full] [-run all|table1..table7|figure3..figure7|svd|session|store|http|router|timings] [-json]
 package main
 
 import (
@@ -44,9 +52,28 @@ import (
 
 func main() {
 	scale := flag.String("scale", "full", "corpus scale: small or full")
-	run := flag.String("run", "all", "experiment to run (all, table1..table7, figure3..figure7, svd, session, store, http, timings)")
+	run := flag.String("run", "all", "experiment to run (all, table1..table7, figure3..figure7, svd, session, store, http, router, timings)")
 	jsonOut := flag.Bool("json", false, "emit the timing experiments (svd/session/store/http/timings) as one JSON document")
 	flag.Parse()
+
+	// The router experiment drives wikimatchd subprocesses and needs no
+	// in-process Setup — building one would just bloat this process's
+	// heap while it plays the router role.
+	if *run == "router" {
+		rt := measureRouter(*scale)
+		if *jsonOut {
+			doc := timingDoc{Scale: *scale, Router: &rt}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(doc); err != nil {
+				fmt.Fprintln(os.Stderr, "encode:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		renderRouterTimings(rt)
+		return
+	}
 
 	cfg := synth.DefaultConfig()
 	if *scale == "small" {
@@ -157,6 +184,7 @@ type timingDoc struct {
 	Session []sessionTiming `json:"session,omitempty"`
 	Store   *storeTiming    `json:"store,omitempty"`
 	HTTP    []httpTiming    `json:"http,omitempty"`
+	Router  *routerTiming   `json:"router,omitempty"`
 }
 
 // svdTiming is one entity type's dense-vs-sparse decomposition timing.

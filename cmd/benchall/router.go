@@ -1,0 +1,357 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/protocol"
+	"repro/internal/router"
+	"repro/internal/wiki"
+)
+
+// routerTiming is the fleet scale-out experiment: the same direct-mode
+// all-pairs batch run cold on one replica-sized node and
+// scatter-gathered by a router over three such nodes, plus the router
+// hop's warm unary overhead. NodeMilliCPU records how much CPU one
+// node held (1000 = a full core), so the numbers are interpretable on
+// any host.
+type routerTiming struct {
+	Scale             string  `json:"scale"`
+	Shards            int     `json:"shards"`
+	Pairs             int     `json:"pairs"`
+	NodeMilliCPU      int     `json:"nodeMilliCpu"`
+	SingleColdNS      int64   `json:"singleColdNs"`
+	FleetColdNS       int64   `json:"fleetColdNs"`
+	Speedup           float64 `json:"speedup"`
+	ShardWarmUnaryNS  int64   `json:"shardWarmUnaryNs"`
+	RouterWarmUnaryNS int64   `json:"routerWarmUnaryNs"`
+	HopOverheadNS     int64   `json:"hopOverheadNs"`
+}
+
+const fleetShards = 3
+
+// measureRouter runs the scale-out experiment with real wikimatchd
+// subprocesses modelling identical small nodes: every replica runs
+// with GOMAXPROCS=1, and on hosts with fewer cores than shards each
+// replica is additionally confined (via cgroup CPU bandwidth, when
+// writable) to an equal slice of the host — cores/shards each — so
+// the fleet's aggregate equals the host and the single-replica
+// baseline holds exactly one node's worth. That is the standard
+// single-host emulation of horizontal scale-out: the single node works
+// the whole batch alone while the fleet's nodes genuinely run
+// concurrently. The batch runs in direct mode so all three pairs
+// (pt-en, vi-en, pt-vi) are matched rather than two.
+func measureRouter(scale string) routerTiming {
+	ctx := context.Background()
+	bin := buildWikimatchd()
+	defer os.RemoveAll(filepath.Dir(bin))
+
+	slices := newNodeSlices(fleetShards)
+	defer slices.cleanup()
+
+	allReq := protocol.MatchRequest{All: true, Mode: "direct"}
+
+	// coldBatch times the direct all-pairs batch from a cold artifact
+	// cache, best of three runs with a full invalidation between them —
+	// each run rebuilds every dictionary and LSI model, the best-of
+	// flattens scheduler noise.
+	coldBatch := func(c *client.Client) (best time.Duration, resp *protocol.MatchAllResponse) {
+		best = time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			if _, err := c.Invalidate(ctx, ""); err != nil {
+				fatal("invalidate", err)
+			}
+			d := timeOnce(func() {
+				var err error
+				if resp, err = c.MatchAll(ctx, allReq); err != nil {
+					fatal("matchall", err)
+				}
+			})
+			if d < best {
+				best = d
+			}
+		}
+		return best, resp
+	}
+
+	// Single replica on one node slice, cold batch.
+	single := startReplica(bin, scale, nil)
+	defer single.stop()
+	slices.confine(single.cmd.Process.Pid)
+	singleCold, singleResp := coldBatch(single.client)
+
+	// Three shard replicas, one core each, plus an in-process router.
+	replicas := make([]*replica, fleetShards)
+	addrs := make([]string, fleetShards)
+	for i := range replicas {
+		replicas[i] = startReplica(bin, scale, []string{
+			"-shard-index", fmt.Sprint(i), "-shard-count", fmt.Sprint(fleetShards)})
+		defer replicas[i].stop()
+		slices.confine(replicas[i].cmd.Process.Pid)
+		addrs[i] = replicas[i].addr
+	}
+	rt, err := router.New(addrs, router.WithHealthInterval(-1))
+	if err != nil {
+		fatal("router", err)
+	}
+	defer rt.Close()
+	rtSrv := httptest.NewServer(rt.Handler())
+	defer rtSrv.Close()
+	rc, err := client.New(rtSrv.URL)
+	if err != nil {
+		fatal("router client", err)
+	}
+	fleetCold, fleetResp := coldBatch(rc)
+	if len(fleetResp.Planned) != len(singleResp.Planned) {
+		fatal("plan mismatch", fmt.Errorf("fleet planned %d pairs, single %d",
+			len(fleetResp.Planned), len(singleResp.Planned)))
+	}
+
+	// Warm unary hop overhead: the same cached pt-en match asked of its
+	// owning shard directly and through the router. The shard is lifted
+	// out of its node slice first — with the bandwidth cap in place the
+	// probes measure CFS throttle windows, not the router hop.
+	owner := replicas[router.ShardFor(wiki.PtEn, fleetShards)]
+	slices.release(owner.cmd.Process.Pid)
+	unary := protocol.MatchRequest{Pair: "pt-en"}
+	probe := func(c *client.Client) time.Duration {
+		return timeOnce(func() {
+			if _, err := c.Match(ctx, unary); err != nil {
+				fatal("warm match", err)
+			}
+		})
+	}
+	// Interleave the two probes so neither benefits from being measured
+	// last; best of eight paired rounds after one warm-up each.
+	shardWarm := time.Duration(1<<63 - 1)
+	routerWarm := shardWarm
+	probe(owner.client)
+	probe(rc)
+	for i := 0; i < 8; i++ {
+		if d := probe(owner.client); d < shardWarm {
+			shardWarm = d
+		}
+		if d := probe(rc); d < routerWarm {
+			routerWarm = d
+		}
+	}
+
+	return routerTiming{
+		Scale:             scale,
+		Shards:            fleetShards,
+		Pairs:             len(fleetResp.Planned),
+		NodeMilliCPU:      slices.nodeMilliCPU(),
+		SingleColdNS:      int64(singleCold),
+		FleetColdNS:       int64(fleetCold),
+		Speedup:           float64(singleCold) / float64(fleetCold),
+		ShardWarmUnaryNS:  int64(shardWarm),
+		RouterWarmUnaryNS: int64(routerWarm),
+		HopOverheadNS:     int64(routerWarm - shardWarm),
+	}
+}
+
+func renderRouterTimings(rt routerTiming) {
+	fmt.Printf("fleet scale-out (%s scale, direct mode, %d pairs, %dm CPU per node)\n",
+		rt.Scale, rt.Pairs, rt.NodeMilliCPU)
+	fmt.Printf("%-34s %12s\n", "stage", "time")
+	fmt.Printf("%-34s %12s\n", "cold matchall, 1 replica",
+		time.Duration(rt.SingleColdNS).Round(time.Millisecond))
+	fmt.Printf("%-34s %12s\n", fmt.Sprintf("cold matchall, router+%d shards", rt.Shards),
+		time.Duration(rt.FleetColdNS).Round(time.Millisecond))
+	fmt.Printf("scatter-gather vs single replica: %.2fx\n", rt.Speedup)
+	fmt.Printf("%-34s %12s\n", "warm unary, shard direct",
+		time.Duration(rt.ShardWarmUnaryNS).Round(time.Microsecond))
+	fmt.Printf("%-34s %12s\n", "warm unary, through router",
+		time.Duration(rt.RouterWarmUnaryNS).Round(time.Microsecond))
+	fmt.Printf("router hop overhead: %s\n",
+		time.Duration(rt.HopOverheadNS).Round(time.Microsecond))
+}
+
+// nodeSlices confines replica subprocesses to identical CPU-bandwidth
+// slices so each models one node of an n-node fleet. On hosts with at
+// least n cores no confinement is needed — GOMAXPROCS=1 per replica
+// already pins each node to one core. On smaller hosts each replica is
+// placed in its own cgroup with quota cores/n of a period, when the
+// cgroup filesystem is writable (root); otherwise confinement is
+// skipped and the reported NodeMilliCPU reflects that.
+type nodeSlices struct {
+	base     string // cgroup parent dir, "" when confinement is off
+	v2       bool
+	quotaUS  int
+	periodUS int
+	dirs     []string
+	confined bool
+}
+
+func newNodeSlices(nodes int) *nodeSlices {
+	cores := runtime.NumCPU()
+	if cores >= nodes {
+		return &nodeSlices{}
+	}
+	const period = 100000
+	ns := &nodeSlices{quotaUS: period * cores / nodes, periodUS: period}
+	if fi, err := os.Stat("/sys/fs/cgroup/cpu"); err == nil && fi.IsDir() {
+		ns.base = "/sys/fs/cgroup/cpu"
+	} else if raw, err := os.ReadFile("/sys/fs/cgroup/cgroup.controllers"); err == nil &&
+		strings.Contains(string(raw), "cpu") {
+		ns.base, ns.v2 = "/sys/fs/cgroup", true
+	} else {
+		fmt.Fprintln(os.Stderr, "router bench: no writable cpu cgroup; replicas run unconfined")
+		return &nodeSlices{}
+	}
+	return ns
+}
+
+// confine moves pid into a fresh node slice; best effort — on failure
+// the replica just runs unconfined and the timing doc says so.
+func (ns *nodeSlices) confine(pid int) {
+	if ns.base == "" {
+		return
+	}
+	dir := filepath.Join(ns.base, fmt.Sprintf("benchall-node-%d-%d", os.Getpid(), len(ns.dirs)))
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "router bench: cgroup mkdir:", err)
+		return
+	}
+	ns.dirs = append(ns.dirs, dir)
+	var err error
+	if ns.v2 {
+		err = os.WriteFile(filepath.Join(dir, "cpu.max"),
+			[]byte(fmt.Sprintf("%d %d", ns.quotaUS, ns.periodUS)), 0o644)
+	} else {
+		err = os.WriteFile(filepath.Join(dir, "cpu.cfs_period_us"), []byte(fmt.Sprint(ns.periodUS)), 0o644)
+		if err == nil {
+			err = os.WriteFile(filepath.Join(dir, "cpu.cfs_quota_us"), []byte(fmt.Sprint(ns.quotaUS)), 0o644)
+		}
+	}
+	if err == nil {
+		err = os.WriteFile(filepath.Join(dir, "cgroup.procs"), []byte(fmt.Sprint(pid)), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "router bench: cgroup confine:", err)
+		return
+	}
+	ns.confined = true
+}
+
+// release moves pid back to the root cgroup, lifting its bandwidth
+// cap. Used after the cold scale-out phase so warm latency probes
+// measure hop cost rather than CFS throttling artifacts.
+func (ns *nodeSlices) release(pid int) {
+	if ns.base == "" || !ns.confined {
+		return
+	}
+	if err := os.WriteFile(filepath.Join(ns.base, "cgroup.procs"),
+		[]byte(fmt.Sprint(pid)), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "router bench: cgroup release:", err)
+	}
+}
+
+// nodeMilliCPU reports one node's CPU share in milli-cores.
+func (ns *nodeSlices) nodeMilliCPU() int {
+	if ns.confined {
+		return 1000 * ns.quotaUS / ns.periodUS
+	}
+	return 1000 // GOMAXPROCS=1: one full core per replica
+}
+
+func (ns *nodeSlices) cleanup() {
+	for _, d := range ns.dirs {
+		// The replica must already be dead; an empty cgroup removes
+		// cleanly.
+		_ = os.Remove(d)
+	}
+}
+
+// replica is one wikimatchd subprocess.
+type replica struct {
+	addr   string
+	cmd    *exec.Cmd
+	client *client.Client
+}
+
+func (r *replica) stop() {
+	if r.cmd.Process != nil {
+		_ = r.cmd.Process.Kill()
+		_ = r.cmd.Wait()
+	}
+}
+
+// startReplica boots a wikimatchd subprocess with GOMAXPROCS=1 on a
+// fresh port and waits for it to answer /v1/healthz.
+func startReplica(bin, scale string, extraArgs []string) *replica {
+	port := freePort()
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	args := append([]string{"-addr", addr, "-scale", scale}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	cmd.Env = append(os.Environ(), "GOMAXPROCS=1")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		fatal("start replica", err)
+	}
+	c, err := client.New("http://" + addr)
+	if err != nil {
+		fatal("replica client", err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_, err := c.Healthz(ctx)
+		cancel()
+		if err == nil {
+			return &replica{addr: addr, cmd: cmd, client: c}
+		}
+		if time.Now().After(deadline) {
+			fatal("replica never became healthy", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// buildWikimatchd compiles the daemon into a fresh temp dir and returns
+// the binary path. The go toolchain resolves the module from the
+// current directory, so the experiment must run from inside the repo.
+func buildWikimatchd() string {
+	dir, err := os.MkdirTemp("", "benchall-router")
+	if err != nil {
+		fatal("tempdir", err)
+	}
+	bin := filepath.Join(dir, "wikimatchd")
+	out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/wikimatchd").CombinedOutput()
+	if err != nil {
+		fatal("go build wikimatchd", fmt.Errorf("%v: %s", err, strings.TrimSpace(string(out))))
+	}
+	return bin
+}
+
+func freePort() int {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal("listen", err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+// timeOnce times a single run — the cold-batch stages build real
+// artifacts and must not be repeated (a second run would be warm).
+func timeOnce(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+func fatal(msg string, err error) {
+	fmt.Fprintln(os.Stderr, msg+":", err)
+	os.Exit(1)
+}

@@ -28,6 +28,26 @@
 //	           [-max-concurrent 64] [-max-streams 16]
 //	           [-request-timeout 5m] [-max-body 1048576]
 //	           [-tsim 0.6] [-tlsi 0.1]
+//	           [-shard-index N -shard-count M]  serve as one shard of an M-replica fleet
+//	wikimatchd -router -shards host:port,host:port,...
+//	           [-health-interval 15s] [-hedge 0]
+//
+// Fleet mode: with -router the daemon serves no corpus of its own;
+// instead it fronts the listed shard replicas behind the same /v1
+// surface, routing each pair request to the replica the deterministic
+// shard map assigns it and scatter-gathering all-pairs batches across
+// the fleet into responses byte-identical to a single binary's. Each
+// replica is started with the matching -shard-index/-shard-count so it
+// warm-loads (and serves) only its owned slice of the snapshot;
+// requests for unowned pairs answer 503 pointing back at the router. A
+// sharded replica never flushes its snapshot on shutdown — its cache
+// holds only a slice, and flushing would clobber the full snapshot.
+//
+//	wikimatch precompute -scale full -store artifacts.wmsnap
+//	wikimatchd -addr :8081 -store artifacts.wmsnap -shard-index 0 -shard-count 2 &
+//	wikimatchd -addr :8082 -store artifacts.wmsnap -shard-index 1 -shard-count 2 &
+//	wikimatchd -addr :8080 -router -shards localhost:8081,localhost:8082
+//	wikimatch -remote http://localhost:8080 -all
 //
 // Protocol v1 endpoints:
 //
@@ -63,6 +83,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -80,7 +101,29 @@ func main() {
 	maxBody := flag.Int64("max-body", 1<<20, "max request body bytes")
 	tsim := flag.Float64("tsim", 0.6, "certain-match threshold Tsim")
 	tlsi := flag.Float64("tlsi", 0.1, "correlation threshold TLSI")
+	routerMode := flag.Bool("router", false, "run as a fleet router over -shards instead of serving a corpus")
+	shardAddrs := flag.String("shards", "", "comma-separated shard replica addresses in shard-index order (router mode)")
+	healthInterval := flag.Duration("health-interval", 15*time.Second, "router: shard health-poll cadence (negative disables the poller)")
+	hedge := flag.Duration("hedge", 0, "router: hedge read-only shard requests still pending after this delay (0 disables)")
+	shardIndex := flag.Int("shard-index", -1, "serve as this shard of a -shard-count fleet: only owned pairs are loaded and served")
+	shardCount := flag.Int("shard-count", 0, "total replicas in the fleet (required with -shard-index)")
 	flag.Parse()
+
+	middleware := []repro.HTTPHandlerOption{
+		repro.WithMaxConcurrent(*maxConcurrent),
+		repro.WithMaxStreams(*maxStreams),
+		repro.WithRequestTimeout(*requestTimeout),
+		repro.WithMaxBodyBytes(*maxBody),
+		repro.WithAccessLog(log.Default()),
+	}
+	if *routerMode {
+		runRouter(*addr, *shardAddrs, *healthInterval, *hedge, middleware)
+		return
+	}
+	keep, shardLabel, err := shardFilter(*shardIndex, *shardCount)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	corpus, err := buildCorpus(*dumpsDir, *scale)
 	if err != nil {
@@ -91,15 +134,16 @@ func main() {
 		stats.Articles, stats.Infoboxes, stats.CrossPairs)
 
 	opts := []repro.SessionOption{repro.WithTSim(*tsim), repro.WithTLSI(*tlsi)}
-	session, flushOnExit := openSession(corpus, *storePath, opts)
+	session, flushOnExit := openSession(corpus, *storePath, keep, opts)
+	if keep != nil {
+		// A sharded replica's cache holds only its owned slice; flushing
+		// it would clobber the full snapshot every replica boots from.
+		flushOnExit = false
+		log.Printf("serving as %s: unowned pairs answer 503 unavailable; snapshot flush disabled", shardLabel)
+		middleware = append(middleware, repro.WithShardGate(shardLabel, keep))
+	}
 
-	handler := repro.NewHTTPHandler(session,
-		repro.WithMaxConcurrent(*maxConcurrent),
-		repro.WithMaxStreams(*maxStreams),
-		repro.WithRequestTimeout(*requestTimeout),
-		repro.WithMaxBodyBytes(*maxBody),
-		repro.WithAccessLog(log.Default()),
-	)
+	handler := repro.NewHTTPHandler(session, middleware...)
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
@@ -152,12 +196,12 @@ func main() {
 // snapshot exists yet, false when an existing snapshot was rejected —
 // a daemon pointed at the wrong corpus (a -scale typo, say) must not
 // clobber somebody else's precomputed artifacts.
-func openSession(corpus *repro.Corpus, storePath string, opts []repro.SessionOption) (_ *repro.Session, flushOnExit bool) {
+func openSession(corpus *repro.Corpus, storePath string, keep func(repro.LanguagePair) bool, opts []repro.SessionOption) (_ *repro.Session, flushOnExit bool) {
 	if storePath == "" {
 		return repro.NewSession(corpus, opts...), false
 	}
 	start := time.Now()
-	session, err := repro.RestoreSessionFromFile(corpus, storePath, opts...)
+	session, err := repro.RestoreSessionFromFileFiltered(corpus, storePath, keep, opts...)
 	switch {
 	case err == nil:
 		cs := session.CacheStats()
@@ -171,6 +215,75 @@ func openSession(corpus *repro.Corpus, storePath string, opts []repro.SessionOpt
 		log.Printf("snapshot %s rejected: %v; starting cold (snapshot left untouched)", storePath, err)
 		return repro.NewSession(corpus, opts...), false
 	}
+}
+
+// shardFilter resolves the -shard-index/-shard-count pair into the
+// ownership predicate the replica gates and warm-loads with. Both flags
+// unset means single-binary mode (nil predicate).
+func shardFilter(index, count int) (func(repro.LanguagePair) bool, string, error) {
+	if index < 0 && count == 0 {
+		return nil, "", nil
+	}
+	if index < 0 || count <= index {
+		return nil, "", fmt.Errorf("-shard-index %d and -shard-count %d must satisfy 0 <= index < count", index, count)
+	}
+	return repro.ShardOwned(index, count), fmt.Sprintf("shard %d/%d", index, count), nil
+}
+
+// runRouter serves fleet-router mode: no corpus, no session — just the
+// coordinator over the listed shard replicas, with the same middleware
+// stack and graceful shutdown as a single binary.
+func runRouter(addr, shardAddrs string, healthInterval, hedge time.Duration, middleware []repro.HTTPHandlerOption) {
+	var addrs []string
+	for _, a := range strings.Split(shardAddrs, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		log.Fatal("-router requires -shards host:port[,host:port...]")
+	}
+	var clientOpts []repro.APIClientOption
+	if hedge > 0 {
+		clientOpts = append(clientOpts, repro.WithHedge(hedge))
+	}
+	rt, err := repro.NewFleetRouter(addrs,
+		repro.WithFleetHealthInterval(healthInterval),
+		repro.WithFleetLogger(log.Default()),
+		repro.WithFleetClientOptions(clientOpts...),
+		repro.WithFleetHandlerOptions(middleware...),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	server := &http.Server{
+		Addr:              addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      10 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = server.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("wikimatchd router listening on %s over %d shards (protocol %s under /v1/)",
+		addr, len(addrs), repro.ProtocolVersion)
+	if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	stop()
+	<-shutdownDone
+	log.Print("wikimatchd router stopped")
 }
 
 // buildCorpus loads <lang>.xml dumps from dir when given, otherwise

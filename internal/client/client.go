@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"reflect"
@@ -38,6 +39,8 @@ type Backend interface {
 	Stats(ctx context.Context) (*protocol.StatsResponse, error)
 	// Invalidate drops cached artifacts for a language ("" = all).
 	Invalidate(ctx context.Context, lang string) (*protocol.InvalidateResponse, error)
+	// Delta applies article upserts/removes to the live corpus.
+	Delta(ctx context.Context, req protocol.DeltaRequest) (*protocol.DeltaResponse, error)
 }
 
 // Client speaks wire protocol v1 to a wikimatchd base URL.
@@ -46,7 +49,12 @@ type Client struct {
 	httpClient *http.Client
 	maxRetries int
 	backoff    time.Duration
+	hedgeDelay time.Duration
 	userAgent  string
+	// jitter returns a random duration in [0, span], the spread added to
+	// retry backoff so a fleet of clients released by the same outage
+	// does not retry in lockstep. Replaceable in tests for determinism.
+	jitter func(span time.Duration) time.Duration
 }
 
 // Option adjusts a Client.
@@ -58,9 +66,22 @@ func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpClie
 
 // WithRetries sets how many times a retryable failure is retried
 // (default 2) and the base backoff delay between attempts (default
-// 250ms; doubled per attempt, capped by the server's Retry-After).
+// 250ms; doubled per attempt and jittered — see unary — with the
+// server's Retry-After as a floor).
 func WithRetries(n int, backoff time.Duration) Option {
 	return func(c *Client) { c.maxRetries, c.backoff = n, backoff }
+}
+
+// WithHedge enables hedged requests for read-only unary calls (Match,
+// MatchAll, Stats, Healthz, Metrics): when no response has arrived
+// after delay — or the first attempt failed with a retryable error
+// while the backup was still unfired — an identical second request is
+// issued and the first success wins; the loser is cancelled. Mutating
+// calls (Invalidate, Delta) and streams never hedge. 0 (the default)
+// disables hedging. A hedged exchange counts as one attempt against
+// the retry budget.
+func WithHedge(delay time.Duration) Option {
+	return func(c *Client) { c.hedgeDelay = delay }
 }
 
 // WithUserAgent sets the User-Agent header.
@@ -78,6 +99,12 @@ func New(base string, opts ...Option) (*Client, error) {
 		maxRetries: 2,
 		backoff:    250 * time.Millisecond,
 		userAgent:  "wikimatch-client/" + protocol.Version,
+		jitter: func(span time.Duration) time.Duration {
+			if span <= 0 {
+				return 0
+			}
+			return time.Duration(rand.Int64N(int64(span) + 1))
+		},
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -88,7 +115,7 @@ func New(base string, opts ...Option) (*Client, error) {
 // Match implements Backend over POST /v1/match.
 func (c *Client) Match(ctx context.Context, req protocol.MatchRequest) (*protocol.MatchResponse, error) {
 	var out protocol.MatchResponse
-	if err := c.unary(ctx, http.MethodPost, "/v1/match", req, &out); err != nil {
+	if err := c.unary(ctx, http.MethodPost, "/v1/match", req, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -97,7 +124,7 @@ func (c *Client) Match(ctx context.Context, req protocol.MatchRequest) (*protoco
 // MatchAll implements Backend over POST /v1/matchall.
 func (c *Client) MatchAll(ctx context.Context, req protocol.MatchRequest) (*protocol.MatchAllResponse, error) {
 	var out protocol.MatchAllResponse
-	if err := c.unary(ctx, http.MethodPost, "/v1/matchall", req, &out); err != nil {
+	if err := c.unary(ctx, http.MethodPost, "/v1/matchall", req, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -106,7 +133,7 @@ func (c *Client) MatchAll(ctx context.Context, req protocol.MatchRequest) (*prot
 // Stats implements Backend over GET /v1/corpus.
 func (c *Client) Stats(ctx context.Context) (*protocol.StatsResponse, error) {
 	var out protocol.StatsResponse
-	if err := c.unary(ctx, http.MethodGet, "/v1/corpus", nil, &out); err != nil {
+	if err := c.unary(ctx, http.MethodGet, "/v1/corpus", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -115,7 +142,7 @@ func (c *Client) Stats(ctx context.Context) (*protocol.StatsResponse, error) {
 // Invalidate implements Backend over POST /v1/invalidate.
 func (c *Client) Invalidate(ctx context.Context, lang string) (*protocol.InvalidateResponse, error) {
 	var out protocol.InvalidateResponse
-	if err := c.unary(ctx, http.MethodPost, "/v1/invalidate", protocol.InvalidateRequest{Lang: lang}, &out); err != nil {
+	if err := c.unary(ctx, http.MethodPost, "/v1/invalidate", protocol.InvalidateRequest{Lang: lang}, &out, false); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -124,7 +151,7 @@ func (c *Client) Invalidate(ctx context.Context, lang string) (*protocol.Invalid
 // Healthz probes GET /v1/healthz.
 func (c *Client) Healthz(ctx context.Context) (*protocol.Health, error) {
 	var out protocol.Health
-	if err := c.unary(ctx, http.MethodGet, "/v1/healthz", nil, &out); err != nil {
+	if err := c.unary(ctx, http.MethodGet, "/v1/healthz", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -133,7 +160,20 @@ func (c *Client) Healthz(ctx context.Context) (*protocol.Health, error) {
 // Metrics reads GET /v1/metrics.
 func (c *Client) Metrics(ctx context.Context) (*protocol.Metrics, error) {
 	var out protocol.Metrics
-	if err := c.unary(ctx, http.MethodGet, "/v1/metrics", nil, &out); err != nil {
+	if err := c.unary(ctx, http.MethodGet, "/v1/metrics", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Delta implements Backend over POST /v1/corpus/delta. Deltas are
+// mutations, so they are never hedged; they are retried like any unary
+// call — applying the same delta twice converges to the same corpus
+// (upserts and removes are absolute), so a retry after an ambiguous
+// transport failure is safe.
+func (c *Client) Delta(ctx context.Context, req protocol.DeltaRequest) (*protocol.DeltaResponse, error) {
+	var out protocol.DeltaResponse
+	if err := c.unary(ctx, http.MethodPost, "/v1/corpus/delta", req, &out, false); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -175,24 +215,32 @@ func (c *Client) Stream(ctx context.Context, req protocol.MatchRequest) (*Stream
 // unary runs one request/response exchange with retries on retryable
 // protocol errors (and on transport errors, which cannot have left
 // matching side effects worth worrying about — the API is read-mostly
-// and Invalidate is idempotent).
-func (c *Client) unary(ctx context.Context, method, path string, in, out any) error {
+// and Invalidate is idempotent). hedgeable marks read-only calls the
+// client may race a duplicate request for (see WithHedge).
+//
+// The backoff between attempts is jittered to avoid synchronized retry
+// storms: when a loaded shard sheds a whole fleet of requests at once,
+// unjittered clients would all come back in the same instant and shed
+// again. Each delay is drawn from [base/2, base] where base doubles per
+// attempt; a server-supplied Retry-After is a floor — the client waits
+// at least that long, plus up to half of it in jitter.
+func (c *Client) unary(ctx context.Context, method, path string, in, out any, hedgeable bool) error {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		resp, err := c.do(ctx, method, path, in)
+		err := c.exchange(ctx, method, path, in, out, hedgeable)
 		if err == nil {
-			err = decodeResponse(resp, out)
-			if err == nil {
-				return nil
-			}
+			return nil
 		}
 		lastErr = err
 		if attempt >= c.maxRetries || !retryableErr(err) {
 			return lastErr
 		}
-		delay := c.backoff << attempt
-		if ra := retryAfter(err); ra > delay {
-			delay = ra
+		base := c.backoff << attempt
+		delay := base/2 + c.jitter(base/2)
+		if ra := retryAfter(err); ra > 0 {
+			if spread := ra + c.jitter(ra/2); spread > delay {
+				delay = spread
+			}
 		}
 		select {
 		case <-time.After(delay):
@@ -200,6 +248,92 @@ func (c *Client) unary(ctx context.Context, method, path string, in, out any) er
 			return lastErr
 		}
 	}
+}
+
+// exchange runs one logical exchange: a single request, or — for
+// hedgeable calls on a hedging client — a raced pair.
+func (c *Client) exchange(ctx context.Context, method, path string, in, out any, hedgeable bool) error {
+	if !hedgeable || c.hedgeDelay <= 0 {
+		resp, err := c.do(ctx, method, path, in)
+		if err != nil {
+			return err
+		}
+		return decodeResponse(resp, out)
+	}
+	return c.hedged(ctx, method, path, in, out)
+}
+
+// hedged races a primary request against a backup fired once the hedge
+// delay elapses — or immediately, if the primary fails with a retryable
+// error first. The first success wins and cancels the loser; each
+// in-flight request decodes into its own value so a losing response can
+// never corrupt the winner's. When both fail, the primary's error is
+// returned.
+func (c *Client) hedged(ctx context.Context, method, path string, in, out any) error {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		val     any
+		err     error
+		primary bool
+	}
+	results := make(chan outcome, 2)
+	launch := func(primary bool) {
+		val := cloneTarget(out)
+		resp, err := c.do(hctx, method, path, in)
+		if err == nil {
+			err = decodeResponse(resp, val)
+		}
+		results <- outcome{val: val, err: err, primary: primary}
+	}
+
+	go launch(true)
+	launched := 1
+	timer := time.NewTimer(c.hedgeDelay)
+	defer timer.Stop()
+
+	var primaryErr, anyErr error
+	for done := 0; done < launched; {
+		select {
+		case <-timer.C:
+			if launched == 1 {
+				launched = 2
+				go launch(false)
+			}
+		case o := <-results:
+			done++
+			if o.err == nil {
+				if out != nil {
+					reflect.ValueOf(out).Elem().Set(reflect.ValueOf(o.val).Elem())
+				}
+				return nil
+			}
+			if o.primary {
+				primaryErr = o.err
+			}
+			anyErr = o.err
+			if launched == 1 && retryableErr(o.err) {
+				// The primary failed retryably before the timer fired:
+				// hedge now instead of waiting out the delay.
+				launched = 2
+				go launch(false)
+			}
+		}
+	}
+	if primaryErr != nil {
+		return primaryErr
+	}
+	return anyErr
+}
+
+// cloneTarget allocates a fresh decode target of out's type, so
+// concurrent hedged attempts never write the same value.
+func cloneTarget(out any) any {
+	if out == nil {
+		return nil
+	}
+	return reflect.New(reflect.TypeOf(out).Elem()).Interface()
 }
 
 // do issues one HTTP exchange. A nil body sends no payload.
@@ -220,6 +354,13 @@ func (c *Client) do(ctx context.Context, method, path string, in any) (*http.Res
 		req.Header.Set("Content-Type", "application/json")
 	}
 	req.Header.Set("User-Agent", c.userAgent)
+	// Propagate a context-carried request ID (stamped by the service
+	// middleware) so a router→shard hop appears under the user's ID in
+	// the shard's access log. Invalid IDs are dropped, not sanitized:
+	// the receiving middleware would re-mint anyway.
+	if id := protocol.RequestIDFromContext(ctx); protocol.ValidRequestID(id) {
+		req.Header.Set("X-Request-Id", id)
+	}
 	return c.httpClient.Do(req)
 }
 

@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"repro/internal/protocol"
+	"repro/internal/service"
+	"repro/internal/wiki"
 )
 
 func TestNewRejectsBadBaseURL(t *testing.T) {
@@ -237,5 +239,196 @@ func TestRetryDecodesFresh(t *testing.T) {
 	}
 	if len(m.ByRoute) != 0 {
 		t.Errorf("stale byRoute keys survived the retry: %v", m.ByRoute)
+	}
+}
+
+// TestHedgeRacesSlowPrimary: with hedging enabled, a slow first request
+// is raced by a backup after the hedge delay, and the backup's fast
+// success wins without waiting out the primary.
+func TestHedgeRacesSlowPrimary(t *testing.T) {
+	var calls atomic.Int32
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// Primary: stall until the test ends.
+			select {
+			case <-release:
+			case <-r.Context().Done():
+			}
+			return
+		}
+		_ = json.NewEncoder(w).Encode(protocol.MatchResponse{Pair: "vi-en"})
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	c, _ := New(srv.URL, WithRetries(0, time.Millisecond), WithHedge(5*time.Millisecond))
+	resp, err := c.Match(context.Background(), protocol.MatchRequest{Pair: "vi-en"})
+	if err != nil {
+		t.Fatalf("hedged Match: %v", err)
+	}
+	if resp.Pair != "vi-en" || calls.Load() != 2 {
+		t.Errorf("resp=%+v calls=%d", resp, calls.Load())
+	}
+}
+
+// TestHedgeFiresOnRetryableFailure: a fast retryable failure of the
+// primary launches the backup immediately instead of waiting out the
+// hedge delay; the backup's success is the call's result.
+func TestHedgeFiresOnRetryableFailure(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(protocol.ErrorEnvelope{Error: protocol.Errorf(protocol.CodeUnavailable, "shard down")})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(protocol.MatchResponse{Pair: "pt-en"})
+	}))
+	defer srv.Close()
+
+	// Hedge delay far beyond the test's patience: only the fast-fail
+	// path can launch the backup in time.
+	c, _ := New(srv.URL, WithRetries(0, time.Millisecond), WithHedge(time.Hour))
+	resp, err := c.Match(context.Background(), protocol.MatchRequest{Pair: "pt-en"})
+	if err != nil {
+		t.Fatalf("hedged Match: %v", err)
+	}
+	if resp.Pair != "pt-en" || calls.Load() != 2 {
+		t.Errorf("resp=%+v calls=%d", resp, calls.Load())
+	}
+}
+
+// TestHedgeBothFailReturnsPrimaryError: when primary and backup both
+// fail, the primary's error surfaces (deterministic attribution).
+func TestHedgeBothFailReturnsPrimaryError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(protocol.ErrorEnvelope{Error: protocol.Errorf(protocol.CodeUnavailable, "all dead")})
+	}))
+	defer srv.Close()
+
+	c, _ := New(srv.URL, WithRetries(0, time.Millisecond), WithHedge(time.Millisecond))
+	_, err := c.Match(context.Background(), protocol.MatchRequest{})
+	pe, ok := err.(*protocol.Error)
+	if !ok {
+		t.Fatalf("error %T, want *protocol.Error", err)
+	}
+	if pe.Code != protocol.CodeUnavailable {
+		t.Errorf("code = %s", pe.Code)
+	}
+}
+
+// TestMutatingCallsNeverHedge: Delta must issue exactly one request even
+// on a hedging client whose delay has long elapsed.
+func TestMutatingCallsNeverHedge(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		time.Sleep(20 * time.Millisecond) // well past the hedge delay
+		_ = json.NewEncoder(w).Encode(protocol.DeltaResponse{Added: 1})
+	}))
+	defer srv.Close()
+
+	c, _ := New(srv.URL, WithRetries(0, time.Millisecond), WithHedge(time.Millisecond))
+	resp, err := c.Delta(context.Background(), protocol.DeltaRequest{
+		Upserts: []protocol.DeltaUpsert{{Lang: "en", Title: "X", Wikitext: ""}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Added != 1 || calls.Load() != 1 {
+		t.Errorf("resp=%+v calls=%d (mutating call hedged?)", resp, calls.Load())
+	}
+}
+
+// TestRetryBackoffJitter: the retry delay is drawn from [base/2, base]
+// with a Retry-After floor. The jitter hook is deterministic here, so
+// the exact waits are assertable.
+func TestRetryBackoffJitter(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(protocol.ErrorEnvelope{Error: protocol.Errorf(protocol.CodeOverloaded, "full")})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(protocol.MatchResponse{Pair: "pt-en"})
+	}))
+	defer srv.Close()
+
+	c, _ := New(srv.URL, WithRetries(1, 10*time.Millisecond))
+	var spans []time.Duration
+	c.jitter = func(span time.Duration) time.Duration {
+		spans = append(spans, span)
+		return span // deterministic top of the jitter window
+	}
+	start := time.Now()
+	if _, err := c.Match(context.Background(), protocol.MatchRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	// One retry at full jitter: delay = base/2 + base/2 = 10ms.
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("retried after %v, want >= 10ms", elapsed)
+	}
+	// The backoff span and the Retry-After span (0s ⇒ no floor call may
+	// be skipped) were both consulted.
+	if len(spans) == 0 || spans[0] != 5*time.Millisecond {
+		t.Errorf("jitter spans = %v, want first span 5ms (base/2)", spans)
+	}
+}
+
+// TestRequestIDForwarded: a context stamped with a request ID (the
+// service middleware's doing on a router) reaches the server as the
+// X-Request-Id header; an unstamped context sends none, and an invalid
+// stamp is dropped.
+func TestRequestIDForwarded(t *testing.T) {
+	var got atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get("X-Request-Id"))
+		_ = json.NewEncoder(w).Encode(protocol.Health{Status: "ok"})
+	}))
+	defer srv.Close()
+
+	c, _ := New(srv.URL, WithRetries(0, time.Millisecond))
+	cases := []struct {
+		id   string
+		want string
+	}{
+		{"req-42", "req-42"},
+		{"", ""},
+		{"bad\nid", ""},
+	}
+	for _, tc := range cases {
+		ctx := context.Background()
+		if tc.id != "" {
+			ctx = protocol.ContextWithRequestID(ctx, tc.id)
+		}
+		if _, err := c.Healthz(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if got.Load().(string) != tc.want {
+			t.Errorf("id %q: header %q, want %q", tc.id, got.Load(), tc.want)
+		}
+	}
+}
+
+// TestLocalDelta: the in-process backend serves Delta through the same
+// session path as the HTTP handler.
+func TestLocalDelta(t *testing.T) {
+	c := wiki.NewCorpus()
+	if err := c.Add(&wiki.Article{Language: wiki.English, Title: "Seed", Type: "city"}); err != nil {
+		t.Fatal(err)
+	}
+	l := NewLocal(service.New(c))
+	resp, err := l.Delta(context.Background(), protocol.DeltaRequest{
+		Removes: []protocol.DeltaRef{{Lang: "en", Title: "Seed"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Removed != 1 {
+		t.Errorf("removed = %d, want 1", resp.Removed)
 	}
 }

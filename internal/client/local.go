@@ -49,6 +49,11 @@ func (l Local) Stats(ctx context.Context) (*protocol.StatsResponse, error) {
 	return &stats, nil
 }
 
+// Delta implements Backend.
+func (l Local) Delta(ctx context.Context, req protocol.DeltaRequest) (*protocol.DeltaResponse, error) {
+	return l.S.ServeDelta(ctx, req)
+}
+
 // Invalidate implements Backend.
 func (l Local) Invalidate(ctx context.Context, lang string) (*protocol.InvalidateResponse, error) {
 	resolved, err := protocol.InvalidateRequest{Lang: lang}.Validate()

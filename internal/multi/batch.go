@@ -131,6 +131,19 @@ func Stream(ctx context.Context, m PairMatcher, langs []wiki.Language, opts Opti
 	if err != nil {
 		return nil, err
 	}
+	return StreamPlan(ctx, m, plan, opts.Workers), nil
+}
+
+// StreamPlan is Stream over an already-resolved plan: the scheduler
+// without the planning step. The fleet router uses it directly — it
+// resolves the plan itself to partition pairs by shard ownership, then
+// runs the same bounded worker pool and cluster merge a single binary
+// does, so routed batches cannot drift from local ones. workers ≤ 0
+// means GOMAXPROCS.
+func StreamPlan(ctx context.Context, m PairMatcher, plan Plan, workers int) <-chan Update {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	total := len(plan.Pairs)
 	out := make(chan Update, total+1)
 	go func() {
@@ -138,7 +151,6 @@ func Stream(ctx context.Context, m PairMatcher, langs []wiki.Language, opts Opti
 		start := time.Now()
 		res := &BatchResult{Plan: plan, Outcomes: make([]PairOutcome, total)}
 
-		workers := opts.Workers
 		if workers > total {
 			workers = total
 		}
@@ -184,5 +196,5 @@ func Stream(ctx context.Context, m PairMatcher, langs []wiki.Language, opts Opti
 		res.Elapsed = time.Since(start)
 		out <- Update{Done: total, Total: total, Final: res}
 	}()
-	return out, nil
+	return out
 }

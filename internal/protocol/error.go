@@ -29,6 +29,10 @@ const (
 	// CodeDeadlineExceeded reports a request that outran the per-request
 	// timeout.
 	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeUnavailable reports that the backend owning the request is
+	// unreachable — in a sharded fleet, the owning replica is down or
+	// not yet serving. Always retryable: the shard may come back.
+	CodeUnavailable = "unavailable"
 	// CodeInternal is an unexpected server-side failure (including
 	// recovered panics).
 	CodeInternal = "internal"
@@ -74,7 +78,7 @@ func (e *Error) WithDetail(key, value string) *Error {
 // may safely retry.
 func retryable(code string) bool {
 	switch code {
-	case CodeOverloaded, CodeCanceled, CodeDeadlineExceeded:
+	case CodeOverloaded, CodeCanceled, CodeDeadlineExceeded, CodeUnavailable:
 		return true
 	}
 	return false
@@ -93,7 +97,7 @@ func (e *Error) HTTPStatus() int {
 		return http.StatusRequestEntityTooLarge
 	case CodeOverloaded:
 		return http.StatusTooManyRequests
-	case CodeCanceled:
+	case CodeCanceled, CodeUnavailable:
 		return http.StatusServiceUnavailable
 	case CodeDeadlineExceeded:
 		return http.StatusGatewayTimeout
@@ -117,7 +121,10 @@ func CodeForStatus(status int) string {
 	case http.StatusTooManyRequests:
 		return CodeOverloaded
 	case http.StatusServiceUnavailable:
-		return CodeCanceled
+		// 503 is ambiguous between canceled and unavailable; with no
+		// envelope to disambiguate, an unreachable backend is the likelier
+		// (and equally retryable) reading.
+		return CodeUnavailable
 	case http.StatusGatewayTimeout:
 		return CodeDeadlineExceeded
 	}

@@ -1,0 +1,81 @@
+package protocol
+
+// The fleet DTOs of the router/coordinator (internal/router): the
+// aggregated health, metrics and delta-fanout bodies a router serves in
+// place of a single replica's. Pair-scoped and all-pairs matching reuse
+// the single-binary DTOs unchanged — the fleet is invisible on those
+// routes by design.
+
+// Fleet status values, shared by FleetHealth and ShardHealth.
+const (
+	// FleetOK: every shard answered its health probe.
+	FleetOK = "ok"
+	// FleetDegraded: some shards are down; requests routed to the
+	// surviving shards still succeed, pairs owned by dead shards fail
+	// with CodeUnavailable.
+	FleetDegraded = "degraded"
+	// FleetDown: no shard answered; the fleet serves nothing.
+	FleetDown = "down"
+)
+
+// ShardHealth is one replica's status within a fleet.
+type ShardHealth struct {
+	Shard  int    `json:"shard"`
+	Addr   string `json:"addr"`
+	Status string `json:"status"` // FleetOK or FleetDown
+	// Error is the probe failure when the shard is down.
+	Error string `json:"error,omitempty"`
+	// Health is the shard's own /v1/healthz body when it answered.
+	Health *Health `json:"health,omitempty"`
+}
+
+// FleetHealth is the router's aggregated GET /v1/healthz body: the
+// rollup status plus every shard's last probe outcome.
+type FleetHealth struct {
+	Status        string        `json:"status"` // FleetOK, FleetDegraded or FleetDown
+	UptimeSeconds float64       `json:"uptimeSeconds"`
+	ShardsTotal   int           `json:"shardsTotal"`
+	ShardsHealthy int           `json:"shardsHealthy"`
+	Shards        []ShardHealth `json:"shards"`
+}
+
+// ShardMetrics is one replica's counters within the aggregated metrics
+// body, or the probe error when the shard did not answer.
+type ShardMetrics struct {
+	Shard   int      `json:"shard"`
+	Addr    string   `json:"addr"`
+	Error   string   `json:"error,omitempty"`
+	Metrics *Metrics `json:"metrics,omitempty"`
+}
+
+// FleetMetrics is the router's aggregated GET /v1/metrics body: the
+// router's own middleware counters plus each shard's.
+type FleetMetrics struct {
+	Router Metrics        `json:"router"`
+	Shards []ShardMetrics `json:"shards"`
+}
+
+// ShardDelta is one replica's outcome of a fanned-out corpus delta.
+type ShardDelta struct {
+	Shard int    `json:"shard"`
+	Addr  string `json:"addr"`
+	// Error is set when the shard rejected or never received the delta;
+	// Response when it applied it. Exactly one is non-nil.
+	Error    *Error         `json:"error,omitempty"`
+	Response *DeltaResponse `json:"response,omitempty"`
+}
+
+// FleetDeltaResponse answers POST /v1/corpus/delta on a router: the
+// delta fans out to every shard (each replica holds the full corpus —
+// only artifacts are sharded) and the per-shard outcomes are reported
+// individually, because a partially-applied delta is a real state the
+// operator must see: the fleet's corpora have diverged until the failed
+// shards are retried or restarted.
+type FleetDeltaResponse struct {
+	Status string `json:"status"` // FleetOK or FleetDegraded (some shards failed)
+	// Consistent reports whether every shard that applied the delta
+	// ended at the same corpus fingerprint.
+	Consistent bool         `json:"consistent"`
+	Shards     []ShardDelta `json:"shards"`
+	ElapsedMS  float64      `json:"elapsedMs"`
+}

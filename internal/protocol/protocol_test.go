@@ -146,7 +146,7 @@ func TestErrorHTTPMapping(t *testing.T) {
 		{CodeMethodNotAllowed, http.StatusMethodNotAllowed, false},
 		{CodePayloadTooLarge, http.StatusRequestEntityTooLarge, false},
 		{CodeOverloaded, http.StatusTooManyRequests, true},
-		{CodeCanceled, http.StatusServiceUnavailable, true},
+		{CodeUnavailable, http.StatusServiceUnavailable, true},
 		{CodeDeadlineExceeded, http.StatusGatewayTimeout, true},
 		{CodeInternal, http.StatusInternalServerError, false},
 	}
@@ -164,6 +164,15 @@ func TestErrorHTTPMapping(t *testing.T) {
 	}
 	if got := CodeForStatus(http.StatusTeapot); got != CodeInternal {
 		t.Errorf("unknown status mapped to %s", got)
+	}
+	// CodeCanceled shares 503 with CodeUnavailable on the way out; the
+	// reverse mapping prefers unavailable (see CodeForStatus).
+	e := Errorf(CodeCanceled, "x")
+	if got := e.HTTPStatus(); got != http.StatusServiceUnavailable {
+		t.Errorf("canceled: status %d, want 503", got)
+	}
+	if !e.Retryable {
+		t.Error("canceled not retryable")
 	}
 }
 
@@ -247,5 +256,55 @@ func TestMatchAllResponsePlan(t *testing.T) {
 	}
 	if _, err := (&MatchAllResponse{Mode: "pivot", Hub: "en", Planned: []string{"xx"}}).Plan(); err == nil {
 		t.Error("bad planned pair accepted")
+	}
+}
+
+// TestMatchResponseResult checks the wire→core reconstruction the
+// router's scatter-gather path rests on: a MatchResponse round-trips
+// into a core.Result that preserves the type alignment, the cross sets
+// and the exact float64 confidences.
+func TestMatchResponseResult(t *testing.T) {
+	resp := &MatchResponse{
+		Pair:  "pt-en",
+		Types: [][2]string{{"cidade", "city"}, {"filme", "film"}},
+		Results: []TypeResult{
+			{
+				TypeA: "cidade", TypeB: "city",
+				Correspondences: []Correspondence{
+					{A: "nome", B: "name", Confidence: 0.9381695036041293},
+					{A: "área", B: "area", Confidence: 0.5935862876098503},
+				},
+			},
+			{TypeA: "filme", TypeB: "film"},
+		},
+	}
+	res, err := resp.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pair != wiki.PtEn {
+		t.Errorf("pair = %v", res.Pair)
+	}
+	if len(res.Types) != 2 || res.Types[0] != [2]string{"cidade", "city"} {
+		t.Errorf("types = %v", res.Types)
+	}
+	tr := res.PerType[[2]string{"cidade", "city"}]
+	if tr == nil {
+		t.Fatal("missing reconstructed type result")
+	}
+	if !tr.Cross["nome"]["name"] || !tr.Cross["área"]["area"] {
+		t.Errorf("cross = %v", tr.Cross)
+	}
+	if got := tr.Confidence("nome", "name"); got != 0.9381695036041293 {
+		t.Errorf("confidence = %v (want the exact wire float)", got)
+	}
+	if got := tr.Confidence("nome", "missing"); got != 0 {
+		t.Errorf("absent pair confidence = %v", got)
+	}
+	if empty := res.PerType[[2]string{"filme", "film"}]; empty == nil || len(empty.Cross) != 0 {
+		t.Errorf("empty type result = %+v", empty)
+	}
+	if _, err := (&MatchResponse{Pair: "bogus"}).Result(); err == nil {
+		t.Error("invalid pair accepted")
 	}
 }

@@ -1,0 +1,40 @@
+package protocol
+
+import "context"
+
+// requestIDKey carries a request ID through a context. The key lives in
+// the protocol package — not the HTTP layer — because both sides of the
+// wire use it: the service middleware stamps every inbound request's ID
+// into its context, and the client SDK forwards a stamped ID as the
+// outbound X-Request-Id header, so one user request stays traceable
+// across router→shard hops.
+type requestIDKey struct{}
+
+// ContextWithRequestID returns ctx carrying the request ID.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFromContext extracts the request ID ("" when unset).
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// ValidRequestID accepts short printable ASCII tokens, rejecting
+// anything that could corrupt logs or headers. The service middleware
+// uses it to decide whether to echo a client-supplied X-Request-Id, and
+// the client SDK to decide whether a context-carried ID is safe to
+// forward as a header.
+func ValidRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' {
+			return false
+		}
+	}
+	return true
+}

@@ -54,6 +54,44 @@ type MatchResponse struct {
 	Cache     CacheStats   `json:"cache"`
 }
 
+// Result reconstructs the core result a remote matcher computed, from
+// its wire response: the entity-type alignment plus, per type, the
+// correspondence set and its confidences (via core.NewTypeResult). The
+// reconstruction carries exactly what the cluster builder
+// (multi.BuildClusters) consumes — Types, Cross and per-pair
+// Confidence — so a router can scatter pair matches across a shard
+// fleet and merge the wire responses into clusters identical to a
+// single binary's: float64 confidences round-trip exactly through
+// JSON, and Confidence on a reconstructed result returns the stored
+// wire values rather than recomputing.
+func (r *MatchResponse) Result() (*core.Result, error) {
+	pair, err := ParsePair(r.Pair)
+	if err != nil {
+		return nil, err
+	}
+	res := &core.Result{
+		Pair:    pair,
+		Types:   append([][2]string(nil), r.Types...),
+		PerType: make(map[[2]string]*core.TypeResult, len(r.Results)),
+	}
+	for i := range r.Results {
+		tr := &r.Results[i]
+		cross := make(map[string]map[string]bool)
+		conf := make(map[[2]string]float64, len(tr.Correspondences))
+		for _, c := range tr.Correspondences {
+			m := cross[c.A]
+			if m == nil {
+				m = make(map[string]bool)
+				cross[c.A] = m
+			}
+			m[c.B] = true
+			conf[[2]string{c.A, c.B}] = c.Confidence
+		}
+		res.PerType[[2]string{tr.TypeA, tr.TypeB}] = core.NewTypeResult(tr.TypeA, tr.TypeB, cross, conf)
+	}
+	return res, nil
+}
+
 // MatchAllPair summarizes one pair's outcome within an all-pairs batch.
 type MatchAllPair struct {
 	Pair            string  `json:"pair"`

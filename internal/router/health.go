@@ -1,0 +1,97 @@
+package router
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// probeFleet probes every shard's /v1/healthz concurrently, each under
+// its own probe timeout, and folds the answers into one fleet view:
+// FleetOK when every shard answered, FleetDegraded when some did,
+// FleetDown when none did.
+func (rt *Router) probeFleet(ctx context.Context) protocol.FleetHealth {
+	shards := make([]protocol.ShardHealth, len(rt.shards))
+	done := make(chan int, len(rt.shards))
+	for i := range rt.shards {
+		go func(i int) {
+			defer func() { done <- i }()
+			sh := &rt.shards[i]
+			out := protocol.ShardHealth{Shard: sh.index, Addr: sh.addr}
+			pctx, cancel := context.WithTimeout(ctx, rt.probeTimeout)
+			defer cancel()
+			h, err := sh.c.Healthz(pctx)
+			if err != nil {
+				out.Status = protocol.FleetDown
+				out.Error = err.Error()
+			} else {
+				out.Status = h.Status
+				out.Health = h
+			}
+			shards[i] = out
+		}(i)
+	}
+	for range rt.shards {
+		<-done
+	}
+
+	healthy := 0
+	for _, s := range shards {
+		if s.Status == "ok" {
+			healthy++
+		}
+	}
+	status := protocol.FleetOK
+	switch {
+	case healthy == 0:
+		status = protocol.FleetDown
+	case healthy < len(shards):
+		status = protocol.FleetDegraded
+	}
+	return protocol.FleetHealth{
+		Status:        status,
+		UptimeSeconds: time.Since(rt.started).Seconds(),
+		ShardsTotal:   len(shards),
+		ShardsHealthy: healthy,
+		Shards:        shards,
+	}
+}
+
+// storeHealth records the latest fleet observation and logs status
+// transitions (ok → degraded → down and back).
+func (rt *Router) storeHealth(h *protocol.FleetHealth) {
+	rt.healthMu.Lock()
+	prev := rt.lastHealth
+	rt.lastHealth = h
+	rt.healthMu.Unlock()
+	if rt.logger != nil && (prev == nil || prev.Status != h.Status) {
+		rt.logger.Printf("fleet health: %s (%d/%d shards healthy)",
+			h.Status, h.ShardsHealthy, h.ShardsTotal)
+	}
+}
+
+// Health returns the most recent fleet-health observation — from the
+// background poller or the last /v1/healthz probe — or nil before the
+// first one.
+func (rt *Router) Health() *protocol.FleetHealth {
+	rt.healthMu.Lock()
+	defer rt.healthMu.Unlock()
+	return rt.lastHealth
+}
+
+// poll drives the background health loop until Close.
+func (rt *Router) poll() {
+	defer close(rt.done)
+	ticker := time.NewTicker(rt.healthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+		}
+		h := rt.probeFleet(context.Background())
+		rt.storeHealth(&h)
+	}
+}

@@ -75,7 +75,7 @@ func (s *Session) ServeMatchAll(ctx context.Context, req protocol.MatchRequest) 
 	if err != nil {
 		return nil, protocol.FromErr(err)
 	}
-	resp := s.matchAllDTO(res, msSince(start))
+	resp := MatchAllDTO(res, msSince(start), s.CacheStats())
 	return &resp, nil
 }
 
@@ -99,7 +99,7 @@ func (s *Session) ServeStream(ctx context.Context, req protocol.MatchRequest) (<
 		if err != nil {
 			return nil, protocol.FromErr(err)
 		}
-		return s.relayAllStream(updates), nil
+		return RelayAllStream(updates, s.CacheStats), nil
 	}
 	start := time.Now()
 	updates, err := s.streamWith(ctx, r.Pair, s.matcherFor(r.Overrides))
@@ -152,8 +152,14 @@ func (s *Session) relayPairStream(r protocol.Resolved, start time.Time, updates 
 	return out
 }
 
-// relayAllStream translates multi's Update stream into protocol lines.
-func (s *Session) relayAllStream(updates <-chan multi.Update) <-chan protocol.StreamLine {
+// RelayAllStream translates multi's Update stream into protocol lines:
+// one Pair line per finished language pair, then a FinalAll line built
+// by MatchAllDTO. cache supplies the cache-stats snapshot stamped into
+// the final response at assembly time. The output channel is buffered
+// for the whole stream, like the input. Exported for the fleet router,
+// whose scatter-gathered all-pairs stream rides the same relay as a
+// single binary's.
+func RelayAllStream(updates <-chan multi.Update, cache func() protocol.CacheStats) <-chan protocol.StreamLine {
 	out := make(chan protocol.StreamLine, cap(updates)+1)
 	go func() {
 		defer close(out)
@@ -161,11 +167,11 @@ func (s *Session) relayAllStream(updates <-chan multi.Update) <-chan protocol.St
 		for u := range updates {
 			line := protocol.StreamLine{Done: u.Done, Total: u.Total}
 			if u.Outcome != nil {
-				p := pairOutcomeDTO(u.Outcome)
+				p := PairOutcomeDTO(u.Outcome)
 				line.Pair = &p
 			}
 			if u.Final != nil {
-				final := s.matchAllDTO(u.Final, msSince(start))
+				final := MatchAllDTO(u.Final, msSince(start), cache())
 				line.FinalAll = &final
 			}
 			out <- line
@@ -215,15 +221,18 @@ func (p overridePairMatcher) Match(ctx context.Context, pair wiki.LanguagePair) 
 	return p.s.matchWith(ctx, pair, p.m)
 }
 
-// matchAllDTO flattens a batch result for the wire.
-func (s *Session) matchAllDTO(res *multi.BatchResult, elapsedMS float64) protocol.MatchAllResponse {
+// MatchAllDTO flattens a batch result for the wire. It is the one
+// assembly path for MatchAllResponse bodies — the session's ServeMatchAll
+// and the fleet router's scatter-gather both call it, so a routed batch
+// serializes byte-identically to a single binary's.
+func MatchAllDTO(res *multi.BatchResult, elapsedMS float64, cache protocol.CacheStats) protocol.MatchAllResponse {
 	resp := protocol.MatchAllResponse{
 		Mode:      res.Plan.Mode.String(),
 		Hub:       res.Plan.Hub.String(),
 		Planned:   []string{},
 		Clusters:  res.Clusters,
 		ElapsedMS: elapsedMS,
-		Cache:     s.CacheStats(),
+		Cache:     cache,
 	}
 	if resp.Clusters == nil {
 		resp.Clusters = []multi.Cluster{}
@@ -232,7 +241,7 @@ func (s *Session) matchAllDTO(res *multi.BatchResult, elapsedMS float64) protoco
 		resp.Planned = append(resp.Planned, pair.String())
 	}
 	for i := range res.Outcomes {
-		resp.Pairs = append(resp.Pairs, pairOutcomeDTO(&res.Outcomes[i]))
+		resp.Pairs = append(resp.Pairs, PairOutcomeDTO(&res.Outcomes[i]))
 	}
 	for _, cl := range res.Clusters {
 		resp.Conflicts += len(cl.Conflicts)
@@ -240,8 +249,9 @@ func (s *Session) matchAllDTO(res *multi.BatchResult, elapsedMS float64) protoco
 	return resp
 }
 
-// pairOutcomeDTO flattens one batch pair outcome for the wire.
-func pairOutcomeDTO(o *multi.PairOutcome) protocol.MatchAllPair {
+// PairOutcomeDTO flattens one batch pair outcome for the wire. Exported
+// alongside MatchAllDTO for the fleet router's stream relay.
+func PairOutcomeDTO(o *multi.PairOutcome) protocol.MatchAllPair {
 	out := protocol.MatchAllPair{
 		Pair:            o.Pair.String(),
 		Correspondences: o.Correspondences(),

@@ -70,7 +70,7 @@ func registerV1(mux *http.ServeMux, st *serverState) {
 	// Unknown /v1/ routes get the structured envelope, not net/http's
 	// plain-text 404.
 	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
-		writeEnvelope(w, protocol.Errorf(protocol.CodeNotFound, "no such endpoint %s", r.URL.Path))
+		WriteEnvelope(w, protocol.Errorf(protocol.CodeNotFound, "no such endpoint %s", r.URL.Path))
 	})
 }
 
@@ -79,7 +79,7 @@ func (st *serverState) method(want string, h http.HandlerFunc) http.HandlerFunc 
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != want {
 			w.Header().Set("Allow", want)
-			writeEnvelope(w, protocol.Errorf(protocol.CodeMethodNotAllowed,
+			WriteEnvelope(w, protocol.Errorf(protocol.CodeMethodNotAllowed,
 				"method %s not allowed on %s (use %s)", r.Method, r.URL.Path, want))
 			return
 		}
@@ -87,11 +87,12 @@ func (st *serverState) method(want string, h http.HandlerFunc) http.HandlerFunc 
 	}
 }
 
-// decodeBody decodes a JSON request body strictly: unknown fields and
+// DecodeBody decodes a JSON request body strictly: unknown fields and
 // trailing data after the first value are protocol errors. An empty
 // body decodes to the zero request, so `curl -X POST /v1/match` runs
-// the default pt-en pair.
-func decodeBody(r *http.Request, v any) *protocol.Error {
+// the default pt-en pair. Exported for the fleet router, which decodes
+// the same request shapes before routing them.
+func DecodeBody(r *http.Request, v any) *protocol.Error {
 	if r.Body == nil {
 		return nil
 	}
@@ -126,52 +127,65 @@ func bodyError(err error, override string) *protocol.Error {
 
 func (st *serverState) handleMatch(w http.ResponseWriter, r *http.Request) {
 	var req protocol.MatchRequest
-	if e := decodeBody(r, &req); e != nil {
-		writeEnvelope(w, e)
+	if e := DecodeBody(r, &req); e != nil {
+		WriteEnvelope(w, e)
+		return
+	}
+	if e := st.gatePair(req); e != nil {
+		WriteEnvelope(w, e)
 		return
 	}
 	resp, err := st.s.ServeMatch(r.Context(), req)
 	if err != nil {
-		writeEnvelope(w, protocol.FromErr(err))
+		WriteEnvelope(w, protocol.FromErr(err))
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 func (st *serverState) handleMatchAll(w http.ResponseWriter, r *http.Request) {
 	var req protocol.MatchRequest
-	if e := decodeBody(r, &req); e != nil {
-		writeEnvelope(w, e)
+	if e := DecodeBody(r, &req); e != nil {
+		WriteEnvelope(w, e)
 		return
 	}
 	if !req.All && (req.Pair != "" || req.Type != "") {
-		writeEnvelope(w, protocol.Errorf(protocol.CodeInvalidArgument,
+		WriteEnvelope(w, protocol.Errorf(protocol.CodeInvalidArgument,
 			"pair-scoped request must be sent to /v1/match"))
+		return
+	}
+	req.All = true
+	if e := st.gatePair(req); e != nil {
+		WriteEnvelope(w, e)
 		return
 	}
 	resp, err := st.s.ServeMatchAll(r.Context(), req)
 	if err != nil {
-		writeEnvelope(w, protocol.FromErr(err))
+		WriteEnvelope(w, protocol.FromErr(err))
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 func (st *serverState) handleStream(w http.ResponseWriter, r *http.Request) {
 	var req protocol.MatchRequest
-	if e := decodeBody(r, &req); e != nil {
-		writeEnvelope(w, e)
+	if e := DecodeBody(r, &req); e != nil {
+		WriteEnvelope(w, e)
 		return
 	}
 	// The relay's cancel is the slow-reader guard's lever: a write
 	// deadline miss cancels the in-flight matching work, and the
 	// session-side buffers (sized for the whole run) are dropped with the
 	// channel instead of pinning until the client drains them.
+	if e := st.gatePair(req); e != nil {
+		WriteEnvelope(w, e)
+		return
+	}
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
 	lines, err := st.s.ServeStream(ctx, req)
 	if err != nil {
-		writeEnvelope(w, protocol.FromErr(err))
+		WriteEnvelope(w, protocol.FromErr(err))
 		return
 	}
 	st.streamNDJSON(w, cancel, lines, func(line protocol.StreamLine) (any, bool) {
@@ -179,15 +193,23 @@ func (st *serverState) handleStream(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// streamNDJSON writes a line stream as NDJSON through a per-line
+// streamNDJSON applies the stack's configured write timeout to
+// WriteNDJSONStream.
+func (st *serverState) streamNDJSON(w http.ResponseWriter, cancel context.CancelFunc, lines <-chan protocol.StreamLine, translate func(protocol.StreamLine) (any, bool)) {
+	WriteNDJSONStream(w, st.cfg.StreamWriteTimeout, cancel, lines, translate)
+}
+
+// WriteNDJSONStream writes a line stream as NDJSON through a per-line
 // translation (identity for v1, the legacy shapes for the shims), with
 // the slow-reader guard applied: each line's write runs under a fresh
-// deadline — armed immediately before the write, so slow matching
-// between lines never counts against it — and a failed write cancels
-// the producer and drains it so no goroutine or buffer outlives the
-// dead connection. Writers without deadline support (httptest
-// recorders) just skip the guard.
-func (st *serverState) streamNDJSON(w http.ResponseWriter, cancel context.CancelFunc, lines <-chan protocol.StreamLine, translate func(protocol.StreamLine) (any, bool)) {
+// deadline of writeTimeout (≤ 0 disables the guard) — armed immediately
+// before the write, so slow matching between lines never counts against
+// it — and a failed write cancels the producer and drains it so no
+// goroutine or buffer outlives the dead connection. Writers without
+// deadline support (httptest recorders) just skip the guard. Exported
+// for the fleet router, whose streamed endpoints relay shard lines
+// through the same guard.
+func WriteNDJSONStream(w http.ResponseWriter, writeTimeout time.Duration, cancel context.CancelFunc, lines <-chan protocol.StreamLine, translate func(protocol.StreamLine) (any, bool)) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	rc := http.NewResponseController(w)
@@ -197,8 +219,8 @@ func (st *serverState) streamNDJSON(w http.ResponseWriter, cancel context.Cancel
 		if !ok {
 			continue
 		}
-		if st.cfg.StreamWriteTimeout > 0 {
-			_ = rc.SetWriteDeadline(time.Now().Add(st.cfg.StreamWriteTimeout))
+		if writeTimeout > 0 {
+			_ = rc.SetWriteDeadline(time.Now().Add(writeTimeout))
 		}
 		if err := enc.Encode(out); err != nil {
 			cancel()
@@ -210,28 +232,56 @@ func (st *serverState) streamNDJSON(w http.ResponseWriter, cancel context.Cancel
 	}
 	// Disarm so a keep-alive connection is not poisoned by a stale
 	// deadline.
-	if st.cfg.StreamWriteTimeout > 0 {
+	if writeTimeout > 0 {
 		_ = rc.SetWriteDeadline(time.Time{})
 	}
 }
 
+// gatePair enforces the shard-ownership gate on a decoded matching
+// request: a fleet replica serves only the language pairs its shard
+// owns, so a pair it does not own is answered with a retryable
+// unavailable envelope (the router owns the shard map; a direct hit on
+// the wrong replica means a stale or bypassed one), and all-pairs
+// requests are rejected outright — scatter-gather is the router's job.
+// Returns nil on ungated replicas and on requests that fail validation,
+// so the execution path's canonical errors are untouched.
+func (st *serverState) gatePair(req protocol.MatchRequest) *protocol.Error {
+	if st.cfg.PairOwned == nil {
+		return nil
+	}
+	r, err := req.Validate()
+	if err != nil {
+		return nil
+	}
+	if r.All {
+		return protocol.Errorf(protocol.CodeInvalidArgument,
+			"all-pairs requests are not served by shard replicas (%s); send them to the router",
+			st.cfg.ShardLabel)
+	}
+	if !st.cfg.PairOwned(r.Pair) {
+		return protocol.Errorf(protocol.CodeUnavailable,
+			"pair %s is not owned by %s; consult the router's shard map", r.Pair, st.cfg.ShardLabel)
+	}
+	return nil
+}
+
 func (st *serverState) handleCorpus(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, st.s.Stats())
+	WriteJSON(w, http.StatusOK, st.s.Stats())
 }
 
 func (st *serverState) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 	var req protocol.InvalidateRequest
-	if e := decodeBody(r, &req); e != nil {
-		writeEnvelope(w, e)
+	if e := DecodeBody(r, &req); e != nil {
+		WriteEnvelope(w, e)
 		return
 	}
 	lang, err := req.Validate()
 	if err != nil {
-		writeEnvelope(w, protocol.FromErr(err))
+		WriteEnvelope(w, protocol.FromErr(err))
 		return
 	}
 	pairs, types := st.s.InvalidateDetail(lang)
-	writeJSON(w, http.StatusOK, protocol.InvalidateResponse{
+	WriteJSON(w, http.StatusOK, protocol.InvalidateResponse{
 		Dropped: pairs + types,
 		Pairs:   pairs,
 		Types:   types,
@@ -240,20 +290,20 @@ func (st *serverState) handleInvalidate(w http.ResponseWriter, r *http.Request) 
 
 func (st *serverState) handleDelta(w http.ResponseWriter, r *http.Request) {
 	var req protocol.DeltaRequest
-	if e := decodeBody(r, &req); e != nil {
-		writeEnvelope(w, e)
+	if e := DecodeBody(r, &req); e != nil {
+		WriteEnvelope(w, e)
 		return
 	}
 	resp, err := st.s.ServeDelta(r.Context(), req)
 	if err != nil {
-		writeEnvelope(w, protocol.FromErr(err))
+		WriteEnvelope(w, protocol.FromErr(err))
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 func (st *serverState) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, st.health())
+	WriteJSON(w, http.StatusOK, st.health())
 }
 
 // health assembles the /v1/healthz body (shared with the legacy
@@ -273,10 +323,12 @@ func (st *serverState) health() protocol.Health {
 }
 
 func (st *serverState) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, st.metrics.snapshot())
+	WriteJSON(w, http.StatusOK, st.metrics.snapshot())
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON writes v as a JSON response body. Exported for the fleet
+// router, which serves the same wire shapes.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/protocol"
+	"repro/internal/wiki"
 )
 
 // The composable middleware stack wrapping the wikimatchd mux. Order
@@ -46,6 +47,15 @@ type HandlerConfig struct {
 	StreamWriteTimeout time.Duration
 	// Logger receives one access-log line per request when non-nil.
 	Logger *log.Logger
+	// PairOwned, when non-nil, marks this replica as one shard of a
+	// fleet: matching requests for pairs it reports false for are
+	// rejected with a retryable unavailable envelope instead of being
+	// computed cold, and all-pairs requests are refused (the router
+	// scatter-gathers them). Nil — the default — serves every pair.
+	PairOwned func(wiki.LanguagePair) bool
+	// ShardLabel names this replica in shard-gate error messages,
+	// e.g. "shard 1/3". Only used when PairOwned is set.
+	ShardLabel string
 }
 
 // DefaultHandlerConfig is the production default stack configuration.
@@ -103,13 +113,25 @@ func WithAccessLog(l *log.Logger) HandlerOption {
 	return func(c *HandlerConfig) { c.Logger = l }
 }
 
-// requestIDKey carries the request ID through the context.
-type requestIDKey struct{}
+// WithShardGate marks this replica as one shard of a fleet: matching
+// requests for pairs owned reports false for are rejected with a
+// retryable unavailable envelope, and all-pairs requests are refused —
+// the router owns the scatter-gather. label names the replica in the
+// rejection messages (e.g. "shard 1/3").
+func WithShardGate(label string, owned func(wiki.LanguagePair) bool) HandlerOption {
+	return func(c *HandlerConfig) {
+		c.ShardLabel = label
+		c.PairOwned = owned
+	}
+}
 
 // RequestID returns the request's ID ("" outside the middleware stack).
+// The ID travels in the context under a protocol-package key so the
+// client SDK can forward it as the outbound X-Request-Id header — one
+// user request stays traceable through a router to the shard that
+// served it.
 func RequestID(ctx context.Context) string {
-	id, _ := ctx.Value(requestIDKey{}).(string)
-	return id
+	return protocol.RequestIDFromContext(ctx)
 }
 
 // serverMetrics aggregates the stack's counters. Totals and gauges are
@@ -278,7 +300,7 @@ func wrapMiddleware(next http.Handler, cfg HandlerConfig) (http.Handler, *server
 			id = "req-" + strconv.FormatUint(reqCounter.Add(1), 10)
 		}
 		w.Header().Set("X-Request-Id", id)
-		ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+		ctx := protocol.ContextWithRequestID(r.Context(), id)
 		r = r.WithContext(ctx)
 
 		sw := &statusWriter{ResponseWriter: w}
@@ -297,7 +319,7 @@ func wrapMiddleware(next http.Handler, cfg HandlerConfig) (http.Handler, *server
 						r.Method, r.URL.Path, id, rec, debug.Stack())
 				}
 				if !midResponse {
-					writeEnvelope(sw, protocol.Errorf(protocol.CodeInternal, "internal server error").WithDetail("requestId", id))
+					WriteEnvelope(sw, protocol.Errorf(protocol.CodeInternal, "internal server error").WithDetail("requestId", id))
 				}
 			}
 			metrics.record(routeLabel(r), sw.status)
@@ -353,27 +375,18 @@ func wrapMiddleware(next http.Handler, cfg HandlerConfig) (http.Handler, *server
 func shed(w http.ResponseWriter, m *serverMetrics) {
 	m.shed.Add(1)
 	w.Header().Set("Retry-After", "1")
-	writeEnvelope(w, protocol.Errorf(protocol.CodeOverloaded, "server is at its concurrency limit; retry shortly"))
+	WriteEnvelope(w, protocol.Errorf(protocol.CodeOverloaded, "server is at its concurrency limit; retry shortly"))
 }
 
 // validRequestID accepts short printable ASCII tokens, rejecting
-// anything that could corrupt logs or headers.
-func validRequestID(id string) bool {
-	if id == "" || len(id) > 64 {
-		return false
-	}
-	for i := 0; i < len(id); i++ {
-		c := id[i]
-		if c <= ' ' || c > '~' {
-			return false
-		}
-	}
-	return true
-}
+// anything that could corrupt logs or headers. The check itself lives
+// in the protocol package, shared with the client SDK's header
+// forwarding.
+func validRequestID(id string) bool { return protocol.ValidRequestID(id) }
 
-// writeEnvelope writes a structured protocol error with its transport
+// WriteEnvelope writes a structured protocol error with its transport
 // status.
-func writeEnvelope(w http.ResponseWriter, e *protocol.Error) {
+func WriteEnvelope(w http.ResponseWriter, e *protocol.Error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(e.HTTPStatus())
 	_ = json.NewEncoder(w).Encode(protocol.ErrorEnvelope{Error: e})

@@ -76,10 +76,21 @@ func (s *Session) Save(w io.Writer) error {
 // cache hits in CacheStats and returns a result byte-identical to a
 // cold build's.
 func Restore(c *wiki.Corpus, r io.Reader, opts ...Option) (*Session, error) {
+	return RestoreFiltered(c, r, nil, opts...)
+}
+
+// RestoreFiltered is Restore for one shard of a fleet: artifacts whose
+// language pair keep rejects are dropped before seeding, so the replica
+// warm-loads only the slice of the snapshot it owns. The corpus — and
+// therefore the fingerprint check — stays the full one: every shard
+// serves the whole corpus's statistics and deltas, only the artifact
+// cache is sharded. A nil keep restores everything.
+func RestoreFiltered(c *wiki.Corpus, r io.Reader, keep func(wiki.LanguagePair) bool, opts ...Option) (*Session, error) {
 	snap, err := store.Read(r)
 	if err != nil {
 		return nil, err
 	}
+	snap.FilterPairs(keep)
 	if fp := c.Fingerprint(); fp != snap.Fingerprint {
 		return nil, &store.FingerprintError{Snapshot: snap.Fingerprint, Corpus: fp}
 	}

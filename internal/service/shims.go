@@ -74,32 +74,46 @@ func ParsePair(s string) (wiki.LanguagePair, error) { return protocol.ParsePair(
 
 func registerShims(mux *http.ServeMux, st *serverState) {
 	mux.HandleFunc("GET /corpus/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, st.s.Stats())
+		WriteJSON(w, http.StatusOK, st.s.Stats())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, st.health())
+		WriteJSON(w, http.StatusOK, st.health())
 	})
 	mux.HandleFunc("GET /match", func(w http.ResponseWriter, r *http.Request) {
-		resp, err := st.s.ServeMatch(r.Context(), protocol.MatchRequest{Pair: r.URL.Query().Get("pair")})
-		if err != nil {
-			writeLegacyError(w, err)
+		req := protocol.MatchRequest{Pair: r.URL.Query().Get("pair")}
+		if e := st.gatePair(req); e != nil {
+			WriteEnvelope(w, e)
 			return
 		}
-		writeJSON(w, http.StatusOK, resp)
-	})
-	mux.HandleFunc("GET /match/{type}", func(w http.ResponseWriter, r *http.Request) {
-		req := protocol.MatchRequest{Pair: r.URL.Query().Get("pair"), Type: r.PathValue("type")}
 		resp, err := st.s.ServeMatch(r.Context(), req)
 		if err != nil {
 			writeLegacyError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, resp.Results[0])
+		WriteJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /match/{type}", func(w http.ResponseWriter, r *http.Request) {
+		req := protocol.MatchRequest{Pair: r.URL.Query().Get("pair"), Type: r.PathValue("type")}
+		if e := st.gatePair(req); e != nil {
+			WriteEnvelope(w, e)
+			return
+		}
+		resp, err := st.s.ServeMatch(r.Context(), req)
+		if err != nil {
+			writeLegacyError(w, err)
+			return
+		}
+		WriteJSON(w, http.StatusOK, resp.Results[0])
 	})
 	mux.HandleFunc("GET /match/stream", func(w http.ResponseWriter, r *http.Request) {
+		req := protocol.MatchRequest{Pair: r.URL.Query().Get("pair")}
+		if e := st.gatePair(req); e != nil {
+			WriteEnvelope(w, e)
+			return
+		}
 		ctx, cancel := context.WithCancel(r.Context())
 		defer cancel()
-		lines, err := st.s.ServeStream(ctx, protocol.MatchRequest{Pair: r.URL.Query().Get("pair")})
+		lines, err := st.s.ServeStream(ctx, req)
 		if err != nil {
 			writeLegacyError(w, err)
 			return
@@ -119,16 +133,24 @@ func registerShims(mux *http.ServeMux, st *serverState) {
 		if !ok {
 			return
 		}
+		if e := st.gatePair(req); e != nil {
+			WriteEnvelope(w, e)
+			return
+		}
 		resp, err := st.s.ServeMatchAll(r.Context(), req)
 		if err != nil {
 			writeLegacyError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, legacyMatchAll(resp))
+		WriteJSON(w, http.StatusOK, legacyMatchAll(resp))
 	})
 	mux.HandleFunc("GET /matchall/stream", func(w http.ResponseWriter, r *http.Request) {
 		req, ok := matchAllShimRequest(w, r)
 		if !ok {
+			return
+		}
+		if e := st.gatePair(req); e != nil {
+			WriteEnvelope(w, e)
 			return
 		}
 		ctx, cancel := context.WithCancel(r.Context())
@@ -152,13 +174,13 @@ func registerShims(mux *http.ServeMux, st *serverState) {
 			writeLegacyError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, invalidateJSON{Dropped: st.s.Invalidate(lang)})
+		WriteJSON(w, http.StatusOK, invalidateJSON{Dropped: st.s.Invalidate(lang)})
 	})
 	// Mutating over GET was never supported; reject it explicitly with
 	// the structured 405 envelope instead of net/http's plain-text one.
 	mux.HandleFunc("GET /session/invalidate", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Allow", http.MethodPost)
-		writeEnvelope(w, protocol.Errorf(protocol.CodeMethodNotAllowed,
+		WriteEnvelope(w, protocol.Errorf(protocol.CodeMethodNotAllowed,
 			"method GET not allowed on /session/invalidate (use POST)"))
 	})
 }
@@ -172,7 +194,7 @@ func matchAllShimRequest(w http.ResponseWriter, r *http.Request) (protocol.Match
 	if raw := r.URL.Query().Get("workers"); raw != "" {
 		n, err := strconv.Atoi(raw)
 		if err != nil || n < 0 {
-			writeJSON(w, http.StatusBadRequest, errorJSON{Error: "invalid workers " + strconv.Quote(raw)})
+			WriteJSON(w, http.StatusBadRequest, errorJSON{Error: "invalid workers " + strconv.Quote(raw)})
 			return protocol.MatchRequest{}, false
 		}
 		req.Workers = n
@@ -207,5 +229,5 @@ func writeLegacyError(w http.ResponseWriter, err error) {
 	case protocol.CodeCanceled, protocol.CodeDeadlineExceeded:
 		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, errorJSON{Error: e.Message})
+	WriteJSON(w, status, errorJSON{Error: e.Message})
 }

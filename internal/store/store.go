@@ -53,6 +53,31 @@ type TypeArtifacts struct {
 	LSI          *lsi.Model
 }
 
+// FilterPairs drops, in place, every pair- and type-artifact section
+// whose language pair keep rejects. A fleet replica uses it to warm-load
+// only the shard slice it owns from a full snapshot; the fingerprint and
+// config are untouched, so the filtered snapshot still validates against
+// the full corpus. A nil keep keeps everything.
+func (s *Snapshot) FilterPairs(keep func(wiki.LanguagePair) bool) {
+	if keep == nil {
+		return
+	}
+	pairs := s.Pairs[:0]
+	for _, p := range s.Pairs {
+		if keep(p.Pair) {
+			pairs = append(pairs, p)
+		}
+	}
+	s.Pairs = pairs
+	types := s.Types[:0]
+	for _, t := range s.Types {
+		if keep(t.Pair) {
+			types = append(types, t)
+		}
+	}
+	s.Types = types
+}
+
 // Write serializes the snapshot to w in the versioned container format.
 // Sections are written in a canonical order (config, pairs sorted by
 // pair, types sorted by pair/typeA/typeB) with deterministic payload

@@ -264,3 +264,37 @@ func TestWriteFileAtomic(t *testing.T) {
 		t.Fatalf("overwrite: %v", err)
 	}
 }
+
+// TestFilterPairs: the shard filter drops exactly the rejected pairs'
+// sections, in place, leaving fingerprint and config for the full-corpus
+// validation a replica still performs.
+func TestFilterPairs(t *testing.T) {
+	snap, raw := testSnapshot(t)
+	got, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.FilterPairs(func(p wiki.LanguagePair) bool { return p == wiki.PtEn })
+	if len(got.Pairs) != 1 || got.Pairs[0].Pair != wiki.PtEn {
+		t.Fatalf("filtered pairs = %+v, want only pt-en", got.Pairs)
+	}
+	for _, typ := range got.Types {
+		if typ.Pair != wiki.PtEn {
+			t.Errorf("type section for unowned pair %s survived the filter", typ.Pair)
+		}
+	}
+	if got.Fingerprint != snap.Fingerprint {
+		t.Error("filter changed the fingerprint")
+	}
+
+	// nil keeps everything; rejecting everything empties both sections.
+	full, _ := Read(bytes.NewReader(raw))
+	full.FilterPairs(nil)
+	if len(full.Pairs) != len(snap.Pairs) || len(full.Types) != len(snap.Types) {
+		t.Error("nil keep dropped sections")
+	}
+	full.FilterPairs(func(wiki.LanguagePair) bool { return false })
+	if len(full.Pairs) != 0 || len(full.Types) != 0 {
+		t.Error("reject-all keep left sections behind")
+	}
+}

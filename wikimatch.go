@@ -45,6 +45,7 @@ import (
 	"repro/internal/multi"
 	"repro/internal/protocol"
 	"repro/internal/query"
+	"repro/internal/router"
 	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -284,6 +285,21 @@ func RestoreSessionFromFile(c *Corpus, path string, opts ...SessionOption) (*Ses
 	return service.Restore(c, f, opts...)
 }
 
+// RestoreSessionFromFileFiltered is RestoreSessionFromFile keeping only
+// the snapshot slice the keep predicate owns — how a shard replica
+// warm-starts with just its pairs (see ShardOwned). The corpus itself
+// stays full; only the artifact cache is sharded, so the snapshot's
+// fingerprint and configuration are validated exactly as in an
+// unfiltered restore.
+func RestoreSessionFromFileFiltered(c *Corpus, path string, keep func(LanguagePair) bool, opts ...SessionOption) (*Session, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return service.RestoreFiltered(c, f, keep, opts...)
+}
+
 // Wire protocol v1: the typed request/response API served under /v1/
 // and spoken by the client SDK. One MatchRequest shape drives pair,
 // single-type and all-pairs matching, unary or streaming, with a shared
@@ -355,6 +371,9 @@ var (
 	WithHTTPClient = client.WithHTTPClient
 	// WithRetries sets the retry budget and base backoff delay.
 	WithRetries = client.WithRetries
+	// WithHedge arms hedged read-only unary requests: a second attempt
+	// fires when the first is still pending after the given delay.
+	WithHedge = client.WithHedge
 )
 
 // HTTP serving options (the middleware stack of NewHTTPHandler).
@@ -374,6 +393,10 @@ var (
 	WithStreamWriteTimeout = service.WithStreamWriteTimeout
 	// WithAccessLog enables per-request access logging.
 	WithAccessLog = service.WithAccessLog
+	// WithShardGate marks the handler as one shard of a fleet: requests
+	// for pairs outside the ownership predicate answer 503 unavailable
+	// pointing the caller back at the router.
+	WithShardGate = service.WithShardGate
 )
 
 // NewHTTPHandler builds the wikimatchd HTTP API over a session: the
@@ -385,6 +408,50 @@ var (
 func NewHTTPHandler(s *Session, opts ...HTTPHandlerOption) http.Handler {
 	return service.NewHandler(s, opts...)
 }
+
+// The fleet layer: a router coordinating N wikimatchd shard replicas
+// behind the same /v1 surface a single binary serves. A deterministic
+// shard map (ShardForPair) assigns every canonical language pair to one
+// replica; the router routes unary requests to their owner and
+// scatter-gathers all-pairs batches across the fleet into responses
+// byte-identical to a single binary's. See cmd/wikimatchd's -router and
+// -shard-index modes.
+type (
+	// FleetRouter fronts the shard replicas; Handler() serves /v1/.
+	FleetRouter = router.Router
+	// FleetRouterOption adjusts a FleetRouter.
+	FleetRouterOption = router.Option
+)
+
+// NewFleetRouter builds a router over the given shard addresses
+// (host:port or full URLs), in shard-index order.
+func NewFleetRouter(addrs []string, opts ...FleetRouterOption) (*FleetRouter, error) {
+	return router.New(addrs, opts...)
+}
+
+// Fleet router options.
+var (
+	// WithFleetClientOptions configures the per-shard SDK clients.
+	WithFleetClientOptions = router.WithClientOptions
+	// WithFleetHandlerOptions configures the router's own middleware.
+	WithFleetHandlerOptions = router.WithHandlerOptions
+	// WithFleetHealthInterval sets the background health-poll cadence
+	// (negative disables the poller).
+	WithFleetHealthInterval = router.WithHealthInterval
+	// WithFleetProbeTimeout bounds each shard health probe.
+	WithFleetProbeTimeout = router.WithProbeTimeout
+	// WithFleetLogger directs router logs.
+	WithFleetLogger = router.WithLogger
+)
+
+// ShardForPair maps a pair to its owning shard among count replicas —
+// the deterministic, orientation-independent fleet shard map.
+func ShardForPair(pair LanguagePair, count int) int { return router.ShardFor(pair, count) }
+
+// ShardOwned is shard index's ownership predicate among count replicas:
+// the keep function for RestoreSessionFromFileFiltered and the gate for
+// WithShardGate.
+func ShardOwned(index, count int) func(LanguagePair) bool { return router.Owned(index, count) }
 
 // ParseLanguagePair parses a "pt-en"-style pair string ("vn-en" is an
 // alias for Vietnamese–English).
