@@ -25,7 +25,13 @@
 // plus the warm unary router-hop overhead. It shells out to the go
 // toolchain and must run from inside the repository.
 //
-//	benchall [-scale small|full] [-run all|table1..table7|figure3..figure7|svd|session|store|http|router|timings] [-json]
+// A sixth timing experiment, "audit", times the cross-edition value
+// consistency audit end to end: a cold POST /v1/audit on a fresh
+// session (the matching phase builds every artifact) against a warm one
+// on the same session (the batch served from the artifact cache, only
+// the value comparison rerunning).
+//
+//	benchall [-scale small|full] [-run all|table1..table7|figure3..figure7|svd|session|store|http|router|audit|timings] [-json]
 package main
 
 import (
@@ -52,8 +58,8 @@ import (
 
 func main() {
 	scale := flag.String("scale", "full", "corpus scale: small or full")
-	run := flag.String("run", "all", "experiment to run (all, table1..table7, figure3..figure7, svd, session, store, http, router, timings)")
-	jsonOut := flag.Bool("json", false, "emit the timing experiments (svd/session/store/http/timings) as one JSON document")
+	run := flag.String("run", "all", "experiment to run (all, table1..table7, figure3..figure7, svd, session, store, http, router, audit, timings)")
+	jsonOut := flag.Bool("json", false, "emit the timing experiments (svd/session/store/http/audit/timings) as one JSON document")
 	flag.Parse()
 
 	// The router experiment drives wikimatchd subprocesses and needs no
@@ -99,14 +105,19 @@ func main() {
 			doc.Store = &st
 		case "http":
 			doc.HTTP = measureHTTP(s)
+		case "audit":
+			at := measureAudit(s)
+			doc.Audit = &at
 		case "timings":
 			doc.SVD = measureSVD(s)
 			doc.Session = measureSession(s)
 			st := measureStore(s)
 			doc.Store = &st
 			doc.HTTP = measureHTTP(s)
+			at := measureAudit(s)
+			doc.Audit = &at
 		default:
-			fmt.Fprintf(os.Stderr, "-json applies to the timing experiments only (svd, session, store, http, timings), not %q\n", *run)
+			fmt.Fprintf(os.Stderr, "-json applies to the timing experiments only (svd, session, store, http, audit, timings), not %q\n", *run)
 			os.Exit(2)
 		}
 		enc := json.NewEncoder(w)
@@ -163,6 +174,8 @@ func main() {
 		renderStoreTimings(measureStore(s))
 	case "http":
 		renderHTTPTimings(measureHTTP(s))
+	case "audit":
+		renderAuditTimings(measureAudit(s))
 	case "timings":
 		renderSVDTimings(measureSVD(s))
 		fmt.Println()
@@ -171,6 +184,8 @@ func main() {
 		renderStoreTimings(measureStore(s))
 		fmt.Println()
 		renderHTTPTimings(measureHTTP(s))
+		fmt.Println()
+		renderAuditTimings(measureAudit(s))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
 		os.Exit(2)
@@ -185,6 +200,7 @@ type timingDoc struct {
 	Store   *storeTiming    `json:"store,omitempty"`
 	HTTP    []httpTiming    `json:"http,omitempty"`
 	Router  *routerTiming   `json:"router,omitempty"`
+	Audit   *auditTiming    `json:"audit,omitempty"`
 }
 
 // svdTiming is one entity type's dense-vs-sparse decomposition timing.
@@ -439,6 +455,60 @@ func renderHTTPTimings(rows []httpTiming) {
 			time.Duration(r.WarmUnaryNS).Round(time.Microsecond),
 			r.SeqReqPerSec, r.ConcReqPerSec)
 	}
+}
+
+// auditTiming is the consistency audit's cold-vs-warm serving timing:
+// cold pays the full matching phase, warm serves the batch from the
+// artifact cache and only reruns the value comparison.
+type auditTiming struct {
+	Clusters int     `json:"clusters"`
+	Entities int     `json:"entities"`
+	Compared int     `json:"compared"`
+	Findings int     `json:"findings"`
+	ColdNS   int64   `json:"coldNs"`
+	WarmNS   int64   `json:"warmNs"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// measureAudit times POST /v1/audit through the typed serving path: a
+// cold run on a fresh session against a warm rerun on the same session.
+func measureAudit(s *experiments.Setup) auditTiming {
+	ctx := context.Background()
+	req := protocol.AuditRequest{}
+	var resp *protocol.AuditResponse
+	cold := timeIt(func() {
+		var err error
+		if resp, err = service.New(s.Corpus).ServeAudit(ctx, req); err != nil {
+			fmt.Fprintln(os.Stderr, "cold audit:", err)
+			os.Exit(1)
+		}
+	})
+	sess := service.New(s.Corpus)
+	if _, err := sess.ServeAudit(ctx, req); err != nil {
+		fmt.Fprintln(os.Stderr, "prewarm audit:", err)
+		os.Exit(1)
+	}
+	warm := timeIt(func() {
+		if _, err := sess.ServeAudit(ctx, req); err != nil {
+			fmt.Fprintln(os.Stderr, "warm audit:", err)
+			os.Exit(1)
+		}
+	})
+	return auditTiming{
+		Clusters: resp.Clusters, Entities: resp.Entities,
+		Compared: resp.Compared, Findings: len(resp.Findings),
+		ColdNS: int64(cold), WarmNS: int64(warm),
+		Speedup: float64(cold) / float64(warm),
+	}
+}
+
+func renderAuditTimings(at auditTiming) {
+	fmt.Printf("audit: %d clusters, %d entities, %d comparisons, %d findings\n",
+		at.Clusters, at.Entities, at.Compared, at.Findings)
+	fmt.Printf("%-12s %12s\n", "stage", "time")
+	fmt.Printf("%-12s %12s\n", "cold", time.Duration(at.ColdNS).Round(time.Microsecond))
+	fmt.Printf("%-12s %12s\n", "warm", time.Duration(at.WarmNS).Round(time.Microsecond))
+	fmt.Printf("warm vs cold: %.1fx faster\n", at.Speedup)
 }
 
 // timeIt returns the best of three runs — enough to flatten scheduler

@@ -21,6 +21,12 @@
 // and conflict reports — evaluated against the generator's gold data
 // when the corpus is synthetic. It honours -remote too.
 //
+// The audit subcommand runs the batch and then compares every
+// cross-linked entity's values across the matched attribute clusters,
+// printing a ranked inconsistency report (missing values, numeric
+// drift, unit mismatches, outright contradictions) with
+// confidence-weighted severities. It honours -remote too.
+//
 // The precompute subcommand is the offline half of the offline/online
 // split: it builds every artifact for the requested language pairs and
 // writes them as one atomic snapshot file that `wikimatchd -store`
@@ -37,6 +43,10 @@
 //	          [-scale small|full] [-dumps dir] [-store out.wmsnap]
 //	          [-remote URL] [-timings=false]
 //	          [-clusters] [-tsim 0.6] [-tlsi 0.1]
+//
+//	wikimatch audit [-mode pivot|direct] [-hub en] [-workers N]
+//	          [-pair pt-en] [-min-severity 0.5] [-limit 20]
+//	          [-scale small|full] [-dumps dir] [-remote URL] [-timings=false]
 //
 //	wikimatch precompute -store artifacts.wmsnap
 //	          [-pairs pt-en,vi-en] [-scale small|full] [-dumps dir]
@@ -67,6 +77,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "matchall" {
 		os.Exit(matchallCmd(os.Args[2:], os.Stdout, os.Stderr))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "audit" {
+		os.Exit(auditCmd(os.Args[2:], os.Stdout, os.Stderr))
 	}
 	os.Exit(matchCmd(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -379,6 +392,113 @@ func matchallCmd(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "\nsnapshot %s: %d pairs, %d types\n", *storePath, cs.PairEntries, cs.TypeEntries)
 	}
 	return 0
+}
+
+// auditCmd audits cross-edition value consistency: it streams the
+// all-pairs matching phase like matchall, then prints the ranked
+// inconsistency findings as the comparison emits them, closing with the
+// report summary. With -remote the audit runs in the daemon over its
+// warm artifact cache; the printed report is identical either way.
+func auditCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wikimatch audit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	modeFlag := fs.String("mode", "pivot", "pair coverage for the matching phase: pivot (through -hub) or direct")
+	hubFlag := fs.String("hub", "en", "pivot hub language edition")
+	workers := fs.Int("workers", 0, "concurrent pairs in the matching phase (0 = GOMAXPROCS)")
+	scale := fs.String("scale", "small", "generated corpus scale: small or full")
+	dumpsDir := fs.String("dumps", "", "directory with <lang>.xml dumps to load instead of generating")
+	remote := fs.String("remote", "", "wikimatchd base URL; audit there instead of in process")
+	pairFlag := fs.String("pair", "", "restrict findings to one language pair (e.g. pt-en)")
+	minSeverity := fs.Float64("min-severity", 0, "drop findings scoring below this severity (0..1)")
+	limit := fs.Int("limit", 20, "cap the ranked findings (0 = unlimited)")
+	timings := fs.Bool("timings", true, "print per-pair and total elapsed times")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	corpus, _, err := loadCorpus(stdout, *dumpsDir, *scale)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	backend, err := newBackend(*remote, corpus)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "corpus languages: %v\n", corpus.Languages())
+
+	req := repro.AuditRequest{
+		Mode: *modeFlag, Hub: *hubFlag, Workers: *workers,
+		Pair: *pairFlag, MinSeverity: *minSeverity, Limit: *limit,
+	}
+	lines, err := backend.AuditStream(context.Background(), req)
+	if err != nil {
+		fmt.Fprintln(stderr, "audit:", err)
+		return 1
+	}
+	defer lines.Close()
+	var final *repro.AuditResponse
+	headed := false
+	for lines.Next() {
+		line := lines.Line()
+		if line.Error != nil {
+			fmt.Fprintln(stderr, "audit:", line.Error)
+			return 1
+		}
+		if o := line.Pair; o != nil {
+			if o.Error != "" {
+				fmt.Fprintf(stdout, "[%d/%d] %-8s FAILED: %v\n", line.Done, line.Total, o.Pair, o.Error)
+				continue
+			}
+			if *timings {
+				fmt.Fprintf(stdout, "[%d/%d] %-8s %3d types %5d correspondences  %v\n",
+					line.Done, line.Total, o.Pair, o.Types, o.Correspondences,
+					(time.Duration(o.ElapsedMS * float64(time.Millisecond))).Round(time.Millisecond))
+			} else {
+				fmt.Fprintf(stdout, "[%d/%d] %-8s %3d types %5d correspondences\n",
+					line.Done, line.Total, o.Pair, o.Types, o.Correspondences)
+			}
+		}
+		if f := line.Finding; f != nil {
+			if !headed {
+				fmt.Fprintf(stdout, "\nranked findings:\n")
+				headed = true
+			}
+			printFinding(stdout, line.Done, f)
+		}
+		if line.FinalAudit != nil {
+			final = line.FinalAudit
+		}
+	}
+	if err := lines.Err(); err != nil {
+		fmt.Fprintln(stderr, "audit:", err)
+		return 1
+	}
+	if final == nil {
+		fmt.Fprintln(stderr, "audit: no result")
+		return 1
+	}
+	fmt.Fprintf(stdout, "\naudited %d entities over %d clusters: %d value comparisons, %d findings",
+		final.Entities, final.Clusters, final.Compared, len(final.Findings))
+	if *timings {
+		fmt.Fprintf(stdout, ", %v", (time.Duration(final.ElapsedMS * float64(time.Millisecond))).Round(time.Millisecond))
+	}
+	fmt.Fprintln(stdout)
+	return 0
+}
+
+// printFinding renders one ranked inconsistency with its per-edition
+// observations.
+func printFinding(w io.Writer, rank int, f *repro.AuditFindingJSON) {
+	fmt.Fprintf(w, "%3d. [%.3f] %-14s %s (cluster %d)\n", rank, f.Severity, f.Kind, f.Entity, f.Cluster)
+	for _, v := range f.Values {
+		norm := ""
+		if v.Norm != "" && v.Norm != v.Raw {
+			norm = fmt.Sprintf("  → %s", v.Norm)
+		}
+		fmt.Fprintf(w, "       %s %s = %q%s\n", v.Lang, v.Attr, v.Raw, norm)
+	}
 }
 
 // printBatch summarizes the clusters: counts by language span, conflict

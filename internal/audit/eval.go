@@ -1,0 +1,109 @@
+package audit
+
+import (
+	"repro/internal/synth"
+)
+
+// EvalResult scores a detector run against a synthetic injection ledger.
+type EvalResult struct {
+	// TP / FP / Missed count findings matched to ledger entries, findings
+	// with no ledger entry, and ledger entries no finding matched.
+	TP, FP, Missed int
+	// Precision is TP/(TP+FP) over value-disagreement findings at or
+	// above the severity threshold. Missing findings are excluded from
+	// precision: the synthetic overlap model legitimately omits
+	// attributes from single editions, so an un-injected missing finding
+	// is usually a true (if unexciting) report, not a false alarm.
+	Precision float64
+	// Recall is the fraction of ledger entries some finding matched
+	// (regardless of severity — an injected fault found at low severity
+	// is still found), injected drops included.
+	Recall float64
+}
+
+// injectionKind maps a ledger kind to the finding kind the detector
+// should report for it.
+func injectionKind(k string) Kind {
+	switch k {
+	case synth.InjectNumber:
+		return NumericDrift
+	case synth.InjectDate:
+		return Contradiction
+	case synth.InjectUnit:
+		return UnitMismatch
+	case synth.InjectDrop:
+		return Missing
+	}
+	return ""
+}
+
+// matches reports whether a finding points at a ledger entry: same
+// entity (by the victim edition's title), an attribute surface that
+// realizes the injected canonical attribute, and the expected kind.
+func matches(f *Finding, inj *synth.Injection, truth *synth.GroundTruth) bool {
+	if f.Kind != injectionKind(inj.Kind) {
+		return false
+	}
+	matched := false
+	for l, t := range inj.Titles {
+		if f.Titles[l] == t {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		return false
+	}
+	tt, ok := truth.TruthFor(inj.Type)
+	if !ok {
+		return false
+	}
+	for _, v := range f.Values {
+		for _, c := range tt.Canons(v.Lang, v.Attr) {
+			if c == inj.Canon {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Evaluate scores findings against the ground truth's injection ledger.
+// minSeverity gates which findings count toward precision; recall
+// considers every finding (an injected fault found at low severity is
+// still found).
+func Evaluate(findings []Finding, truth *synth.GroundTruth, minSeverity float64) EvalResult {
+	found := make([]bool, len(truth.Injected))
+	var res EvalResult
+	for i := range findings {
+		f := &findings[i]
+		hit := false
+		for j := range truth.Injected {
+			if matches(f, &truth.Injected[j], truth) {
+				found[j] = true
+				hit = true
+			}
+		}
+		if f.Kind == Missing || f.Severity < minSeverity {
+			continue
+		}
+		if hit {
+			res.TP++
+		} else {
+			res.FP++
+		}
+	}
+	for _, ok := range found {
+		if !ok {
+			res.Missed++
+		}
+	}
+	if res.TP+res.FP > 0 {
+		res.Precision = float64(res.TP) / float64(res.TP+res.FP)
+	}
+	hits := len(truth.Injected) - res.Missed
+	if len(truth.Injected) > 0 {
+		res.Recall = float64(hits) / float64(len(truth.Injected))
+	}
+	return res
+}

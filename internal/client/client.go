@@ -35,6 +35,10 @@ type Backend interface {
 	MatchAll(ctx context.Context, req protocol.MatchRequest) (*protocol.MatchAllResponse, error)
 	// Stream runs a pair or all-pairs request with streamed progress.
 	Stream(ctx context.Context, req protocol.MatchRequest) (*Stream, error)
+	// Audit runs a cross-edition value-consistency audit.
+	Audit(ctx context.Context, req protocol.AuditRequest) (*protocol.AuditResponse, error)
+	// AuditStream runs an audit with streamed progress and findings.
+	AuditStream(ctx context.Context, req protocol.AuditRequest) (*Stream, error)
 	// Stats snapshots the server's corpus, cache and configuration.
 	Stats(ctx context.Context) (*protocol.StatsResponse, error)
 	// Invalidate drops cached artifacts for a language ("" = all).
@@ -130,6 +134,21 @@ func (c *Client) MatchAll(ctx context.Context, req protocol.MatchRequest) (*prot
 	return &out, nil
 }
 
+// Audit implements Backend over POST /v1/audit.
+func (c *Client) Audit(ctx context.Context, req protocol.AuditRequest) (*protocol.AuditResponse, error) {
+	var out protocol.AuditResponse
+	if err := c.unary(ctx, http.MethodPost, "/v1/audit", req, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AuditStream implements Backend over POST /v1/audit/stream. Like
+// Stream, the result must be closed and failures are not retried.
+func (c *Client) AuditStream(ctx context.Context, req protocol.AuditRequest) (*Stream, error) {
+	return c.openStream(ctx, "/v1/audit/stream", req)
+}
+
 // Stats implements Backend over GET /v1/corpus.
 func (c *Client) Stats(ctx context.Context) (*protocol.StatsResponse, error) {
 	var out protocol.StatsResponse
@@ -183,7 +202,12 @@ func (c *Client) Delta(ctx context.Context, req protocol.DeltaRequest) (*protoco
 // must be closed. Streams are not retried: a failure mid-stream would
 // replay lines the consumer already acted on.
 func (c *Client) Stream(ctx context.Context, req protocol.MatchRequest) (*Stream, error) {
-	resp, err := c.do(ctx, http.MethodPost, "/v1/stream", req)
+	return c.openStream(ctx, "/v1/stream", req)
+}
+
+// openStream opens one NDJSON endpoint and wraps it in a Stream.
+func (c *Client) openStream(ctx context.Context, path string, req any) (*Stream, error) {
+	resp, err := c.do(ctx, http.MethodPost, path, req)
 	if err != nil {
 		return nil, err
 	}

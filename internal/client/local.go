@@ -43,6 +43,25 @@ func (l Local) Stream(ctx context.Context, req protocol.MatchRequest) (*Stream, 
 	}, nil
 }
 
+// Audit implements Backend.
+func (l Local) Audit(ctx context.Context, req protocol.AuditRequest) (*protocol.AuditResponse, error) {
+	return l.S.ServeAudit(ctx, req)
+}
+
+// AuditStream implements Backend.
+func (l Local) AuditStream(ctx context.Context, req protocol.AuditRequest) (*Stream, error) {
+	lines, err := l.S.ServeAuditStream(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{
+		next: func() (protocol.StreamLine, bool, error) {
+			line, ok := <-lines
+			return line, ok, nil
+		},
+	}, nil
+}
+
 // Stats implements Backend.
 func (l Local) Stats(ctx context.Context) (*protocol.StatsResponse, error) {
 	stats := l.S.Stats()

@@ -66,6 +66,18 @@ type Plan struct {
 	Pairs []wiki.LanguagePair
 }
 
+// UnknownHubError reports a pivot hub that is not among the corpus
+// languages — the caller named an edition this corpus does not serve,
+// which the service layer maps to not_found rather than internal.
+type UnknownHubError struct {
+	Hub   wiki.Language
+	Langs []wiki.Language
+}
+
+func (e *UnknownHubError) Error() string {
+	return fmt.Sprintf("multi: pivot hub %q not among corpus languages %v", e.Hub, e.Langs)
+}
+
 // NewPlan resolves the pair plan for a language set. Pivot mode requires
 // the hub to be one of the languages; both modes require at least two.
 func NewPlan(langs []wiki.Language, mode Mode, hub wiki.Language) (Plan, error) {
@@ -83,7 +95,7 @@ func NewPlan(langs []wiki.Language, mode Mode, hub wiki.Language) (Plan, error) 
 	switch mode {
 	case ModePivot:
 		if !uniq[hub] {
-			return Plan{}, fmt.Errorf("multi: pivot hub %q not among corpus languages %v", hub, sortedLangs(uniq))
+			return Plan{}, &UnknownHubError{Hub: hub, Langs: sortedLangs(uniq)}
 		}
 		p.Pairs = wiki.HubPairs(langs, hub)
 	case ModeDirect:

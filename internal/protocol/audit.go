@@ -1,0 +1,128 @@
+package protocol
+
+import (
+	"repro/internal/multi"
+	"repro/internal/wiki"
+)
+
+// AuditRequest asks the service to audit cross-edition value
+// consistency: run (or reuse) the all-pairs batch match, then compare
+// every cross-linked entity's values across the matched attribute
+// clusters — POST /v1/audit or /v1/audit/stream.
+type AuditRequest struct {
+	// Mode is the batch coverage for the matching phase, "pivot"
+	// (default) or "direct".
+	Mode string `json:"mode,omitempty"`
+	// Hub is the pivot edition (default "en"). A malformed code is an
+	// invalid_argument error; a well-formed hub the corpus does not serve
+	// surfaces as not_found from the matching phase.
+	Hub string `json:"hub,omitempty"`
+	// Workers bounds concurrent pairs in the matching phase; 0 means
+	// GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+	// Pair optionally restricts the report to findings whose compared
+	// editions are exactly this pair ("pt-en" style). The matching phase
+	// still runs the full batch — clusters need every edition.
+	Pair string `json:"pair,omitempty"`
+	// MinSeverity drops findings scoring below it.
+	MinSeverity float64 `json:"minSeverity,omitempty"`
+	// Limit caps the ranked findings (0 = unlimited).
+	Limit int `json:"limit,omitempty"`
+	// Clusters, when non-nil, skips the matching phase and audits
+	// against the provided clusters. This is the router's forwarding
+	// path: the router merges the fleet's pair matches into clusters and
+	// hands them to one corpus-bearing shard for value comparison. The
+	// field is deliberately not omitempty — an empty (but present)
+	// cluster set still means "the matching phase already ran".
+	Clusters []multi.Cluster `json:"clusters"`
+}
+
+// ResolvedAudit is a validated AuditRequest.
+type ResolvedAudit struct {
+	Multi multi.Options
+	// Pair restriction; zero value means unrestricted.
+	Pair     wiki.LanguagePair
+	HasPair  bool
+	MinSev   float64
+	Limit    int
+	Clusters []multi.Cluster
+}
+
+// Validate checks the request and resolves its typed fields. Bad pair,
+// mode, or hub spellings are CodeInvalidArgument; hub membership in the
+// corpus is checked by the matching phase (multi.UnknownHubError →
+// CodeNotFound).
+func (r AuditRequest) Validate() (ResolvedAudit, error) {
+	res := ResolvedAudit{
+		Multi:    multi.Options{Mode: multi.ModePivot, Hub: wiki.English, Workers: r.Workers},
+		MinSev:   r.MinSeverity,
+		Limit:    r.Limit,
+		Clusters: r.Clusters,
+	}
+	if r.Mode != "" {
+		mode, err := multi.ParseMode(r.Mode)
+		if err != nil {
+			return ResolvedAudit{}, &Error{Code: CodeInvalidArgument, Message: err.Error()}
+		}
+		res.Multi.Mode = mode
+	}
+	if r.Hub != "" {
+		hub := wiki.Language(r.Hub)
+		if !hub.Valid() {
+			return ResolvedAudit{}, Errorf(CodeInvalidArgument, "invalid hub language %q", r.Hub)
+		}
+		res.Multi.Hub = hub
+	}
+	if r.Workers < 0 {
+		return ResolvedAudit{}, Errorf(CodeInvalidArgument, "invalid workers %d", r.Workers)
+	}
+	if r.MinSeverity < 0 || r.MinSeverity > 1 {
+		return ResolvedAudit{}, Errorf(CodeInvalidArgument, "invalid minSeverity %v (want [0,1])", r.MinSeverity)
+	}
+	if r.Limit < 0 {
+		return ResolvedAudit{}, Errorf(CodeInvalidArgument, "invalid limit %d", r.Limit)
+	}
+	if r.Pair != "" {
+		pair, err := ParsePair(r.Pair)
+		if err != nil {
+			return ResolvedAudit{}, &Error{Code: CodeInvalidArgument, Message: err.Error()}
+		}
+		res.Pair, res.HasPair = pair, true
+	}
+	return res, nil
+}
+
+// AuditValue is one edition's observation inside a finding.
+type AuditValue struct {
+	Lang string `json:"lang"`
+	Attr string `json:"attr"`
+	Raw  string `json:"raw,omitempty"`
+	Norm string `json:"norm,omitempty"`
+}
+
+// AuditFinding is one ranked inconsistency.
+type AuditFinding struct {
+	Entity     string            `json:"entity"`
+	Titles     map[string]string `json:"titles"`
+	Cluster    int               `json:"cluster"`
+	Kind       string            `json:"kind"`
+	Magnitude  float64           `json:"magnitude"`
+	Confidence float64           `json:"confidence"`
+	Severity   float64           `json:"severity"`
+	Detail     string            `json:"detail"`
+	Values     []AuditValue      `json:"values"`
+}
+
+// AuditResponse answers POST /v1/audit: the matching phase's summary
+// (mode, hub, per-pair outcomes) plus the ranked findings.
+type AuditResponse struct {
+	Mode      string         `json:"mode"`
+	Hub       string         `json:"hub"`
+	Pairs     []MatchAllPair `json:"pairs,omitempty"`
+	Clusters  int            `json:"clusters"`
+	Entities  int            `json:"entities"`
+	Compared  int            `json:"compared"`
+	Findings  []AuditFinding `json:"findings"`
+	ElapsedMS float64        `json:"elapsedMs"`
+	Cache     CacheStats     `json:"cache"`
+}

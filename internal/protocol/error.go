@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"repro/internal/multi"
 )
 
 // The stable error codes of protocol v1. Codes — not HTTP statuses —
@@ -133,12 +135,17 @@ func CodeForStatus(status int) string {
 
 // FromErr coerces any error into a protocol *Error: *Error values pass
 // through, context cancellation and deadline errors get their dedicated
-// retryable codes, everything else becomes CodeInternal.
+// retryable codes, an unknown pivot hub is the caller naming an edition
+// the corpus does not serve (CodeNotFound), everything else becomes
+// CodeInternal.
 func FromErr(err error) *Error {
 	var pe *Error
+	var hubErr *multi.UnknownHubError
 	switch {
 	case errors.As(err, &pe):
 		return pe
+	case errors.As(err, &hubErr):
+		return Errorf(CodeNotFound, "%s", err.Error())
 	case errors.Is(err, context.DeadlineExceeded):
 		return Errorf(CodeDeadlineExceeded, "%s", err.Error())
 	case errors.Is(err, context.Canceled):

@@ -142,18 +142,22 @@ func (r *MatchAllResponse) Induced(pair wiki.LanguagePair) map[[2]string]eval.Co
 	return b.Induced(pair)
 }
 
-// StreamLine is one NDJSON line of POST /v1/stream. Pair-scoped streams
-// emit Type lines and close with FinalMatch; all-pairs streams emit
-// Pair progress lines and close with FinalAll. Error lines carry the
-// failure that stopped one unit of work without necessarily ending the
-// stream.
+// StreamLine is one NDJSON line of POST /v1/stream or
+// /v1/audit/stream. Pair-scoped streams emit Type lines and close with
+// FinalMatch; all-pairs streams emit Pair progress lines and close with
+// FinalAll; audit streams emit Pair lines for the matching phase, then
+// ranked Finding lines, and close with FinalAudit. Error lines carry
+// the failure that stopped one unit of work without necessarily ending
+// the stream.
 type StreamLine struct {
 	Done       int               `json:"done"`
 	Total      int               `json:"total"`
 	Type       *TypeResult       `json:"type,omitempty"`
 	Pair       *MatchAllPair     `json:"pair,omitempty"`
+	Finding    *AuditFinding     `json:"finding,omitempty"`
 	FinalMatch *MatchResponse    `json:"finalMatch,omitempty"`
 	FinalAll   *MatchAllResponse `json:"finalAll,omitempty"`
+	FinalAudit *AuditResponse    `json:"finalAudit,omitempty"`
 	Error      *Error            `json:"error,omitempty"`
 }
 

@@ -157,6 +157,8 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/v1/match", method(http.MethodPost, rt.handleMatch))
 	mux.HandleFunc("/v1/matchall", method(http.MethodPost, rt.handleMatchAll))
 	mux.HandleFunc("/v1/stream", method(http.MethodPost, rt.handleStream))
+	mux.HandleFunc("/v1/audit", method(http.MethodPost, rt.handleAudit))
+	mux.HandleFunc("/v1/audit/stream", method(http.MethodPost, rt.handleAuditStream))
 	mux.HandleFunc("/v1/corpus", method(http.MethodGet, rt.handleCorpus))
 	mux.HandleFunc("/v1/corpus/delta", method(http.MethodPost, rt.handleDelta))
 	mux.HandleFunc("/v1/invalidate", method(http.MethodPost, rt.handleInvalidate))

@@ -659,3 +659,114 @@ func TestRouterAgainstFilteredRestore(t *testing.T) {
 		}
 	}
 }
+
+// normalizeAudit zeroes the wall-clock and cache-provenance fields of an
+// audit body, like normalizeMatchAll.
+func normalizeAudit(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var resp protocol.AuditResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatalf("decode audit: %v (%s)", err, raw)
+	}
+	resp.ElapsedMS = 0
+	resp.Cache = protocol.CacheStats{}
+	for i := range resp.Pairs {
+		resp.Pairs[i].ElapsedMS = 0
+	}
+	out, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestAuditByteIdentical is the audit acceptance gate: a 2-shard routed
+// /v1/audit — matching scatter-gathered across the fleet, value
+// comparison forwarded to one shard — must serialize byte-identically
+// to a single binary's, modulo timings and cache provenance.
+func TestAuditByteIdentical(t *testing.T) {
+	f := startFleet(t, 2)
+	for _, body := range []string{
+		`{}`,
+		`{"mode":"direct"}`,
+		`{"minSeverity":0.5,"limit":5}`,
+		`{"pair":"pt-en"}`,
+	} {
+		gotStatus, got := post(t, f.rtSrv.URL+"/v1/audit", body)
+		wantStatus, want := post(t, f.single.URL+"/v1/audit", body)
+		if gotStatus != http.StatusOK || wantStatus != http.StatusOK {
+			t.Fatalf("%s: router %d, single %d (%s / %s)", body, gotStatus, wantStatus, got, want)
+		}
+		gotN, wantN := normalizeAudit(t, got), normalizeAudit(t, want)
+		if !bytes.Equal(gotN, wantN) {
+			t.Errorf("%s: routed audit differs from single binary\nrouter: %s\nsingle: %s", body, gotN, wantN)
+		}
+	}
+
+	// The report is non-hollow and ranked.
+	_, raw := post(t, f.rtSrv.URL+"/v1/audit", `{}`)
+	var resp protocol.AuditResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Entities == 0 || resp.Compared == 0 || resp.Clusters == 0 {
+		t.Fatalf("hollow routed audit: %+v", resp)
+	}
+	for i := 1; i < len(resp.Findings); i++ {
+		if resp.Findings[i].Severity > resp.Findings[i-1].Severity {
+			t.Errorf("routed findings not ranked at %d", i)
+		}
+	}
+
+	// Canonical validation errors come from the router itself.
+	status, raw := post(t, f.rtSrv.URL+"/v1/audit", `{"mode":"nope"}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad mode via router: %d %s", status, raw)
+	}
+	status, raw = post(t, f.rtSrv.URL+"/v1/audit", `{"hub":"de"}`)
+	if status != http.StatusNotFound {
+		t.Fatalf("unknown hub via router: %d %s", status, raw)
+	}
+
+	// A shard replica refuses a cluster-less audit: the matching phase
+	// belongs to the router.
+	status, raw = post(t, f.shards[0].URL+"/v1/audit", `{}`)
+	if status != http.StatusBadRequest || !bytes.Contains(raw, []byte("router")) {
+		t.Fatalf("replica accepted a cluster-less audit: %d %s", status, raw)
+	}
+}
+
+// TestAuditStreamThroughRouter: the routed audit stream emits the
+// matching phase's pair lines, the ranked finding lines, and a final
+// equal (normalized) to the unary routed audit.
+func TestAuditStreamThroughRouter(t *testing.T) {
+	f := startFleet(t, 2)
+	lines := streamLines(t, f.rtSrv.URL+"/v1/audit/stream", `{}`)
+	pairLines, findingLines := 0, 0
+	var final *protocol.AuditResponse
+	for _, line := range lines {
+		if line.Pair != nil {
+			pairLines++
+		}
+		if line.Finding != nil {
+			findingLines++
+		}
+		if line.FinalAudit != nil {
+			final = line.FinalAudit
+		}
+	}
+	if final == nil || pairLines == 0 {
+		t.Fatalf("audit stream: %d pair lines, final %v", pairLines, final != nil)
+	}
+	if findingLines != len(final.Findings) {
+		t.Fatalf("audit stream: %d finding lines, final has %d", findingLines, len(final.Findings))
+	}
+	_, want := post(t, f.single.URL+"/v1/audit", `{}`)
+	finalRaw, err := json.Marshal(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(normalizeAudit(t, finalRaw), normalizeAudit(t, want)) {
+		t.Error("streamed audit final differs from single-binary audit")
+	}
+}

@@ -161,13 +161,16 @@ func ndjsonKey(line string) string {
 	if err := json.Unmarshal([]byte(line), &v); err != nil {
 		return "z" + line
 	}
-	for _, finalKey := range []string{"final", "finalMatch", "finalAll"} {
+	for _, finalKey := range []string{"final", "finalMatch", "finalAll", "finalAudit"} {
 		if _, ok := v[finalKey]; ok {
 			return "y:final"
 		}
 	}
 	if p, ok := v["pair"].(map[string]any); ok {
 		return fmt.Sprintf("p:%v", p["pair"])
+	}
+	if f, ok := v["finding"].(map[string]any); ok {
+		return fmt.Sprintf("x:%v:%v:%v", f["entity"], f["cluster"], f["kind"])
 	}
 	if tr, ok := v["type"].(map[string]any); ok {
 		return fmt.Sprintf("t:%v", tr["typeA"])

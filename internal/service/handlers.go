@@ -34,6 +34,8 @@ type serverState struct {
 //	POST /v1/match         pair or single-type match, JSON in/out
 //	POST /v1/matchall      all-pairs batch with correspondence clusters
 //	POST /v1/stream        NDJSON progress stream (pair or all-pairs)
+//	POST /v1/audit         cross-edition value-consistency report
+//	POST /v1/audit/stream  NDJSON audit stream (pairs, findings, final)
 //	GET  /v1/corpus        corpus, cache and configuration snapshot
 //	POST /v1/corpus/delta  apply article edits, invalidate dirty artifacts
 //	POST /v1/invalidate    drop cached artifacts for a language
@@ -62,6 +64,8 @@ func registerV1(mux *http.ServeMux, st *serverState) {
 	mux.HandleFunc("/v1/match", st.method(http.MethodPost, st.handleMatch))
 	mux.HandleFunc("/v1/matchall", st.method(http.MethodPost, st.handleMatchAll))
 	mux.HandleFunc("/v1/stream", st.method(http.MethodPost, st.handleStream))
+	mux.HandleFunc("/v1/audit", st.method(http.MethodPost, st.handleAudit))
+	mux.HandleFunc("/v1/audit/stream", st.method(http.MethodPost, st.handleAuditStream))
 	mux.HandleFunc("/v1/corpus", st.method(http.MethodGet, st.handleCorpus))
 	mux.HandleFunc("/v1/corpus/delta", st.method(http.MethodPost, st.handleDelta))
 	mux.HandleFunc("/v1/invalidate", st.method(http.MethodPost, st.handleInvalidate))
@@ -263,6 +267,60 @@ func (st *serverState) gatePair(req protocol.MatchRequest) *protocol.Error {
 			"pair %s is not owned by %s; consult the router's shard map", r.Pair, st.cfg.ShardLabel)
 	}
 	return nil
+}
+
+func (st *serverState) handleAudit(w http.ResponseWriter, r *http.Request) {
+	var req protocol.AuditRequest
+	if e := DecodeBody(r, &req); e != nil {
+		WriteEnvelope(w, e)
+		return
+	}
+	if e := st.gateAudit(req); e != nil {
+		WriteEnvelope(w, e)
+		return
+	}
+	resp, err := st.s.ServeAudit(r.Context(), req)
+	if err != nil {
+		WriteEnvelope(w, protocol.FromErr(err))
+		return
+	}
+	WriteJSON(w, http.StatusOK, resp)
+}
+
+func (st *serverState) handleAuditStream(w http.ResponseWriter, r *http.Request) {
+	var req protocol.AuditRequest
+	if e := DecodeBody(r, &req); e != nil {
+		WriteEnvelope(w, e)
+		return
+	}
+	if e := st.gateAudit(req); e != nil {
+		WriteEnvelope(w, e)
+		return
+	}
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	lines, err := st.s.ServeAuditStream(ctx, req)
+	if err != nil {
+		WriteEnvelope(w, protocol.FromErr(err))
+		return
+	}
+	st.streamNDJSON(w, cancel, lines, func(line protocol.StreamLine) (any, bool) {
+		return line, true
+	})
+}
+
+// gateAudit enforces the shard-ownership gate on audit requests: a
+// fleet replica never runs the matching phase itself (its artifact
+// slice covers only its owned pairs), so an audit without pre-merged
+// clusters is rejected — the router scatter-gathers the match and
+// forwards the clusters.
+func (st *serverState) gateAudit(req protocol.AuditRequest) *protocol.Error {
+	if st.cfg.PairOwned == nil || req.Clusters != nil {
+		return nil
+	}
+	return protocol.Errorf(protocol.CodeInvalidArgument,
+		"audit requests without clusters are not served by shard replicas (%s); send them to the router",
+		st.cfg.ShardLabel)
 }
 
 func (st *serverState) handleCorpus(w http.ResponseWriter, r *http.Request) {

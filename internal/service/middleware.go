@@ -206,8 +206,8 @@ func routeLabel(r *http.Request) string {
 		path = "/match/{type}"
 	}
 	switch path {
-	case "/v1/match", "/v1/matchall", "/v1/stream", "/v1/corpus", "/v1/invalidate",
-		"/v1/healthz", "/v1/metrics",
+	case "/v1/match", "/v1/matchall", "/v1/stream", "/v1/audit", "/v1/audit/stream",
+		"/v1/corpus", "/v1/invalidate", "/v1/healthz", "/v1/metrics",
 		"/match", "/match/{type}", "/match/stream", "/matchall", "/matchall/stream",
 		"/corpus/stats", "/healthz", "/session/invalidate":
 		return r.Method + " " + path
@@ -262,7 +262,7 @@ func controlPlanePath(path string) bool {
 // per-request timeout and subject to the stream cap instead.
 func streamPath(path string) bool {
 	switch path {
-	case "/v1/stream", "/match/stream", "/matchall/stream":
+	case "/v1/stream", "/v1/audit/stream", "/match/stream", "/matchall/stream":
 		return true
 	}
 	return false

@@ -54,6 +54,9 @@ func v1GoldenCases() []v1GoldenCase {
 		{name: "v1_matchall_direct", method: post, path: "/v1/matchall", body: `{"all":true,"mode":"direct","workers":2}`, wantStatus: 200},
 		{name: "v1_stream_pair", method: post, path: "/v1/stream", body: `{"pair":"vi-en"}`, wantStatus: 200, ndjson: true},
 		{name: "v1_stream_all", method: post, path: "/v1/stream", body: `{"all":true,"workers":1}`, wantStatus: 200, ndjson: true},
+		{name: "v1_audit", method: post, path: "/v1/audit", body: `{"minSeverity":0.5,"limit":10}`, wantStatus: 200},
+		{name: "v1_audit_pair", method: post, path: "/v1/audit", body: `{"pair":"pt-en","limit":5}`, wantStatus: 200},
+		{name: "v1_audit_stream", method: post, path: "/v1/audit/stream", body: `{"minSeverity":0.5,"limit":10,"workers":1}`, wantStatus: 200, ndjson: true},
 		{name: "v1_corpus", method: get, path: "/v1/corpus", wantStatus: 200},
 		{name: "v1_delta_upsert", method: post, path: "/v1/corpus/delta",
 			body: `{"upserts":[{"lang":"pt","title":"Página Dourada","wikitext":"{{Infobox filme | nome = Página Dourada}} [[en:Golden Page]]"}]}`, wantStatus: 200},
@@ -76,12 +79,16 @@ func v1GoldenCases() []v1GoldenCase {
 			body: `{"upserts":[{"lang":"XX","title":"T","wikitext":""}]}`, wantStatus: 400},
 		{name: "v1_error_delta_bad_wikitext", method: post, path: "/v1/corpus/delta",
 			body: `{"upserts":[{"lang":"pt","title":"Quebrada","wikitext":"{{Infobox filme | nome = x"}]}`, wantStatus: 400},
+		{name: "v1_error_audit_bad_pair", method: post, path: "/v1/audit", body: `{"pair":"bogus"}`, wantStatus: 400},
+		{name: "v1_error_audit_bad_mode", method: post, path: "/v1/audit", body: `{"mode":"sideways"}`, wantStatus: 400},
+		{name: "v1_error_audit_bad_severity", method: post, path: "/v1/audit", body: `{"minSeverity":1.5}`, wantStatus: 400},
 
 		// not_found (404).
 		{name: "v1_error_unknown_type", method: post, path: "/v1/match", body: `{"pair":"pt-en","type":"no-such-type"}`, wantStatus: 404},
 		{name: "v1_error_unknown_route", method: get, path: "/v1/nope", wantStatus: 404},
 		{name: "v1_error_delta_remove_missing", method: post, path: "/v1/corpus/delta",
 			body: `{"removes":[{"lang":"pt","title":"Não Existe"}]}`, wantStatus: 404},
+		{name: "v1_error_audit_unknown_hub", method: post, path: "/v1/audit", body: `{"hub":"de"}`, wantStatus: 404},
 
 		// method_not_allowed (405) — including the mutating-over-GET fix
 		// on the legacy invalidate shim.

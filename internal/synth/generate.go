@@ -42,6 +42,27 @@ type Config struct {
 	// et al.'s link-discovery work precisely because of this), which
 	// bounds both dictionary coverage and lsim resolution.
 	StubCrossLinkProb float64
+
+	// Inconsistency-injection knobs (all zero outside audit-eval
+	// corpora; see AuditEvalConfig). Each is a per-(entity, attribute)
+	// probability that one randomly chosen edition renders a known-wrong
+	// value, recorded in the GroundTruth.Injected ledger so a detector
+	// can be scored against it. At most one injection applies per
+	// attribute, tried in the order below.
+
+	// InjectNumberProb perturbs a numeric literal (number, year,
+	// duration) in the victim edition.
+	InjectNumberProb float64
+	// InjectDateProb shifts the day of a date value in the victim
+	// edition.
+	InjectDateProb float64
+	// InjectUnitProb rewrites a unit-bearing value (duration, money)
+	// keeping the written magnitude but swapping the unit or scale word
+	// (minutes → hours, milhões → bilhões).
+	InjectUnitProb float64
+	// InjectDropProb drops the whole attribute from the victim edition
+	// while the other edition keeps it.
+	InjectDropProb float64
 }
 
 // DefaultConfig is the full-scale experiment corpus: the per-type pair
@@ -88,6 +109,24 @@ func SmallConfig() Config {
 	}
 	cfg.PtEnPairs = small(cfg.PtEnPairs)
 	cfg.VnEnPairs = small(cfg.VnEnPairs)
+	return cfg
+}
+
+// AuditEvalConfig is the consistency-audit evaluation corpus: the
+// small-scale corpus with the organic value noise silenced (so injected
+// inconsistencies are the only cross-edition value disagreements of
+// their kinds) and every injection knob turned on. The GroundTruth
+// returned alongside carries the Injected ledger the audit eval scores
+// against.
+func AuditEvalConfig() Config {
+	cfg := SmallConfig()
+	cfg.DropAtomProb = 0
+	cfg.PerturbProb = 0
+	cfg.MisfileProb = 0
+	cfg.InjectNumberProb = 0.25
+	cfg.InjectDateProb = 0.25
+	cfg.InjectUnitProb = 0.25
+	cfg.InjectDropProb = 0.15
 	return cfg
 }
 
@@ -542,6 +581,7 @@ func filterIdx(ents []*Entity, keep func(int) bool) []*Entity {
 func (g *generator) emitEntity(corpus *wiki.Corpus, e *Entity, truth *GroundTruth) error {
 	spec := g.specFor(e.Type)
 	presence := g.samplePresence(spec, e)
+	injections := g.planInjections(spec, e, presence, truth)
 	langs := make([]wiki.Language, 0, len(e.Langs))
 	for l := range e.Langs {
 		langs = append(langs, l)
@@ -551,7 +591,7 @@ func (g *generator) emitEntity(corpus *wiki.Corpus, e *Entity, truth *GroundTrut
 		if !spec.HasLanguage(lang) {
 			continue
 		}
-		a := g.renderArticle(spec, e, lang, presence)
+		a := g.renderArticle(spec, e, lang, presence, injections)
 		for _, other := range langs {
 			if other != lang && spec.HasLanguage(other) {
 				a.SetCrossLink(other, e.Titles[other])
@@ -562,6 +602,74 @@ func (g *generator) emitEntity(corpus *wiki.Corpus, e *Entity, truth *GroundTrut
 		}
 	}
 	return nil
+}
+
+// planInjections decides, per canonical attribute of one entity, whether
+// one edition renders a known-wrong value, and records every decision in
+// the truth ledger. Injections only target attributes present in at
+// least two editions, so every ledger entry is detectable in principle.
+// When all injection knobs are zero (the default corpora) no randomness
+// is consumed, keeping those corpora byte-identical to earlier builds.
+func (g *generator) planInjections(spec *TypeSpec, e *Entity, presence map[string]map[wiki.Language]bool, truth *GroundTruth) map[string]Injection {
+	cfg := g.cfg
+	if cfg.InjectNumberProb == 0 && cfg.InjectDateProb == 0 &&
+		cfg.InjectUnitProb == 0 && cfg.InjectDropProb == 0 {
+		return nil
+	}
+	out := make(map[string]Injection)
+	for i := range spec.Attrs {
+		attr := &spec.Attrs[i]
+		var langs []wiki.Language
+		for l, on := range presence[attr.Canon] {
+			if on {
+				langs = append(langs, l)
+			}
+		}
+		if len(langs) < 2 || len(e.Values[attr.Canon]) == 0 {
+			continue
+		}
+		sort.Slice(langs, func(a, b int) bool { return langs[a] < langs[b] })
+		kind := ""
+		switch {
+		case numberInjectable(attr.Kind) && g.rng.Float64() < cfg.InjectNumberProb:
+			kind = InjectNumber
+		case attr.Kind == KindDate && g.rng.Float64() < cfg.InjectDateProb:
+			kind = InjectDate
+		case unitInjectable(attr.Kind) && g.rng.Float64() < cfg.InjectUnitProb:
+			kind = InjectUnit
+		case g.rng.Float64() < cfg.InjectDropProb:
+			kind = InjectDrop
+		}
+		if kind == "" {
+			continue
+		}
+		victim := langs[g.rng.Intn(len(langs))]
+		inj := Injection{
+			Kind:   kind,
+			Entity: e.ID,
+			Type:   e.Type,
+			Canon:  attr.Canon,
+			Lang:   victim,
+			Titles: make(map[wiki.Language]string, len(langs)),
+		}
+		for _, l := range langs {
+			inj.Titles[l] = e.Titles[l]
+		}
+		out[attr.Canon] = inj
+		truth.Injected = append(truth.Injected, inj)
+	}
+	return out
+}
+
+// numberInjectable reports whether a kind's literal can be perturbed.
+func numberInjectable(k Kind) bool {
+	return k == KindNumber || k == KindYear || k == KindDuration
+}
+
+// unitInjectable reports whether a kind renders a unit or scale word a
+// rewrite can swap.
+func unitInjectable(k Kind) bool {
+	return k == KindDuration || k == KindMoney
 }
 
 // samplePresence decides, per canonical attribute, in which of the
@@ -683,7 +791,7 @@ func solveOverlap(spec *TypeSpec, pair wiki.LanguagePair) (o, m float64) {
 }
 
 // renderArticle builds one language edition's article for an entity.
-func (g *generator) renderArticle(spec *TypeSpec, e *Entity, lang wiki.Language, presence map[string]map[wiki.Language]bool) *wiki.Article {
+func (g *generator) renderArticle(spec *TypeSpec, e *Entity, lang wiki.Language, presence map[string]map[wiki.Language]bool, injections map[string]Injection) *wiki.Article {
 	ib := &wiki.Infobox{Template: spec.Template[lang]}
 	// Group selected canonical attributes by chosen surface name so that
 	// polysemous names (English "born") merge into one attribute.
@@ -698,8 +806,15 @@ func (g *generator) renderArticle(spec *TypeSpec, e *Entity, lang wiki.Language,
 		if !presence[attr.Canon][lang] {
 			continue
 		}
+		inject := ""
+		if inj, ok := injections[attr.Canon]; ok && inj.Lang == lang {
+			if inj.Kind == InjectDrop {
+				continue
+			}
+			inject = inj.Kind
+		}
 		name := pickName(g.rng, attr.Names[lang])
-		text, links := g.renderValue(e, attr, lang)
+		text, links := g.renderValue(e, attr, lang, inject)
 		if text == "" {
 			continue
 		}
@@ -733,8 +848,9 @@ func (g *generator) renderArticle(spec *TypeSpec, e *Entity, lang wiki.Language,
 }
 
 // renderValue renders an attribute's atoms in one language, applying the
-// per-language noise model.
-func (g *generator) renderValue(e *Entity, attr *AttrSpec, lang wiki.Language) (string, []wiki.Link) {
+// per-language noise model and, when inject names an injection kind, the
+// planned inconsistency.
+func (g *generator) renderValue(e *Entity, attr *AttrSpec, lang wiki.Language, inject string) (string, []wiki.Link) {
 	atoms := e.Values[attr.Canon]
 	if len(atoms) == 0 {
 		return "", nil
@@ -752,7 +868,7 @@ func (g *generator) renderValue(e *Entity, attr *AttrSpec, lang wiki.Language) (
 	var parts []string
 	var links []wiki.Link
 	for _, a := range work {
-		text, link := g.renderAtom(e, a, lang)
+		text, link := g.renderAtom(e, a, lang, inject)
 		if text == "" {
 			continue
 		}
@@ -780,8 +896,9 @@ func (g *generator) strayAtom(e *Entity, excludeCanon string) (Atom, bool) {
 	return pick(g.rng, e.Values[c]), true
 }
 
-// renderAtom renders one atom in one language.
-func (g *generator) renderAtom(e *Entity, a Atom, lang wiki.Language) (string, *wiki.Link) {
+// renderAtom renders one atom in one language. A non-empty inject names
+// the planned inconsistency kind to apply to this edition's rendering.
+func (g *generator) renderAtom(e *Entity, a Atom, lang wiki.Language, inject string) (string, *wiki.Link) {
 	switch a.Kind {
 	case KindSelf:
 		return e.Title(lang), nil
@@ -809,11 +926,18 @@ func (g *generator) renderAtom(e *Entity, a Atom, lang wiki.Language) (string, *
 		if g.rng.Float64() < g.cfg.PerturbProb {
 			d = d%28 + 1
 		}
+		if inject == InjectDate {
+			// Deterministic shift that never lands on the original day.
+			d = (d+6)%28 + 1
+		}
 		return g.renderDate(y, m, d, lang)
 	case KindYear:
 		lit := a.Lit
 		if g.rng.Float64() < g.cfg.PerturbProb {
 			lit = perturbInt(lit, 1)
+		}
+		if inject == InjectNumber {
+			lit = perturbInt(lit, 1+g.rng.Intn(4))
 		}
 		return lit, nil
 	case KindDuration:
@@ -821,20 +945,25 @@ func (g *generator) renderAtom(e *Entity, a Atom, lang wiki.Language) (string, *
 		if g.rng.Float64() < g.cfg.PerturbProb {
 			lit = perturbInt(lit, 5)
 		}
-		switch lang {
-		case pt:
-			return lit + " min", nil
-		case vn:
-			return lit + " phút", nil
-		default:
-			return lit + " minutes", nil
+		if inject == InjectNumber {
+			lit = perturbInt(lit, 3+g.rng.Intn(12))
 		}
+		unit := map[wiki.Language]string{pt: " min", vn: " phút", en: " minutes"}[lang]
+		if inject == InjectUnit {
+			// Converted-unit rewrite: keep the written magnitude, swap
+			// the unit word (the "160 hours for 160 minutes" error).
+			unit = map[wiki.Language]string{pt: " horas", vn: " giờ", en: " hours"}[lang]
+		}
+		return lit + unit, nil
 	case KindMoney:
-		return renderMoney(a.Lit, lang), nil
+		return renderMoney(a.Lit, lang, inject == InjectUnit), nil
 	case KindNumber:
 		lit := a.Lit
 		if g.rng.Float64() < g.cfg.PerturbProb {
 			lit = perturbInt(lit, 1)
+		}
+		if inject == InjectNumber {
+			lit = perturbInt(lit, 1+g.rng.Intn(9))
 		}
 		return lit, nil
 	case KindURL, KindSpan:
@@ -890,12 +1019,21 @@ func perturbInt(lit string, delta int) string {
 	return fmt.Sprintf("%d", v+delta)
 }
 
-// renderMoney formats a canonical dollar amount per language.
-func renderMoney(lit string, lang wiki.Language) string {
+// renderMoney formats a canonical dollar amount per language. With
+// swapScale the written magnitude is kept but the scale word is swapped
+// (milhões → bilhões and vice versa) — the converted-unit injection.
+func renderMoney(lit string, lang wiki.Language, swapScale bool) string {
 	var v int64
 	fmt.Sscanf(lit, "%d", &v)
-	if v >= 1_000_000_000 {
-		n := v / 1_000_000_000
+	billions := v >= 1_000_000_000
+	n := v / 1_000_000
+	if billions {
+		n = v / 1_000_000_000
+	}
+	if swapScale {
+		billions = !billions
+	}
+	if billions {
 		switch lang {
 		case pt:
 			return fmt.Sprintf("US$ %d bilhões", n)
@@ -905,7 +1043,6 @@ func renderMoney(lit string, lang wiki.Language) string {
 			return fmt.Sprintf("$%d billion", n)
 		}
 	}
-	n := v / 1_000_000
 	switch lang {
 	case pt:
 		return fmt.Sprintf("US$ %d milhões", n)

@@ -77,9 +77,16 @@ func TestRenderMoney(t *testing.T) {
 		{"12000000000", wiki.Vietnamese, "12 tỷ USD"},
 	}
 	for _, c := range cases {
-		if got := renderMoney(c.lit, c.lang); got != c.want {
+		if got := renderMoney(c.lit, c.lang, false); got != c.want {
 			t.Errorf("renderMoney(%s, %s) = %q, want %q", c.lit, c.lang, got, c.want)
 		}
+	}
+	// The converted-unit injection keeps the magnitude, swaps the scale.
+	if got := renderMoney("23000000", wiki.Portuguese, true); got != "US$ 23 bilhões" {
+		t.Errorf("renderMoney swapped = %q, want %q", got, "US$ 23 bilhões")
+	}
+	if got := renderMoney("12000000000", wiki.English, true); got != "$12 million" {
+		t.Errorf("renderMoney swapped = %q, want %q", got, "$12 million")
 	}
 }
 

@@ -20,6 +20,19 @@
 //   - value noise: dropped atoms, perturbed literals, misfiled values;
 //   - rare attributes and ground-truth pairs that never co-occur in any
 //     dual-language infobox (the prêmios/awards limitation of §4.1).
+//
+// For the consistency-audit workload the generator can additionally
+// inject *ledgered* inconsistencies: with the Config knobs
+// InjectNumberProb / InjectDateProb / InjectUnitProb / InjectDropProb
+// set, one edition's rendering of a shared value is deliberately
+// faulted — a numeric literal nudged, a date shifted, a unit or
+// currency scale swapped at constant magnitude, or a value dropped
+// entirely — and every fault is recorded as an Injection in the
+// GroundTruth's Injected ledger (entity titles, canonical attribute,
+// victim language, kind). AuditEvalConfig bundles the scoring setup:
+// SmallConfig with rendering noise zeroed (so injected faults are the
+// only disagreements) and all four knobs on; internal/audit's Evaluate
+// scores a detector's precision/recall against the ledger.
 package synth
 
 import (

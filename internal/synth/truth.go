@@ -20,6 +20,41 @@ type GroundTruth struct {
 	TypeNameToCanon map[wiki.Language]map[string]string
 	// Entities holds the generated entities per canonical type.
 	Entities map[string][]*Entity
+	// Injected is the ledger of deliberately injected cross-edition
+	// inconsistencies (empty unless the Config's injection knobs are
+	// set): the gold a consistency detector's precision/recall is scored
+	// against.
+	Injected []Injection
+}
+
+// Injection kinds, in the order planInjections tries them.
+const (
+	// InjectNumber perturbed a numeric literal in the victim edition.
+	InjectNumber = "number"
+	// InjectDate shifted the day of a date in the victim edition.
+	InjectDate = "date"
+	// InjectUnit swapped the unit/scale word keeping the magnitude.
+	InjectUnit = "unit"
+	// InjectDrop removed the attribute from the victim edition.
+	InjectDrop = "drop"
+)
+
+// Injection is one ledger entry: which canonical attribute of which
+// entity was corrupted, how, and in which edition.
+type Injection struct {
+	// Kind is one of the Inject* constants.
+	Kind string
+	// Entity is the generated entity's id.
+	Entity string
+	// Type is the canonical entity type.
+	Type string
+	// Canon is the canonical attribute the injection corrupted.
+	Canon string
+	// Lang is the victim edition that renders the wrong value.
+	Lang wiki.Language
+	// Titles are the entity's article titles in the editions that carry
+	// the attribute, for matching detector findings back to the ledger.
+	Titles map[wiki.Language]string
 }
 
 // TypeTruth records, for one entity type, which canonical attribute(s)

@@ -35,6 +35,7 @@ import (
 	"net/http"
 	"os"
 
+	"repro/internal/audit"
 	"repro/internal/baselines"
 	"repro/internal/client"
 	"repro/internal/core"
@@ -250,6 +251,51 @@ const (
 
 // ParseMultiMode parses "pivot" or "direct".
 func ParseMultiMode(s string) (MultiMode, error) { return multi.ParseMode(s) }
+
+// Cross-edition value auditing: compare every cross-linked entity's
+// values across the matched attribute clusters with typed normalizers
+// (numbers, dates, units, currencies) and rank the disagreements
+// (internal/audit). The service surface is POST /v1/audit and
+// /v1/audit/stream; in process, Audit runs over any cluster set.
+type (
+	// AuditOptions tunes a report (severity floor, length cap).
+	AuditOptions = audit.Options
+	// AuditReport is a ranked cross-edition inconsistency report.
+	AuditReport = audit.Report
+	// AuditFinding is one reported inconsistency.
+	AuditFinding = audit.Finding
+	// AuditRequest is the typed /v1/audit request.
+	AuditRequest = protocol.AuditRequest
+	// AuditResponse answers /v1/audit.
+	AuditResponse = protocol.AuditResponse
+	// AuditFindingJSON is the wire shape of one ranked inconsistency.
+	AuditFindingJSON = protocol.AuditFinding
+)
+
+// Audit compares values across editions for every cross-linked entity,
+// using the correspondence clusters of an all-pairs batch
+// (Session.MatchAll / BuildClusters), and returns the ranked
+// inconsistency report.
+func Audit(c *Corpus, clusters []Cluster, opts AuditOptions) *AuditReport {
+	return audit.Run(c, clusters, opts)
+}
+
+// AuditEvalResult scores the audit detector against the generator's
+// injection ledger.
+type AuditEvalResult = audit.EvalResult
+
+// AuditEvalCorpus is SmallCorpus with rendering noise disabled and
+// known inconsistencies injected (ledgered in the ground truth) — the
+// configuration the audit detector's precision/recall is scored
+// against.
+func AuditEvalCorpus() CorpusConfig { return synth.AuditEvalConfig() }
+
+// EvaluateAudit scores a report's findings against the ground truth's
+// injection ledger: precision over findings at or above minSeverity,
+// recall over all injections.
+func EvaluateAudit(findings []AuditFinding, truth *GroundTruth, minSeverity float64) AuditEvalResult {
+	return audit.Evaluate(findings, truth, minSeverity)
+}
 
 // Persistence: the offline/online split. A warm session's artifact
 // cache can be saved as a versioned binary snapshot (Session.Save,
