@@ -31,7 +31,21 @@
 // on the same session (the batch served from the artifact cache, only
 // the value comparison rerunning).
 //
-//	benchall [-scale small|full] [-run all|table1..table7|figure3..figure7|svd|session|store|http|router|audit|timings] [-json]
+// A seventh timing experiment, "score", measures the pruned scoring
+// path against the exhaustive reference on the dump-scale fixture (one
+// entity type, hundreds of attributes) with warm artifacts and the
+// revise stage disabled on both sides, so the number isolates exactly
+// the stage pruning optimizes. The results themselves are proven
+// byte-identical by the core equivalence tests; this experiment times
+// them.
+//
+// With -json, -trajectory FILE upserts the measured document into the
+// named trajectory file (BENCH_TRAJECTORY.json in the repo root) under
+// the entry name given by -pr, preserving the floors and every other
+// entry — the append-only perf history the CI bench gates read their
+// thresholds from.
+//
+//	benchall [-scale small|full] [-run all|table1..table7|figure3..figure7|svd|session|store|http|router|audit|score|timings] [-json] [-trajectory FILE -pr NAME]
 package main
 
 import (
@@ -47,6 +61,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/dict"
 	"repro/internal/experiments"
 	"repro/internal/linalg"
 	"repro/internal/lsi"
@@ -58,9 +73,30 @@ import (
 
 func main() {
 	scale := flag.String("scale", "full", "corpus scale: small or full")
-	run := flag.String("run", "all", "experiment to run (all, table1..table7, figure3..figure7, svd, session, store, http, router, audit, timings)")
-	jsonOut := flag.Bool("json", false, "emit the timing experiments (svd/session/store/http/audit/timings) as one JSON document")
+	run := flag.String("run", "all", "experiment to run (all, table1..table7, figure3..figure7, svd, session, store, http, router, audit, score, timings)")
+	jsonOut := flag.Bool("json", false, "emit the timing experiments (svd/session/store/http/audit/score/timings) as one JSON document")
+	trajectory := flag.String("trajectory", "", "with -json: upsert the measured document into this trajectory file")
+	prName := flag.String("pr", "", "entry name for -trajectory (e.g. pr9)")
 	flag.Parse()
+
+	emitJSON := func(doc timingDoc) {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, "encode:", err)
+			os.Exit(1)
+		}
+		if *trajectory != "" {
+			if *prName == "" {
+				fmt.Fprintln(os.Stderr, "-trajectory needs -pr to name the entry")
+				os.Exit(2)
+			}
+			if err := upsertTrajectory(*trajectory, *prName, doc); err != nil {
+				fmt.Fprintln(os.Stderr, "trajectory:", err)
+				os.Exit(1)
+			}
+		}
+	}
 
 	// The router experiment drives wikimatchd subprocesses and needs no
 	// in-process Setup — building one would just bloat this process's
@@ -68,16 +104,22 @@ func main() {
 	if *run == "router" {
 		rt := measureRouter(*scale)
 		if *jsonOut {
-			doc := timingDoc{Scale: *scale, Router: &rt}
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(doc); err != nil {
-				fmt.Fprintln(os.Stderr, "encode:", err)
-				os.Exit(1)
-			}
+			emitJSON(timingDoc{Scale: *scale, Router: &rt})
 			return
 		}
 		renderRouterTimings(rt)
+		return
+	}
+
+	// The score experiment runs on its own dump-scale fixture, not the
+	// -scale synthetic corpus, so it skips the Setup build too.
+	if *run == "score" {
+		st := measureScore()
+		if *jsonOut {
+			emitJSON(timingDoc{Scale: *scale, Score: &st})
+			return
+		}
+		renderScoreTimings(st)
 		return
 	}
 
@@ -116,16 +158,13 @@ func main() {
 			doc.HTTP = measureHTTP(s)
 			at := measureAudit(s)
 			doc.Audit = &at
+			sc := measureScore()
+			doc.Score = &sc
 		default:
-			fmt.Fprintf(os.Stderr, "-json applies to the timing experiments only (svd, session, store, http, audit, timings), not %q\n", *run)
+			fmt.Fprintf(os.Stderr, "-json applies to the timing experiments only (svd, session, store, http, audit, score, timings), not %q\n", *run)
 			os.Exit(2)
 		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(doc); err != nil {
-			fmt.Fprintln(os.Stderr, "encode:", err)
-			os.Exit(1)
-		}
+		emitJSON(doc)
 		return
 	}
 
@@ -186,6 +225,8 @@ func main() {
 		renderHTTPTimings(measureHTTP(s))
 		fmt.Println()
 		renderAuditTimings(measureAudit(s))
+		fmt.Println()
+		renderScoreTimings(measureScore())
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
 		os.Exit(2)
@@ -201,6 +242,73 @@ type timingDoc struct {
 	HTTP    []httpTiming    `json:"http,omitempty"`
 	Router  *routerTiming   `json:"router,omitempty"`
 	Audit   *auditTiming    `json:"audit,omitempty"`
+	Score   *scoreTiming    `json:"score,omitempty"`
+}
+
+// trajectoryFile is the committed perf history (BENCH_TRAJECTORY.json):
+// one entry per PR plus the floors the CI bench gates enforce.
+type trajectoryFile struct {
+	Floors  map[string]float64 `json:"floors"`
+	Entries []trajectoryEntry  `json:"entries"`
+}
+
+type trajectoryEntry struct {
+	PR string `json:"pr"`
+	timingDoc
+}
+
+// upsertTrajectory merges doc into the trajectory file under the entry
+// named pr: an existing entry with that name gains doc's measured
+// sections (sections doc did not measure are kept), any other entry and
+// the floors pass through untouched, and a new name appends.
+func upsertTrajectory(path, pr string, doc timingDoc) error {
+	var tf trajectoryFile
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &tf); err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	merged := false
+	for i := range tf.Entries {
+		if tf.Entries[i].PR != pr {
+			continue
+		}
+		e := &tf.Entries[i].timingDoc
+		e.Scale = doc.Scale
+		if doc.SVD != nil {
+			e.SVD = doc.SVD
+		}
+		if doc.Session != nil {
+			e.Session = doc.Session
+		}
+		if doc.Store != nil {
+			e.Store = doc.Store
+		}
+		if doc.HTTP != nil {
+			e.HTTP = doc.HTTP
+		}
+		if doc.Router != nil {
+			e.Router = doc.Router
+		}
+		if doc.Audit != nil {
+			e.Audit = doc.Audit
+		}
+		if doc.Score != nil {
+			e.Score = doc.Score
+		}
+		merged = true
+		break
+	}
+	if !merged {
+		tf.Entries = append(tf.Entries, trajectoryEntry{PR: pr, timingDoc: doc})
+	}
+	out, err := json.MarshalIndent(tf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // svdTiming is one entity type's dense-vs-sparse decomposition timing.
@@ -509,6 +617,76 @@ func renderAuditTimings(at auditTiming) {
 	fmt.Printf("%-12s %12s\n", "cold", time.Duration(at.ColdNS).Round(time.Microsecond))
 	fmt.Printf("%-12s %12s\n", "warm", time.Duration(at.WarmNS).Round(time.Microsecond))
 	fmt.Printf("warm vs cold: %.1fx faster\n", at.Speedup)
+}
+
+// scoreTiming is the pruned-vs-exhaustive scoring-stage timing on the
+// dump-scale fixture with warm artifacts.
+type scoreTiming struct {
+	Attrs        int     `json:"attrs"`
+	Boxes        int     `json:"boxes"`
+	Queue        int     `json:"queue"`
+	Matches      int     `json:"matches"`
+	PrunedNS     int64   `json:"prunedNs"`
+	ExhaustiveNS int64   `json:"exhaustiveNs"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// measureScore times MatchTypeCtx on the shared dump-scale fixture
+// (synth.DefaultDumpScale — one entity type, hundreds of attributes,
+// the regime where pair scoring dominates) over warm artifacts: the
+// default pruned configuration against the exhaustive reference. The
+// revise stage is disabled on both sides — it runs identical code on
+// either path and would only dilute the ratio; the full-pipeline
+// equivalence is pinned separately by the core test suite. The
+// cmd-level twin of BenchmarkMatchPruned / BenchmarkMatchExhaustive.
+func measureScore() scoreTiming {
+	ctx := context.Background()
+	dcfg := synth.DefaultDumpScale()
+	c := synth.DumpScale(dcfg)
+	tps := core.MatchEntityTypes(c, wiki.PtEn)
+	if len(tps) != 1 {
+		fmt.Fprintf(os.Stderr, "score: dump-scale fixture has %d type pairs, want 1\n", len(tps))
+		os.Exit(1)
+	}
+	d := dict.Build(c, wiki.Portuguese, wiki.English)
+	prunedCfg := core.DefaultConfig()
+	prunedCfg.DisableRevise = true
+	exCfg := prunedCfg
+	exCfg.ExactScore = true
+	mp := core.NewMatcher(prunedCfg)
+	me := core.NewMatcher(exCfg)
+	art, err := mp.BuildTypeArtifacts(ctx, c, wiki.PtEn, tps[0][0], tps[0][1], d)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "score artifacts:", err)
+		os.Exit(1)
+	}
+	match := func(m *core.Matcher) *core.TypeResult {
+		tr, err := m.MatchTypeCtx(ctx, c, wiki.PtEn, tps[0][0], tps[0][1], d, art)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "score match:", err)
+			os.Exit(1)
+		}
+		return tr
+	}
+	tr := match(mp) // warm: lazy kernel, quantization and scratch
+	match(me)
+	pruned := timeIt(func() { match(mp) })
+	ex := timeIt(func() { match(me) })
+	return scoreTiming{
+		Attrs: len(art.TD.Attrs), Boxes: dcfg.Boxes,
+		Queue: len(tr.Candidates), Matches: len(tr.Matches.Components()),
+		PrunedNS: int64(pruned), ExhaustiveNS: int64(ex),
+		Speedup: float64(ex) / float64(pruned),
+	}
+}
+
+func renderScoreTimings(st scoreTiming) {
+	fmt.Printf("score: dump-scale fixture, %d attrs over %d boxes, queue %d, %d match components\n",
+		st.Attrs, st.Boxes, st.Queue, st.Matches)
+	fmt.Printf("%-22s %12s\n", "path", "time")
+	fmt.Printf("%-22s %12s\n", "pruned (default)", time.Duration(st.PrunedNS).Round(time.Microsecond))
+	fmt.Printf("%-22s %12s\n", "exhaustive reference", time.Duration(st.ExhaustiveNS).Round(time.Microsecond))
+	fmt.Printf("pruned vs exhaustive: %.1fx faster\n", st.Speedup)
 }
 
 // timeIt returns the best of three runs — enough to flatten scheduler

@@ -37,12 +37,12 @@
 //	wikimatch [-pair pt-en|vi-en] [-type filme] [-scale small|full]
 //	          [-dumps dir]     load XML dumps (<lang>.xml) instead of generating
 //	          [-remote URL]    drive a running wikimatchd over protocol v1
-//	          [-tsim 0.6] [-tlsi 0.1] [-stream]
+//	          [-tsim 0.6] [-tlsi 0.1] [-candidates K] [-exact-score] [-stream]
 //
 //	wikimatch matchall [-mode pivot|direct] [-hub en] [-workers N]
 //	          [-scale small|full] [-dumps dir] [-store out.wmsnap]
 //	          [-remote URL] [-timings=false]
-//	          [-clusters] [-tsim 0.6] [-tlsi 0.1]
+//	          [-clusters] [-tsim 0.6] [-tlsi 0.1] [-candidates K] [-exact-score]
 //
 //	wikimatch audit [-mode pivot|direct] [-hub en] [-workers N]
 //	          [-pair pt-en] [-min-severity 0.5] [-limit 20]
@@ -95,6 +95,8 @@ func matchCmd(args []string, stdout, stderr io.Writer) int {
 	remote := fs.String("remote", "", "wikimatchd base URL; match there instead of in process")
 	tsim := fs.Float64("tsim", 0.6, "certain-match threshold Tsim")
 	tlsi := fs.Float64("tlsi", 0.1, "correlation threshold TLSI")
+	candidates := fs.Int("candidates", 0, "pruned-scoring shortlist width (0 = default, -1 = exhaustive)")
+	exactScore := fs.Bool("exact-score", false, "force the exhaustive reference scoring path")
 	stream := fs.Bool("stream", false, "print per-type results as each type completes")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -105,7 +107,7 @@ func matchCmd(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	req := repro.MatchRequest{Pair: *pairFlag, Type: *typeFlag}
-	setThresholdOverrides(fs, &req, tsim, tlsi)
+	setMatchOverrides(fs, &req, tsim, tlsi, candidates, exactScore)
 	if _, err := repro.ParseLanguagePair(*pairFlag); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
@@ -167,17 +169,22 @@ func matchCmd(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// setThresholdOverrides attaches -tsim/-tlsi as per-request overrides
-// only when the user actually passed the flag: an untouched default
-// must not silently override the thresholds a remote daemon was
-// configured with.
-func setThresholdOverrides(fs *flag.FlagSet, req *repro.MatchRequest, tsim, tlsi *float64) {
+// setMatchOverrides attaches -tsim/-tlsi/-candidates/-exact-score as
+// per-request overrides only when the user actually passed the flag: an
+// untouched default must not silently override the configuration a
+// remote daemon was started with. candidates and exactScore may be nil
+// on subcommands that do not expose them.
+func setMatchOverrides(fs *flag.FlagSet, req *repro.MatchRequest, tsim, tlsi *float64, candidates *int, exactScore *bool) {
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "tsim":
 			req.TSim = tsim
 		case "tlsi":
 			req.TLSI = tlsi
+		case "candidates":
+			req.Candidates = candidates
+		case "exact-score":
+			req.ExactScore = exactScore
 		}
 	})
 }
@@ -309,6 +316,8 @@ func matchallCmd(args []string, stdout, stderr io.Writer) int {
 	timings := fs.Bool("timings", true, "print per-pair and total elapsed times")
 	tsim := fs.Float64("tsim", 0.6, "certain-match threshold Tsim")
 	tlsi := fs.Float64("tlsi", 0.1, "correlation threshold TLSI")
+	candidates := fs.Int("candidates", 0, "pruned-scoring shortlist width (0 = default, -1 = exhaustive)")
+	exactScore := fs.Bool("exact-score", false, "force the exhaustive reference scoring path")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -335,7 +344,7 @@ func matchallCmd(args []string, stdout, stderr io.Writer) int {
 	}
 
 	req := repro.MatchRequest{All: true, Mode: *modeFlag, Hub: *hubFlag, Workers: *workers}
-	setThresholdOverrides(fs, &req, tsim, tlsi)
+	setMatchOverrides(fs, &req, tsim, tlsi, candidates, exactScore)
 	lines, err := backend.Stream(context.Background(), req)
 	if err != nil {
 		fmt.Fprintln(stderr, "matchall:", err)

@@ -50,6 +50,23 @@ type Config struct {
 	// the default sparse randomized path — a validation switch for
 	// asserting the fast path changes no alignments.
 	ExactSVD bool
+
+	// Candidates is the per-attribute shortlist width of the pruned
+	// scoring path (prune.go): every pair whose quantized-LSI upper
+	// bound clears TLSI is rescored exactly, plus each attribute's
+	// Candidates best partners by quantized estimate. 0 selects
+	// DefaultCandidates; negative values disable pruning and score
+	// exhaustively. Survivors are always rescored with the exact
+	// float64 pipeline, so the setting never changes match results —
+	// only how much provably irrelevant work is skipped. A match-time
+	// parameter, not an artifact-shaping one.
+	Candidates int
+
+	// ExactScore forces the exhaustive reference scorer, bypassing the
+	// pruned path entirely — the validation escape hatch mirroring
+	// ExactSVD, and the baseline the equivalence tests and the score
+	// benchmark compare the pruned path against.
+	ExactScore bool
 }
 
 // DefaultConfig returns the configuration used throughout the paper's
@@ -434,59 +451,79 @@ func (m *Matcher) MatchTypeCtx(ctx context.Context, c *wiki.Corpus, pair wiki.La
 		return td.LSim(i, j)
 	}
 
-	// Score all attribute pairs, within and across languages. This is
-	// the per-type hot path — O(n²) cosine evaluations — so large types
-	// chunk the pair list across a worker pool. Every slot is written by
-	// exactly one worker, so the result is identical to a serial run.
+	// Score attribute pairs, within and across languages — the per-type
+	// hot path. The default route is the pruned path (prune.go): a
+	// quantized shortlist pass discards pairs whose LSI score provably
+	// cannot clear TLSI, and only survivors get exact scores. Its queue
+	// is identical to the exhaustive one — membership depends only on
+	// the exact LSI score, survivors are rescored exactly, and they are
+	// enumerated in the same lexicographic pair order, so even
+	// stable-sort tie order is preserved. Configurations the shortlist
+	// bound cannot serve (ablations, ExactScore, negative thresholds)
+	// take the exhaustive reference route below.
 	n := len(td.Attrs)
-	pairs := td.AllPairs()
-	scores := make([]pairScores, len(pairs))
-	scoreRange := func(lo, hi int) {
-		for idx := lo; idx < hi; idx++ {
-			p := pairs[idx]
-			scores[idx] = pairScores{
-				vsim: vsim(p[0], p[1]),
-				lsim: lsim(p[0], p[1]),
-				lsi:  model.ScoreAttrs(td.Attrs[p[0]], td.Attrs[p[1]]),
+	var queue []Candidate
+	var gate func(i, j int) bool
+	if cfg.usePruned(n) {
+		var err error
+		if queue, err = prunedQueue(ctx, td, model, cfg); err != nil {
+			return nil, err
+		}
+		// The integrate gate recomputes the exact LSI score on demand:
+		// Score is a pure function of the immutable model, so this equals
+		// the exhaustive path's precomputed matrix entry bit for bit.
+		gate = func(i, j int) bool {
+			return model.ScoreAttrs(td.Attrs[i], td.Attrs[j]) > cfg.TLSI
+		}
+	} else {
+		pairs := td.AllPairs()
+		scores := make([]pairScores, len(pairs))
+		scoreRange := func(lo, hi int) {
+			for idx := lo; idx < hi; idx++ {
+				p := pairs[idx]
+				scores[idx] = pairScores{
+					vsim: vsim(p[0], p[1]),
+					lsim: lsim(p[0], p[1]),
+					lsi:  model.ScoreAttrs(td.Attrs[p[0]], td.Attrs[p[1]]),
+				}
 			}
 		}
-	}
-	if err := scorePairsCtx(ctx, len(pairs), scoreRange); err != nil {
-		return nil, err
-	}
-
-	lsiScore := make([][]float64, n)
-	for i := range lsiScore {
-		lsiScore[i] = make([]float64, n)
-	}
-	for idx, p := range pairs {
-		s := scores[idx].lsi
-		lsiScore[p[0]][p[1]], lsiScore[p[1]][p[0]] = s, s
-	}
-
-	// gate is the pairwise-correlation test of IntegrateMatches. When LSI
-	// is ablated it degrades to the same-language-co-occurrence veto that
-	// drives Example 2.
-	gate := func(i, j int) bool {
-		if cfg.DisableLSI {
-			return !(td.Attrs[i].Lang == td.Attrs[j].Lang && td.CoOccurLang(i, j) > 0)
+		if err := scorePairsCtx(ctx, len(pairs), scoreRange); err != nil {
+			return nil, err
 		}
-		return lsiScore[i][j] > cfg.TLSI
-	}
 
-	// Build the priority queue P.
-	var queue []Candidate
-	for idx, p := range pairs {
-		cand := Candidate{I: p[0], J: p[1],
-			VSim: scores[idx].vsim, LSim: scores[idx].lsim, LSI: scores[idx].lsi}
-		if cfg.DisableLSI {
-			if maxF(cand.VSim, cand.LSim) > 0 {
+		lsiScore := make([][]float64, n)
+		for i := range lsiScore {
+			lsiScore[i] = make([]float64, n)
+		}
+		for idx, p := range pairs {
+			s := scores[idx].lsi
+			lsiScore[p[0]][p[1]], lsiScore[p[1]][p[0]] = s, s
+		}
+
+		// gate is the pairwise-correlation test of IntegrateMatches. When LSI
+		// is ablated it degrades to the same-language-co-occurrence veto that
+		// drives Example 2.
+		gate = func(i, j int) bool {
+			if cfg.DisableLSI {
+				return !(td.Attrs[i].Lang == td.Attrs[j].Lang && td.CoOccurLang(i, j) > 0)
+			}
+			return lsiScore[i][j] > cfg.TLSI
+		}
+
+		// Build the priority queue P.
+		for idx, p := range pairs {
+			cand := Candidate{I: p[0], J: p[1],
+				VSim: scores[idx].vsim, LSim: scores[idx].lsim, LSI: scores[idx].lsi}
+			if cfg.DisableLSI {
+				if maxF(cand.VSim, cand.LSim) > 0 {
+					queue = append(queue, cand)
+				}
+				continue
+			}
+			if cand.LSI > cfg.TLSI {
 				queue = append(queue, cand)
 			}
-			continue
-		}
-		if cand.LSI > cfg.TLSI {
-			queue = append(queue, cand)
 		}
 	}
 	switch {

@@ -1,0 +1,148 @@
+package linalg
+
+import "math"
+
+// QuantizedRows is a symmetric int8 quantization of a matrix's rows,
+// built for cheap approximate row-cosine evaluation with a *proven*
+// per-pair error bound. Each row r is stored as q[r] = round(x/scale[r])
+// with scale[r] = max|x|/127, so the dequantized row scale[r]·q[r]
+// differs from x by at most scale[r]/2 per coordinate. Alongside the
+// codes it keeps, per row, the exact squared norm of the original row
+// and the measured norm of the quantization residual — everything
+// Margin needs to bound |CosineRowsQ8 − CosineRows| without ever
+// touching the float64 data again.
+//
+// Rows containing non-finite values, or whose norms overflow, are
+// stored as all-zero codes with an infinite residual: CosineRowsQ8
+// returns 0 for them and Margin returns +Inf, so a pruner that trusts
+// the bound can never mistake an unquantizable row for a provably
+// low-scoring one.
+type QuantizedRows struct {
+	Rows, Cols int
+	Q          []int8 // len = Rows*Cols, Q[r*Cols+c]
+
+	ratio  []float64 // scale/‖x‖ per row — always well-conditioned (0 for zero/bad rows)
+	normSq []float64 // Σx², the same accumulation CosineRows performs
+	relErr []float64 // ‖x − scale·q‖ / ‖x‖ (+Inf for unquantizable rows)
+}
+
+// Rows whose squared norm falls outside [2^-509, 2^509] are treated as
+// unquantizable: beyond that range the float64 products inside the
+// *reference* CosineRows (ni·nj) underflow or overflow, so no finite
+// error bound against it can be honest.
+const (
+	minQuantNormSq = 0x1p-509
+	maxQuantNormSq = 0x1p+509
+)
+
+// quantSlop absorbs float64 rounding in both the quantized estimate and
+// the exact CosineRows reference (a handful of ulps each); the
+// quantization residual term dominates it by many orders of magnitude.
+const quantSlop = 1e-9
+
+// QuantizeRows builds the int8 form of m's rows.
+func QuantizeRows(m *Matrix) *QuantizedRows {
+	q := &QuantizedRows{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		Q:      make([]int8, m.Rows*m.Cols),
+		ratio:  make([]float64, m.Rows),
+		normSq: make([]float64, m.Rows),
+		relErr: make([]float64, m.Rows),
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		var maxAbs, normSq float64
+		for _, x := range row {
+			if a := math.Abs(x); a > maxAbs {
+				maxAbs = a
+			}
+			normSq += x * x
+		}
+		q.normSq[r] = normSq
+		if maxAbs == 0 {
+			// Exact zero row: codes are zero with no residual, and both
+			// CosineRows and CosineRowsQ8 return 0 for it.
+			continue
+		}
+		if !isFinite(maxAbs) || !isFinite(normSq) ||
+			normSq < minQuantNormSq || normSq > maxQuantNormSq {
+			q.relErr[r] = math.Inf(1)
+			continue
+		}
+		scale := maxAbs / 127
+		codes := q.Q[r*m.Cols : (r+1)*m.Cols]
+		var errSq float64
+		for c, x := range row {
+			v := math.Round(x / scale)
+			codes[c] = int8(v)
+			e := x - scale*v
+			errSq += e * e
+		}
+		rel := math.Sqrt(errSq) / math.Sqrt(normSq)
+		if !isFinite(rel) {
+			for c := range codes {
+				codes[c] = 0
+			}
+			q.relErr[r] = math.Inf(1)
+			continue
+		}
+		// scale/‖x‖ lies in [1/(127·√cols), 1/127]: multiplying two of
+		// these ratios with the int32 dot can never underflow or
+		// overflow, unlike scale_i·scale_j on denormal-adjacent rows.
+		q.ratio[r] = scale / math.Sqrt(normSq)
+		// Inflate the measured residual ratio to cover its own rounding.
+		q.relErr[r] = rel * (1 + 1e-12)
+	}
+	return q
+}
+
+func isFinite(x float64) bool { return !math.IsInf(x, 0) && !math.IsNaN(x) }
+
+// CosineRowsQ8 approximates CosineRows(m, i, j) from the quantized
+// codes alone: an int8 dot product accumulated exactly in 32 bits,
+// rescaled and clamped to [-1, 1]. The result is within Margin(i, j) of
+// the exact float64 cosine, and is 0 whenever either row is zero or
+// unquantizable.
+func CosineRowsQ8(q *QuantizedRows, i, j int) float64 {
+	ni, nj := q.normSq[i], q.normSq[j]
+	if !(ni > 0) || !(nj > 0) {
+		return 0
+	}
+	var acc int32
+	qi, qj := q.Q[i*q.Cols:(i+1)*q.Cols], q.Q[j*q.Cols:(j+1)*q.Cols]
+	for k := 0; k < q.Cols; k++ {
+		acc += int32(qi[k]) * int32(qj[k])
+	}
+	c := q.ratio[i] * q.ratio[j] * float64(acc)
+	if c > 1 {
+		c = 1
+	}
+	if c < -1 {
+		c = -1
+	}
+	return c
+}
+
+// Margin bounds the quantization error of pair (i, j):
+//
+//	|CosineRowsQ8(q, i, j) − CosineRows(m, i, j)| ≤ Margin(i, j)
+//
+// The bound follows from writing each row x as its dequantized form x̂
+// plus a residual e: the dot products then differ by at most
+// ‖x‖‖e_j‖ + ‖e_i‖‖x_j‖ + 3‖e_i‖‖e_j‖, which after normalization is
+// relErr_i + relErr_j + 3·relErr_i·relErr_j; clamping both cosines to
+// [-1, 1] is 1-Lipschitz so it never widens the gap, and quantSlop
+// absorbs float64 rounding on both sides. Pairs involving an
+// unquantizable row get +Inf — "no claim".
+func (q *QuantizedRows) Margin(i, j int) float64 {
+	ri, rj := q.relErr[i], q.relErr[j]
+	if math.IsInf(ri, 1) || math.IsInf(rj, 1) {
+		return math.Inf(1)
+	}
+	if q.normSq[i] == 0 || q.normSq[j] == 0 {
+		// Both cosines are exactly 0 by definition.
+		return 0
+	}
+	return ri + rj + 3*ri*rj + quantSlop
+}

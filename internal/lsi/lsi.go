@@ -12,6 +12,7 @@ package lsi
 import (
 	"context"
 	"sort"
+	"sync"
 
 	"repro/internal/linalg"
 	"repro/internal/wiki"
@@ -42,6 +43,12 @@ type Model struct {
 	embedding *linalg.Matrix // scaled U (attrs × rank)
 	coOccur   map[[2]int]bool
 	rank      int
+
+	// quant is the lazily built int8 quantization of embedding (see
+	// prune.go). It is derived state, never snapshotted: restored models
+	// rebuild it on first use from the bit-identical embedding.
+	quantOnce sync.Once
+	quant     *linalg.QuantizedRows
 }
 
 // Options tunes how the model is built.

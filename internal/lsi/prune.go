@@ -1,0 +1,72 @@
+// Candidate-pruning support: a lazily built int8 quantization of the
+// latent embedding, and provable bounds on the paper's three-case LSI
+// score computed from it. The pruned scoring path in internal/core uses
+// ScoreBounds to discard pairs whose score provably cannot clear the
+// TLSI queue threshold, then rescores the survivors with the exact
+// float64 Score — so quantization can never change a match result, only
+// skip work that provably does not matter.
+
+package lsi
+
+import "repro/internal/linalg"
+
+// Quantized returns the int8 quantization of the model's embedding,
+// building it on first use. The quantization depends only on the
+// embedding — not on any threshold — so per-request threshold overrides
+// reuse the same cached instance; models restored from snapshots
+// rebuild it lazily exactly as freshly built ones do. Safe for
+// concurrent use.
+func (m *Model) Quantized() *linalg.QuantizedRows {
+	m.quantOnce.Do(func() { m.quant = linalg.QuantizeRows(m.embedding) })
+	return m.quant
+}
+
+// ScoreBounds returns a deterministic point estimate and a proven upper
+// bound of Score(i, j), computed from the quantized embedding alone:
+//
+//	Score(i, j) ≤ hi, and est is within the quantization margin of the
+//	exact score.
+//
+// Pairs whose exact score is 0 by definition (identical indices,
+// same-language co-occurring attributes) return (0, 0). For rows the
+// quantizer made no claim about, hi degrades to the trivial bound 1, so
+// a caller pruning on hi stays sound on any input.
+func (m *Model) ScoreBounds(i, j int) (est, hi float64) {
+	if i == j {
+		return 0, 0
+	}
+	q := m.Quantized()
+	ai, aj := m.Attrs[i], m.Attrs[j]
+	if ai.Lang != aj.Lang {
+		c := linalg.CosineRowsQ8(q, i, j)
+		margin := q.Margin(i, j)
+		est = maxf(c, 0)
+		hi = maxf(minf(c+margin, 1), 0)
+		return est, hi
+	}
+	if m.CoOccur(i, j) {
+		return 0, 0
+	}
+	c := linalg.CosineRowsQ8(q, i, j)
+	margin := q.Margin(i, j)
+	// Score = 1 − max(cos, 0): the upper bound comes from the *lower*
+	// cosine bound, clamped to the exact cosine's [-1, 1] range.
+	cLo := maxf(c-margin, -1)
+	est = 1 - maxf(c, 0)
+	hi = 1 - maxf(cLo, 0)
+	return est, hi
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -57,6 +57,14 @@ type MatchRequest struct {
 	TSim *float64 `json:"tsim,omitempty"`
 	TLSI *float64 `json:"tlsi,omitempty"`
 	TEg  *float64 `json:"teg,omitempty"`
+	// Candidates overrides the per-attribute shortlist width of the
+	// pruned scoring path (0 restores the default, -1 disables pruning).
+	// Like the thresholds it is a match-time parameter: results are
+	// identical at any width, only the work to produce them changes, and
+	// cached artifacts are reused untouched.
+	Candidates *int `json:"candidates,omitempty"`
+	// ExactScore forces the exhaustive reference scoring path.
+	ExactScore *bool `json:"exactScore,omitempty"`
 }
 
 // Resolved is a validated MatchRequest with every field parsed into its
@@ -69,14 +77,19 @@ type Resolved struct {
 	Overrides Overrides
 }
 
-// Overrides carries the per-request threshold overrides; nil fields
+// Overrides carries the per-request match-time overrides; nil fields
 // keep the session's configuration.
 type Overrides struct {
 	TSim, TLSI, TEg *float64
+	Candidates      *int
+	ExactScore      *bool
 }
 
 // Empty reports whether no override is set.
-func (o Overrides) Empty() bool { return o.TSim == nil && o.TLSI == nil && o.TEg == nil }
+func (o Overrides) Empty() bool {
+	return o.TSim == nil && o.TLSI == nil && o.TEg == nil &&
+		o.Candidates == nil && o.ExactScore == nil
+}
 
 // Apply returns cfg with the overrides applied. Only matching
 // thresholds can be overridden, so the artifact-shaping fields
@@ -91,13 +104,22 @@ func (o Overrides) Apply(cfg core.Config) core.Config {
 	if o.TEg != nil {
 		cfg.TEg = *o.TEg
 	}
+	if o.Candidates != nil {
+		cfg.Candidates = *o.Candidates
+	}
+	if o.ExactScore != nil {
+		cfg.ExactScore = *o.ExactScore
+	}
 	return cfg
 }
 
 // Validate checks the request and resolves it into typed fields. Every
 // returned error is a *Error with CodeInvalidArgument.
 func (r MatchRequest) Validate() (Resolved, error) {
-	res := Resolved{All: r.All, Type: r.Type, Overrides: Overrides{TSim: r.TSim, TLSI: r.TLSI, TEg: r.TEg}}
+	res := Resolved{All: r.All, Type: r.Type, Overrides: Overrides{
+		TSim: r.TSim, TLSI: r.TLSI, TEg: r.TEg,
+		Candidates: r.Candidates, ExactScore: r.ExactScore,
+	}}
 	for _, th := range []struct {
 		name string
 		v    *float64
@@ -105,6 +127,9 @@ func (r MatchRequest) Validate() (Resolved, error) {
 		if th.v != nil && (*th.v < 0 || *th.v > 1) {
 			return Resolved{}, Errorf(CodeInvalidArgument, "invalid %s %v (want a threshold in [0,1])", th.name, *th.v)
 		}
+	}
+	if r.Candidates != nil && *r.Candidates < -1 {
+		return Resolved{}, Errorf(CodeInvalidArgument, "invalid candidates %d (want -1 to disable pruning, 0 for the default, or a positive shortlist width)", *r.Candidates)
 	}
 	if r.All {
 		if r.Pair != "" {

@@ -1,0 +1,147 @@
+// The merge-join scoring kernel: a lazily built posting-list form of a
+// TypeData's value, translated-value and link vectors. The map-based
+// TF.Cosine hashes every term string on every pair evaluation; at dump
+// scale those hash probes dominate MatchType. The kernel interns each
+// term family once into dense int32 ids, stores each vector as an
+// id-sorted posting list with its precomputed norm, and evaluates
+// cosines by merge join — byte-identical to the TF path, because every
+// frequency is an integer count: sums of integer-valued float64
+// products are exact (far below 2^53), so summation order cannot
+// change a single bit, and the final dot/(normI*normJ) expression is
+// evaluated exactly as TF.Cosine writes it.
+
+package sim
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/text"
+)
+
+// plist is one vector as an id-sorted posting list. ok distinguishes a
+// nil TF (e.g. the missing translated vector on the B side) from an
+// empty one, mirroring the nil checks in cmpVec.
+type plist struct {
+	ids  []int32
+	fs   []float64
+	norm float64
+	ok   bool
+}
+
+func (p *plist) Len() int           { return len(p.ids) }
+func (p *plist) Less(i, j int) bool { return p.ids[i] < p.ids[j] }
+func (p *plist) Swap(i, j int) {
+	p.ids[i], p.ids[j] = p.ids[j], p.ids[i]
+	p.fs[i], p.fs[j] = p.fs[j], p.fs[i]
+}
+
+// Kernel evaluates VSim and LSim over posting lists, byte-identical to
+// the TypeData map path. It is immutable once built and safe for
+// concurrent use.
+type Kernel struct {
+	td    *TypeData
+	value []plist
+	trans []plist
+	link  []plist
+}
+
+// Kernel returns the TypeData's merge-join scoring kernel, building it
+// on the first call and caching it for the TypeData's lifetime. The
+// kernel is derived purely from the similarity vectors, so TypeData
+// instances restored from snapshots rebuild it lazily to the same
+// scores. Safe for concurrent use.
+func (td *TypeData) Kernel() *Kernel {
+	td.kernelOnce.Do(func() { td.kernel = buildKernel(td) })
+	return td.kernel
+}
+
+func buildKernel(td *TypeData) *Kernel {
+	k := &Kernel{td: td}
+	// Value and translated vectors share one term-id space: cmpVec dots
+	// a translated A-side vector against a plain B-side one.
+	valueIDs := make(map[string]int32)
+	linkIDs := make(map[string]int32)
+	k.value = buildFamily(td.valueVec, valueIDs)
+	k.trans = buildFamily(td.transVec, valueIDs)
+	k.link = buildFamily(td.linkVec, linkIDs)
+	return k
+}
+
+func buildFamily(vecs []text.TF, ids map[string]int32) []plist {
+	out := make([]plist, len(vecs))
+	for i, v := range vecs {
+		if v == nil {
+			continue
+		}
+		p := &out[i]
+		p.ok = true
+		p.ids = make([]int32, 0, len(v))
+		p.fs = make([]float64, 0, len(v))
+		var sq float64
+		for term, f := range v {
+			id, seen := ids[term]
+			if !seen {
+				id = int32(len(ids))
+				ids[term] = id
+			}
+			p.ids = append(p.ids, id)
+			p.fs = append(p.fs, f)
+			sq += f * f
+		}
+		sort.Sort(p)
+		p.norm = math.Sqrt(sq)
+	}
+	return out
+}
+
+// cosineP mirrors text.TF.Cosine exactly: 0 when either norm is zero,
+// otherwise dot/(normI*normJ) clamped to [0, 1].
+func cosineP(a, b *plist) float64 {
+	if a.norm == 0 || b.norm == 0 {
+		return 0
+	}
+	var dot float64
+	i, j := 0, 0
+	for i < len(a.ids) && j < len(b.ids) {
+		switch {
+		case a.ids[i] == b.ids[j]:
+			dot += a.fs[i] * b.fs[j]
+			i++
+			j++
+		case a.ids[i] < b.ids[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	c := dot / (a.norm * b.norm)
+	if c > 1 {
+		c = 1
+	}
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// VSim is TypeData.VSim evaluated on the posting lists, including
+// cmpVec's translated-vector substitution for cross-language pairs.
+func (k *Kernel) VSim(i, j int) float64 {
+	pi, pj := &k.value[i], &k.value[j]
+	ai, aj := k.td.Attrs[i], k.td.Attrs[j]
+	if ai.Lang != aj.Lang {
+		if ai.Lang == k.td.Pair.A && k.trans[i].ok {
+			pi = &k.trans[i]
+		}
+		if aj.Lang == k.td.Pair.A && k.trans[j].ok {
+			pj = &k.trans[j]
+		}
+	}
+	return cosineP(pi, pj)
+}
+
+// LSim is TypeData.LSim evaluated on the posting lists.
+func (k *Kernel) LSim(i, j int) float64 {
+	return cosineP(&k.link[i], &k.link[j])
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/text"
+)
+
+// TestKernelMatchesMapPath asserts bit-for-bit equality between the
+// merge-join kernel and the TF map path over every attribute pair of
+// the corpus fixture — including cross-language pairs where cmpVec
+// substitutes the translated vector.
+func TestKernelMatchesMapPath(t *testing.T) {
+	_, td := buildFixture(t)
+	k := td.Kernel()
+	if k != td.Kernel() {
+		t.Fatal("Kernel not cached")
+	}
+	for _, p := range td.AllPairs() {
+		i, j := p[0], p[1]
+		if got, want := k.VSim(i, j), td.VSim(i, j); got != want {
+			t.Fatalf("VSim(%d,%d): kernel %v != map %v", i, j, got, want)
+		}
+		if got, want := k.LSim(i, j), td.LSim(i, j); got != want {
+			t.Fatalf("LSim(%d,%d): kernel %v != map %v", i, j, got, want)
+		}
+		// Symmetry must hold on both paths.
+		if k.VSim(i, j) != k.VSim(j, i) || k.LSim(i, j) != k.LSim(j, i) {
+			t.Fatalf("kernel asymmetric at (%d,%d)", i, j)
+		}
+	}
+}
+
+// TestKernelCosineRandomCounts asserts posting-list cosines equal
+// TF.Cosine on randomized integer-count vectors — the integer-exactness
+// argument the kernel's byte-identity rests on, exercised directly.
+func TestKernelCosineRandomCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	terms := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"}
+	randTF := func() text.TF {
+		v := text.TF{}
+		for _, term := range terms {
+			if rng.Intn(2) == 0 {
+				v[term] = float64(1 + rng.Intn(5000))
+			}
+		}
+		return v
+	}
+	for trial := 0; trial < 200; trial++ {
+		vecs := []text.TF{randTF(), randTF(), {}, randTF()}
+		ids := make(map[string]int32)
+		lists := buildFamily(vecs, ids)
+		for i := range vecs {
+			for j := range vecs {
+				got := cosineP(&lists[i], &lists[j])
+				want := vecs[i].Cosine(vecs[j])
+				if got != want {
+					t.Fatalf("trial %d pair (%d,%d): kernel %v != TF %v", trial, i, j, got, want)
+				}
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"sort"
+	"sync"
 
 	"repro/internal/dict"
 	"repro/internal/lsi"
@@ -53,6 +54,11 @@ type TypeData struct {
 
 	// nBoxes is the number of infoboxes per language side.
 	nBoxes map[wiki.Language]int
+
+	// kernel is the lazily built merge-join scoring kernel (kernel.go) —
+	// derived state, excluded from snapshots and rebuilt on first use.
+	kernelOnce sync.Once
+	kernel     *Kernel
 }
 
 // BuildTypeData assembles the workspace from the corpus. typeA and typeB

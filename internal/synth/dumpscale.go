@@ -1,0 +1,158 @@
+// The dump-scale fixture: a deterministic single-type pt–en corpus
+// whose one entity type carries hundreds of attributes over hundreds of
+// cross-linked infobox pairs. Generate builds linguistically varied
+// multi-type corpora for accuracy experiments; DumpScale instead
+// stresses the scoring stage the way a full Wikipedia dump does — one
+// big type with dense value/link vectors — so the pruned matcher's
+// equivalence and speedup claims can be pinned at realistic scale
+// without shipping a dump.
+
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/wiki"
+)
+
+// DumpScaleConfig sizes the DumpScale corpus.
+type DumpScaleConfig struct {
+	// Attrs is the number of gold-aligned attribute pairs; the schema is
+	// campo_k on the Portuguese side and field_k on the English side,
+	// with k ↔ k the gold alignment.
+	Attrs int
+	// Boxes is the number of cross-linked article pairs.
+	Boxes int
+	// PerBox is how many of the Attrs attributes each article pair
+	// instantiates (the same subset on both sides, so gold pairs
+	// co-occur in every dual they appear in).
+	PerBox int
+	// Values is the size of each attribute's value pool; larger pools
+	// mean more distinct terms per value vector.
+	Values int
+	// Seed drives the deterministic generator stream.
+	Seed uint64
+}
+
+// DefaultDumpScale is the configuration the benchmark suite and the
+// dump-scale equivalence test share: ~280 attributes in one type, the
+// scale at which exhaustive pair scoring dominates MatchType.
+func DefaultDumpScale() DumpScaleConfig {
+	return DumpScaleConfig{Attrs: 140, Boxes: 900, PerBox: 24, Values: 400, Seed: 9}
+}
+
+// dsRand is a self-contained 64-bit LCG so the fixture never depends on
+// math/rand stream stability across Go releases.
+type dsRand struct{ s uint64 }
+
+func (r *dsRand) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s
+}
+
+func (r *dsRand) intn(n int) int { return int((r.next() >> 33) % uint64(n)) }
+
+// alpha renders v in lowercase base-26. Value atoms must stay free of
+// digits: ValueTerms extracts numbers as standalone terms, so a digit
+// that encodes the attribute id would leak into every instance's vector
+// and swamp the actual value draw.
+func alpha(v int) string {
+	out := []byte{'a' + byte(v%26)}
+	for v /= 26; v > 0; v /= 26 {
+		out = append(out, 'a'+byte(v%26))
+	}
+	return string(out)
+}
+
+// dumpScaleAnchors is how many attributes carry identical values on
+// both sides. Only those gold pairs clear the certain-match threshold;
+// the rest stay middling, like a real dump where most alignments rest
+// on partial value overlap. Keeping the certain set small keeps the
+// revise stage (whose cost scales with the certain match set and is
+// identical on the pruned and exhaustive paths) from drowning out the
+// pair-scoring stage the fixture exists to exercise.
+const dumpScaleAnchors = 10
+
+// DumpScale builds the corpus. Both sides of a box share the same
+// attribute subset; value atoms are proper-noun-like tokens shared
+// across editions (no dictionary needed for them to overlap), but for
+// non-anchor attributes only about half the draws agree, so gold value
+// similarity lands mid-range. Link targets canonicalize to the same key
+// through CanonicalLinkKey's shared-title fallback, and a common "tag"
+// pool bleeds a little term overlap into non-gold pairs so pruning has
+// realistic near-misses to reject.
+func DumpScale(cfg DumpScaleConfig) *wiki.Corpus {
+	if cfg.Attrs <= 0 || cfg.Boxes <= 0 || cfg.PerBox <= 0 {
+		panic("synth: DumpScale needs positive Attrs, Boxes and PerBox")
+	}
+	if cfg.PerBox > cfg.Attrs {
+		cfg.PerBox = cfg.Attrs
+	}
+	if cfg.Values <= 0 {
+		cfg.Values = 400
+	}
+	rng := &dsRand{s: cfg.Seed*0x9e3779b97f4a7c15 + 1}
+	c := wiki.NewCorpus()
+	perm := make([]int, cfg.Attrs)
+	for b := 0; b < cfg.Boxes; b++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		// Partial Fisher–Yates: the first PerBox entries are the box's
+		// attribute subset.
+		for i := 0; i < cfg.PerBox; i++ {
+			j := i + rng.intn(cfg.Attrs-i)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		ptTitle := fmt.Sprintf("Registro %d", b)
+		enTitle := fmt.Sprintf("Record %d", b)
+		ptBox := &wiki.Infobox{Template: "Info/Registro"}
+		enBox := &wiki.Infobox{Template: "Infobox record"}
+		for _, k := range perm[:cfg.PerBox] {
+			vi := rng.intn(cfg.Values)
+			viPt := vi
+			if k >= dumpScaleAnchors && rng.intn(3) > 0 {
+				viPt = rng.intn(cfg.Values)
+			}
+			var ptLinks, enLinks []wiki.Link
+			if rng.intn(2) == 0 {
+				li := rng.intn(cfg.Values/2 + 1)
+				liPt := li
+				if k >= dumpScaleAnchors && rng.intn(3) > 0 {
+					liPt = rng.intn(cfg.Values/2 + 1)
+				}
+				target := fmt.Sprintf("Entity %d %d", k, li)
+				targetPt := fmt.Sprintf("Entity %d %d", k, liPt)
+				enLinks = []wiki.Link{{Target: target, Anchor: target}}
+				ptLinks = []wiki.Link{{Target: targetPt, Anchor: targetPt}}
+			}
+			// Occasional draws from a shared cross-attribute "tag" pool
+			// add a trickle of term overlap between unrelated attributes;
+			// the pool is large and the draws rare so the noise never
+			// outweighs the attribute's own value terms.
+			ptVal := "val" + alpha(k) + "x" + alpha(viPt)
+			enVal := "val" + alpha(k) + "x" + alpha(vi)
+			if rng.intn(8) == 0 {
+				ptVal += ", tag" + alpha(rng.intn(97))
+			}
+			if rng.intn(8) == 0 {
+				enVal += ", tag" + alpha(rng.intn(97))
+			}
+			ptBox.Set(fmt.Sprintf("campo_%d", k), ptVal, ptLinks...)
+			enBox.Set(fmt.Sprintf("field_%d", k), enVal, enLinks...)
+		}
+		pt := &wiki.Article{
+			Language: wiki.Portuguese, Title: ptTitle,
+			Type: "registro", Infobox: ptBox,
+		}
+		en := &wiki.Article{
+			Language: wiki.English, Title: enTitle,
+			Type: "record", Infobox: enBox,
+		}
+		pt.SetCrossLink(wiki.English, enTitle)
+		en.SetCrossLink(wiki.Portuguese, ptTitle)
+		c.MustAdd(pt)
+		c.MustAdd(en)
+	}
+	return c
+}

@@ -1,0 +1,54 @@
+package synth
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/wiki"
+)
+
+func TestDumpScaleDeterministic(t *testing.T) {
+	cfg := DumpScaleConfig{Attrs: 30, Boxes: 60, PerBox: 8, Values: 50, Seed: 7}
+	a := DumpScale(cfg)
+	b := DumpScale(cfg)
+	if got := a.TypePairCount(wiki.PtEn)[[2]string{"registro", "record"}]; got != cfg.Boxes {
+		t.Fatalf("type pair count = %d, want %d", got, cfg.Boxes)
+	}
+	for _, title := range []string{"Registro 0", "Registro 59"} {
+		aa, ok1 := a.Get(wiki.Portuguese, title)
+		bb, ok2 := b.Get(wiki.Portuguese, title)
+		if !ok1 || !ok2 {
+			t.Fatalf("article %q missing (%v, %v)", title, ok1, ok2)
+		}
+		if !reflect.DeepEqual(aa.Infobox, bb.Infobox) {
+			t.Fatalf("article %q differs between identically seeded runs", title)
+		}
+		if len(aa.Infobox.Attrs) != 8 {
+			t.Fatalf("article %q has %d attrs, want 8", title, len(aa.Infobox.Attrs))
+		}
+	}
+	// A different seed must actually change the corpus.
+	cfg.Seed = 8
+	cc := DumpScale(cfg)
+	ca, _ := cc.Get(wiki.Portuguese, "Registro 0")
+	aa, _ := a.Get(wiki.Portuguese, "Registro 0")
+	if reflect.DeepEqual(aa.Infobox, ca.Infobox) {
+		t.Fatal("seed change left Registro 0 identical")
+	}
+}
+
+func TestDumpScaleCrossLinked(t *testing.T) {
+	c := DumpScale(DumpScaleConfig{Attrs: 10, Boxes: 12, PerBox: 4, Values: 20, Seed: 3})
+	pairs := c.Pairs(wiki.PtEn)
+	if len(pairs) != 12 {
+		t.Fatalf("cross-linked pairs = %d, want 12", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.A.Type != "registro" || p.B.Type != "record" {
+			t.Fatalf("unexpected pair types %q/%q", p.A.Type, p.B.Type)
+		}
+		if len(p.A.Infobox.Attrs) != len(p.B.Infobox.Attrs) {
+			t.Fatal("sides of a box disagree on attribute count")
+		}
+	}
+}

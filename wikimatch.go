@@ -205,6 +205,12 @@ var (
 	WithSeed = service.WithSeed
 	// WithExactSVD forces the exact dense Jacobi SVD inside LSI.
 	WithExactSVD = service.WithExactSVD
+	// WithCandidates sets the pruned scoring path's shortlist width
+	// (0 = default, -1 disables pruning); results are identical at any
+	// width.
+	WithCandidates = service.WithCandidates
+	// WithExactScore forces the exhaustive reference scoring path.
+	WithExactScore = service.WithExactScore
 	// WithoutDictionary disables dictionary translation inside vsim.
 	WithoutDictionary = service.WithoutDictionary
 )
