@@ -39,13 +39,21 @@
 // byte-identical by the core equivalence tests; this experiment times
 // them.
 //
+// An eighth timing experiment, "ingest", measures the dump-ingestion
+// front door: it generates the multi-edition corpus at ten times the
+// fixture scale, writes it as DBpedia-style TTL dumps, and times
+// internal/ingest streaming the set back into a corpus — reporting
+// throughput (MB/s over raw dump bytes) and the sampled peak heap
+// growth the CI ingestion gate bounds. The round trip is verified by
+// corpus fingerprint before any number is reported.
+//
 // With -json, -trajectory FILE upserts the measured document into the
 // named trajectory file (BENCH_TRAJECTORY.json in the repo root) under
 // the entry name given by -pr, preserving the floors and every other
 // entry — the append-only perf history the CI bench gates read their
 // thresholds from.
 //
-//	benchall [-scale small|full] [-run all|table1..table7|figure3..figure7|svd|session|store|http|router|audit|score|timings] [-json] [-trajectory FILE -pr NAME]
+//	benchall [-scale small|full] [-run all|table1..table7|figure3..figure7|svd|session|store|http|router|audit|score|ingest|timings] [-json] [-trajectory FILE -pr NAME]
 package main
 
 import (
@@ -73,8 +81,8 @@ import (
 
 func main() {
 	scale := flag.String("scale", "full", "corpus scale: small or full")
-	run := flag.String("run", "all", "experiment to run (all, table1..table7, figure3..figure7, svd, session, store, http, router, audit, score, timings)")
-	jsonOut := flag.Bool("json", false, "emit the timing experiments (svd/session/store/http/audit/score/timings) as one JSON document")
+	run := flag.String("run", "all", "experiment to run (all, table1..table7, figure3..figure7, svd, session, store, http, router, audit, score, ingest, timings)")
+	jsonOut := flag.Bool("json", false, "emit the timing experiments (svd/session/store/http/audit/score/ingest/timings) as one JSON document")
 	trajectory := flag.String("trajectory", "", "with -json: upsert the measured document into this trajectory file")
 	prName := flag.String("pr", "", "entry name for -trajectory (e.g. pr9)")
 	flag.Parse()
@@ -108,6 +116,18 @@ func main() {
 			return
 		}
 		renderRouterTimings(rt)
+		return
+	}
+
+	// The ingest experiment generates its own 10×-scale multi-edition
+	// dump set and measures streaming it back; no Setup either.
+	if *run == "ingest" {
+		it := measureIngest()
+		if *jsonOut {
+			emitJSON(timingDoc{Scale: *scale, Ingest: &it})
+			return
+		}
+		renderIngestTimings(it)
 		return
 	}
 
@@ -243,6 +263,7 @@ type timingDoc struct {
 	Router  *routerTiming   `json:"router,omitempty"`
 	Audit   *auditTiming    `json:"audit,omitempty"`
 	Score   *scoreTiming    `json:"score,omitempty"`
+	Ingest  *ingestTiming   `json:"ingest,omitempty"`
 }
 
 // trajectoryFile is the committed perf history (BENCH_TRAJECTORY.json):
@@ -297,6 +318,9 @@ func upsertTrajectory(path, pr string, doc timingDoc) error {
 		}
 		if doc.Score != nil {
 			e.Score = doc.Score
+		}
+		if doc.Ingest != nil {
+			e.Ingest = doc.Ingest
 		}
 		merged = true
 		break

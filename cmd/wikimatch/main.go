@@ -27,6 +27,15 @@
 // drift, unit mismatches, outright contradictions) with
 // confidence-weighted severities. It honours -remote too.
 //
+// The ingest subcommand streams real dump files — DBpedia
+// infobox-properties and interlanguage-links TTL and MediaWiki XML,
+// transparently gzip/bzip2-compressed — into a corpus and prints the
+// per-edition statistics report with a structured skip-reason summary.
+// The language set is entirely data-driven: whatever editions the dump
+// directory holds become the corpus. The same ingestion runs implicitly
+// wherever -dumps is accepted. With -dry-run it only counts; with
+// -store it writes a session snapshot wikimatchd can warm-start from.
+//
 // The precompute subcommand is the offline half of the offline/online
 // split: it builds every artifact for the requested language pairs and
 // writes them as one atomic snapshot file that `wikimatchd -store`
@@ -34,19 +43,22 @@
 //
 // Usage:
 //
-//	wikimatch [-pair pt-en|vi-en] [-type filme] [-scale small|full]
-//	          [-dumps dir]     load XML dumps (<lang>.xml) instead of generating
+//	wikimatch [-pair pt-en|zh-min-nan:en] [-type filme] [-scale small|full]
+//	          [-dumps dir]     ingest dumps (TTL/XML, .gz/.bz2) instead of generating
 //	          [-remote URL]    drive a running wikimatchd over protocol v1
 //	          [-tsim 0.6] [-tlsi 0.1] [-candidates K] [-exact-score] [-stream]
 //
-//	wikimatch matchall [-mode pivot|direct] [-hub en] [-workers N]
+//	wikimatch matchall [-mode pivot|direct] [-hub LANG] [-workers N]
 //	          [-scale small|full] [-dumps dir] [-store out.wmsnap]
 //	          [-remote URL] [-timings=false]
 //	          [-clusters] [-tsim 0.6] [-tlsi 0.1] [-candidates K] [-exact-score]
 //
-//	wikimatch audit [-mode pivot|direct] [-hub en] [-workers N]
+//	wikimatch audit [-mode pivot|direct] [-hub LANG] [-workers N]
 //	          [-pair pt-en] [-min-severity 0.5] [-limit 20]
 //	          [-scale small|full] [-dumps dir] [-remote URL] [-timings=false]
+//
+//	wikimatch ingest -dumps dir [-langs en,pt,...] [-workers N]
+//	          [-dry-run] [-no-infer] [-progress] [-store corpus.wmsnap]
 //
 //	wikimatch precompute -store artifacts.wmsnap
 //	          [-pairs pt-en,vi-en] [-scale small|full] [-dumps dir]
@@ -65,8 +77,8 @@ import (
 	"time"
 
 	"repro"
-	"repro/internal/dump"
 	"repro/internal/eval"
+	"repro/internal/ingest"
 	"repro/internal/synth"
 	"repro/internal/wiki"
 )
@@ -81,6 +93,9 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "audit" {
 		os.Exit(auditCmd(os.Args[2:], os.Stdout, os.Stderr))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "ingest" {
+		os.Exit(ingestCmd(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	os.Exit(matchCmd(os.Args[1:], os.Stdout, os.Stderr))
 }
 
@@ -88,10 +103,10 @@ func main() {
 func matchCmd(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("wikimatch", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	pairFlag := fs.String("pair", "pt-en", "language pair: pt-en or vi-en")
+	pairFlag := fs.String("pair", "pt-en", "language pair, e.g. pt-en (colon form for hyphenated codes: zh-min-nan:en)")
 	typeFlag := fs.String("type", "", "match only one source-language type (single-type request)")
 	scale := fs.String("scale", "small", "generated corpus scale: small or full")
-	dumpsDir := fs.String("dumps", "", "directory with <lang>.xml dumps to load instead of generating")
+	dumpsDir := fs.String("dumps", "", "directory with dumps to ingest (DBpedia <lang>-*.ttl[.gz|.bz2], MediaWiki <lang>.xml) instead of generating")
 	remote := fs.String("remote", "", "wikimatchd base URL; match there instead of in process")
 	tsim := fs.Float64("tsim", 0.6, "certain-match threshold Tsim")
 	tlsi := fs.Float64("tlsi", 0.1, "correlation threshold TLSI")
@@ -198,35 +213,20 @@ func newBackend(remote string, corpus *repro.Corpus) (repro.Backend, error) {
 	return repro.NewAPIClient(remote)
 }
 
-// loadCorpus builds the corpus from XML dumps when a directory is given,
-// otherwise generates the synthetic corpus (with its ground truth) at
-// the requested scale.
+// loadCorpus ingests every recognized dump in the directory when one is
+// given — DBpedia TTL and MediaWiki XML, any language set, transparently
+// compressed — otherwise generates the synthetic corpus (with its ground
+// truth) at the requested scale.
 func loadCorpus(w io.Writer, dumpsDir, scale string) (*wiki.Corpus, *synth.GroundTruth, error) {
 	if dumpsDir != "" {
-		corpus := wiki.NewCorpus()
-		loaded := 0
-		for _, lang := range []wiki.Language{wiki.English, wiki.Portuguese, wiki.Vietnamese} {
-			path := filepath.Join(dumpsDir, string(lang)+".xml")
-			f, err := os.Open(path)
-			if os.IsNotExist(err) {
-				continue
-			}
-			if err != nil {
-				return nil, nil, fmt.Errorf("open dump: %w", err)
-			}
-			res, err := dump.LoadCorpus(corpus, f, lang)
-			f.Close()
-			if err != nil {
-				return nil, nil, fmt.Errorf("load dump %s: %w", path, err)
-			}
-			fmt.Fprintf(w, "loaded %s: %d pages (%d skipped, %d errors)\n",
-				path, res.Pages, res.Skipped, len(res.Errors))
-			loaded++
+		res, err := ingest.Dir(context.Background(), dumpsDir, ingest.Options{})
+		if err != nil {
+			return nil, nil, err
 		}
-		if loaded == 0 {
-			return nil, nil, fmt.Errorf("no <lang>.xml dumps found in %s", dumpsDir)
-		}
-		return corpus, nil, nil
+		tot := res.Totals()
+		fmt.Fprintf(w, "ingested %s: %d editions %v, %d files, %d entities (%d skipped units)\n",
+			dumpsDir, len(res.PerLang), res.Languages(), tot.Files, tot.Entities, tot.SkippedTotal())
+		return res.Corpus, nil, nil
 	}
 	cfg := synth.SmallConfig()
 	if scale == "full" {
@@ -239,6 +239,102 @@ func loadCorpus(w io.Writer, dumpsDir, scale string) (*wiki.Corpus, *synth.Groun
 	return corpus, truth, nil
 }
 
+// ingestCmd is the standalone ingestion subcommand: it streams real (or
+// corpusgen-fabricated) dump files into a corpus, prints the per-edition
+// statistics report with structured skip reasons, and optionally writes
+// a session snapshot for wikimatchd -store. With -dry-run it only counts
+// — per-language triple/page/skip tallies, no corpus, no artifacts.
+func ingestCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wikimatch ingest", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dumpsDir := fs.String("dumps", "", "directory with dump files (required): <lang>-infobox-properties*.ttl, <lang>-interlanguage-links*.ttl, <lang>.xml, each optionally .gz/.bz2")
+	langsFlag := fs.String("langs", "", "comma-separated editions to ingest (default: every edition found)")
+	workers := fs.Int("workers", 0, "editions ingesting concurrently (0 = one per edition)")
+	dryRun := fs.Bool("dry-run", false, "parse and count only: no corpus, no artifacts")
+	noInfer := fs.Bool("no-infer", false, "disable property-profile type inference for untyped entities")
+	storePath := fs.String("store", "", "write a session snapshot stamped with the ingested corpus's fingerprint (wikimatchd -store warm-starts from it)")
+	progress := fs.Bool("progress", false, "print one line per completed dump file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *dumpsDir == "" {
+		fmt.Fprintln(stderr, "wikimatch ingest: -dumps is required")
+		return 2
+	}
+	if *dryRun && *storePath != "" {
+		fmt.Fprintln(stderr, "wikimatch ingest: -dry-run builds no corpus to -store")
+		return 2
+	}
+	var langs []wiki.Language
+	for _, raw := range strings.Split(*langsFlag, ",") {
+		if raw = strings.TrimSpace(raw); raw != "" {
+			langs = append(langs, wiki.Language(raw))
+		}
+	}
+	opts := ingest.Options{Languages: langs, Workers: *workers, DryRun: *dryRun, NoTypeInference: *noInfer}
+	if *progress {
+		opts.Progress = func(ev ingest.Progress) {
+			fmt.Fprintf(stdout, "  %-10s %s (%s, %d bytes): %d triples, %d pages\n",
+				ev.Lang, filepath.Base(ev.Path), ev.Format, ev.Bytes, ev.Triples, ev.Pages)
+		}
+	}
+	res, err := ingest.Dir(context.Background(), *dumpsDir, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	printIngestReport(stdout, res, *dryRun)
+	if *storePath != "" {
+		if err := repro.SaveSessionSnapshot(repro.NewSession(res.Corpus), *storePath); err != nil {
+			fmt.Fprintln(stderr, "save snapshot:", err)
+			return 1
+		}
+		info, err := os.Stat(*storePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "stat snapshot:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\nsnapshot %s: %d bytes (corpus fingerprint %x)\n",
+			*storePath, info.Size(), res.Corpus.Fingerprint())
+	}
+	return 0
+}
+
+// printIngestReport renders the per-edition ingestion statistics with
+// the structured skip-reason summary.
+func printIngestReport(w io.Writer, res *ingest.Result, dryRun bool) {
+	header := "ingested"
+	if dryRun {
+		header = "dry run over"
+	}
+	secs := res.Elapsed.Seconds()
+	mbps := 0.0
+	if secs > 0 {
+		mbps = float64(res.Bytes) / (1 << 20) / secs
+	}
+	fmt.Fprintf(w, "%s %d editions, %d bytes in %v (%.1f MB/s)\n",
+		header, len(res.PerLang), res.Bytes, res.Elapsed.Round(time.Millisecond), mbps)
+	for _, lang := range res.Languages() {
+		s := res.PerLang[lang]
+		fmt.Fprintf(w, "  %-10s %2d files %9d bytes: %d triples (%d attr, %d type, %d template), %d links, %d pages",
+			lang, s.Files, s.Bytes, s.Triples, s.AttrTriples, s.TypeTriples, s.TemplateTriples, s.CrossLinks, s.Pages)
+		if !dryRun {
+			fmt.Fprintf(w, " → %d entities, %d infoboxes (typed: %d template, %d ontology, %d profile)",
+				s.Entities, s.Infoboxes, s.TypedByTemplate, s.TypedByOntology, s.TypedByProfile)
+		}
+		fmt.Fprintln(w)
+	}
+	tot := res.Totals()
+	if tot.SkippedTotal() == 0 {
+		fmt.Fprintln(w, "skipped: nothing")
+		return
+	}
+	fmt.Fprintf(w, "skipped %d input units by reason:\n", tot.SkippedTotal())
+	for _, reason := range tot.SkipReasons() {
+		fmt.Fprintf(w, "  %-18s %d\n", reason, tot.Skipped[reason])
+	}
+}
+
 // precompute is the offline artifact build: it warms a session for every
 // requested language pair and writes the whole artifact cache as one
 // snapshot that wikimatchd -store (or repro.RestoreSession) loads in
@@ -249,7 +345,7 @@ func precompute(args []string, stdout, stderr io.Writer) int {
 	storePath := fs.String("store", "artifacts.wmsnap", "snapshot file to write (atomic)")
 	pairsFlag := fs.String("pairs", "pt-en,vi-en", "comma-separated language pairs to precompute")
 	scale := fs.String("scale", "small", "generated corpus scale: small or full")
-	dumpsDir := fs.String("dumps", "", "directory with <lang>.xml dumps to load instead of generating")
+	dumpsDir := fs.String("dumps", "", "directory with dumps to ingest (DBpedia <lang>-*.ttl[.gz|.bz2], MediaWiki <lang>.xml) instead of generating")
 	tsim := fs.Float64("tsim", 0.6, "certain-match threshold Tsim")
 	tlsi := fs.Float64("tlsi", 0.1, "correlation threshold TLSI")
 	if err := fs.Parse(args); err != nil {
@@ -306,10 +402,10 @@ func matchallCmd(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("wikimatch matchall", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	modeFlag := fs.String("mode", "pivot", "pair coverage: pivot (through -hub) or direct (all pairs)")
-	hubFlag := fs.String("hub", "en", "pivot hub language edition")
+	hubFlag := fs.String("hub", "", "pivot hub language edition (default: English if present, else first)")
 	workers := fs.Int("workers", 0, "concurrent pairs (0 = GOMAXPROCS)")
 	scale := fs.String("scale", "small", "generated corpus scale: small or full")
-	dumpsDir := fs.String("dumps", "", "directory with <lang>.xml dumps to load instead of generating")
+	dumpsDir := fs.String("dumps", "", "directory with dumps to ingest (DBpedia <lang>-*.ttl[.gz|.bz2], MediaWiki <lang>.xml) instead of generating")
 	remote := fs.String("remote", "", "wikimatchd base URL; run the batch there instead of in process")
 	storePath := fs.String("store", "", "write the batch's artifact snapshot here afterwards (in-process only)")
 	clusters := fs.Bool("clusters", false, "print every cluster, not just the summary and samples")
@@ -412,12 +508,12 @@ func auditCmd(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("wikimatch audit", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	modeFlag := fs.String("mode", "pivot", "pair coverage for the matching phase: pivot (through -hub) or direct")
-	hubFlag := fs.String("hub", "en", "pivot hub language edition")
+	hubFlag := fs.String("hub", "", "pivot hub language edition (default: English if present, else first)")
 	workers := fs.Int("workers", 0, "concurrent pairs in the matching phase (0 = GOMAXPROCS)")
 	scale := fs.String("scale", "small", "generated corpus scale: small or full")
-	dumpsDir := fs.String("dumps", "", "directory with <lang>.xml dumps to load instead of generating")
+	dumpsDir := fs.String("dumps", "", "directory with dumps to ingest (DBpedia <lang>-*.ttl[.gz|.bz2], MediaWiki <lang>.xml) instead of generating")
 	remote := fs.String("remote", "", "wikimatchd base URL; audit there instead of in process")
-	pairFlag := fs.String("pair", "", "restrict findings to one language pair (e.g. pt-en)")
+	pairFlag := fs.String("pair", "", "restrict findings to one language pair (e.g. pt-en or zh-min-nan:en)")
 	minSeverity := fs.Float64("min-severity", 0, "drop findings scoring below this severity (0..1)")
 	limit := fs.Int("limit", 20, "cap the ranked findings (0 = unlimited)")
 	timings := fs.Bool("timings", true, "print per-pair and total elapsed times")

@@ -23,7 +23,8 @@
 // Usage:
 //
 //	wikimatchd [-addr :8080] [-scale small|full]
-//	           [-dumps dir]       load XML dumps (<lang>.xml) instead of generating
+//	           [-dumps dir]       ingest dumps (DBpedia <lang>-*.ttl[.gz|.bz2],
+//	                              MediaWiki <lang>.xml) instead of generating
 //	           [-store file]      warm-start from snapshot; flush on shutdown
 //	           [-max-concurrent 64] [-max-streams 16]
 //	           [-request-timeout 5m] [-max-body 1048576]
@@ -82,7 +83,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -286,34 +286,25 @@ func runRouter(addr, shardAddrs string, healthInterval, hedge time.Duration, mid
 	log.Print("wikimatchd router stopped")
 }
 
-// buildCorpus loads <lang>.xml dumps from dir when given, otherwise
-// generates the synthetic corpus at the requested scale.
+// buildCorpus ingests every recognized dump in dir when given (DBpedia
+// TTL and MediaWiki XML, any language set, transparently compressed),
+// otherwise generates the synthetic corpus at the requested scale.
 func buildCorpus(dir, scale string) (*repro.Corpus, error) {
 	if dir != "" {
-		corpus := repro.NewCorpus()
-		loaded := 0
-		for _, lang := range []repro.Language{repro.English, repro.Portuguese, repro.Vietnamese} {
-			path := filepath.Join(dir, string(lang)+".xml")
-			f, err := os.Open(path)
-			if os.IsNotExist(err) {
-				continue
-			}
-			if err != nil {
-				return nil, fmt.Errorf("open dump: %w", err)
-			}
-			res, err := repro.LoadDump(corpus, f, lang)
-			f.Close()
-			if err != nil {
-				return nil, fmt.Errorf("load dump %s: %w", path, err)
-			}
-			log.Printf("loaded %s: %d pages (%d skipped, %d errors)",
-				path, res.Pages, res.Skipped, len(res.Errors))
-			loaded++
+		res, err := repro.IngestDir(context.Background(), dir, repro.IngestOptions{
+			Progress: func(ev repro.IngestProgress) {
+				log.Printf("ingested %s (%s, %d bytes): %d triples, %d pages",
+					ev.Path, ev.Format, ev.Bytes, ev.Triples, ev.Pages)
+			},
+		})
+		if err != nil {
+			return nil, err
 		}
-		if loaded == 0 {
-			return nil, fmt.Errorf("no <lang>.xml dumps found in %s", dir)
-		}
-		return corpus, nil
+		tot := res.Totals()
+		log.Printf("ingest: %d editions, %d files, %d bytes, %d entities (%d skipped units) in %v",
+			len(res.PerLang), tot.Files, res.Bytes, tot.Entities, tot.SkippedTotal(),
+			res.Elapsed.Round(time.Millisecond))
+		return res.Corpus, nil
 	}
 	cfg := repro.SmallCorpus()
 	if scale == "full" {

@@ -1,0 +1,146 @@
+package repro_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	repro "repro"
+	"repro/internal/protocol"
+)
+
+// TestIngestPivotAcceptance is the ISSUE 10 acceptance path end to end:
+// a generated 10+-edition TTL dump set is ingested back into a corpus
+// (fingerprint-exact), the pivot planner batches it with a data-driven
+// hub, at least one transitive-only pair is recovered with nonzero
+// confidence, and the batch response is byte-identical between the
+// in-process backend and a real wikimatchd served over HTTP.
+func TestIngestPivotAcceptance(t *testing.T) {
+	cfg := repro.DefaultEditionsCorpus()
+	cfg.EntitiesPerType = 25
+	if len(cfg.Languages) < 10 {
+		t.Fatalf("editions fixture has %d languages, want >= 10", len(cfg.Languages))
+	}
+	gen, _, err := repro.GenerateEditions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	for _, lang := range gen.Languages() {
+		for _, dump := range []struct {
+			name   string
+			render func(*os.File) error
+		}{
+			{string(lang) + "-infobox-properties.ttl", func(f *os.File) error {
+				return repro.WritePropertiesDump(f, gen, lang)
+			}},
+			{string(lang) + "-interlanguage-links.ttl", func(f *os.File) error {
+				return repro.WriteLinksDump(f, gen, lang)
+			}},
+		} {
+			f, err := os.Create(filepath.Join(dir, dump.name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dump.render(f); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	ctx := context.Background()
+	res, err := repro.IngestDir(ctx, dir, repro.IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Corpus.Fingerprint(), gen.Fingerprint(); got != want {
+		t.Fatalf("ingested corpus fingerprint %x, generated %x", got, want)
+	}
+
+	// The batch request leaves Hub empty: the plan must resolve it from
+	// the corpus (English is present, so English it is).
+	req := repro.MatchRequest{All: true, Mode: "pivot", Workers: 1}
+	local := repro.NewLocalBackend(repro.NewSession(res.Corpus))
+	batch, err := local.MatchAll(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Hub != "en" {
+		t.Fatalf("resolved hub %q, want en", batch.Hub)
+	}
+	plan, err := batch.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(gen.Languages()) - 1; len(plan.Pairs) != want {
+		t.Fatalf("pivot plan matched %d pairs, want %d", len(plan.Pairs), want)
+	}
+
+	// With NonHubLinkPct 0 every non-hub pair is transitive-only: the
+	// plan never matched it directly, yet the clusters must induce
+	// correspondences for it with nonzero confidence.
+	pair := repro.LanguagePair{A: "pt", B: "vi"}
+	if plan.Contains(pair.A, pair.B) {
+		t.Fatalf("%s is in the direct plan; fixture should make it transitive-only", pair)
+	}
+	transitive := 0
+	for _, cl := range batch.Clusters {
+		for _, corr := range cl.Correspondences {
+			if corr.Direct || corr.Confidence <= 0 {
+				continue
+			}
+			if (corr.A.Lang == pair.A && corr.B.Lang == pair.B) ||
+				(corr.A.Lang == pair.B && corr.B.Lang == pair.A) {
+				transitive++
+			}
+		}
+	}
+	if transitive == 0 {
+		t.Fatalf("no transitive %s correspondence with nonzero confidence", pair)
+	}
+	if induced := batch.Induced(pair); len(induced) == 0 {
+		t.Fatalf("batch induces nothing for transitive-only pair %s", pair)
+	}
+
+	// Remote twin: the same request against a served session must be
+	// byte-identical once load-dependent timings are zeroed.
+	srv := httptest.NewServer(repro.NewHTTPHandler(repro.NewSession(res.Corpus)))
+	defer srv.Close()
+	api, err := repro.NewAPIClient(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := api.MatchAll(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canonicalBatch(t, remote), canonicalBatch(t, batch); got != want {
+		t.Fatalf("remote batch diverged from local:\n remote %s\n local  %s", got, want)
+	}
+}
+
+// canonicalBatch renders a batch response with its load-dependent
+// fields (elapsed timings, cache hit counters) zeroed, so local and
+// remote runs can be compared byte for byte.
+func canonicalBatch(t *testing.T, r *repro.MatchAllResponse) string {
+	t.Helper()
+	cp := *r
+	cp.ElapsedMS = 0
+	cp.Cache = protocol.CacheStats{}
+	cp.Pairs = append([]protocol.MatchAllPair(nil), r.Pairs...)
+	for i := range cp.Pairs {
+		cp.Pairs[i].ElapsedMS = 0
+	}
+	raw, err := json.Marshal(&cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}

@@ -14,12 +14,15 @@ import (
 )
 
 // Page is one <page> element of a dump: its title, namespace, numeric id
-// and the wikitext of its latest revision.
+// and the wikitext of its latest revision. Redirect carries the target
+// title of a <redirect/> page (empty for regular articles); a page with
+// zero revisions has empty Text.
 type Page struct {
-	Title string
-	NS    int
-	ID    int
-	Text  string
+	Title    string
+	NS       int
+	ID       int
+	Text     string
+	Redirect string
 }
 
 // Reader streams pages out of a MediaWiki XML dump.
@@ -40,9 +43,12 @@ func NewReader(r io.Reader) *Reader {
 
 // xmlPage mirrors the subset of the <page> element we consume.
 type xmlPage struct {
-	Title     string `xml:"title"`
-	NS        int    `xml:"ns"`
-	ID        int    `xml:"id"`
+	Title    string `xml:"title"`
+	NS       int    `xml:"ns"`
+	ID       int    `xml:"id"`
+	Redirect struct {
+		Title string `xml:"title,attr"`
+	} `xml:"redirect"`
 	Revisions []struct {
 		Text string `xml:"text"`
 	} `xml:"revision"`
@@ -92,7 +98,7 @@ func (r *Reader) Next() (Page, error) {
 				return Page{}, fmt.Errorf("dump: page: %w", err)
 			}
 			r.pageSeq++
-			p := Page{Title: xp.Title, NS: xp.NS, ID: xp.ID}
+			p := Page{Title: xp.Title, NS: xp.NS, ID: xp.ID, Redirect: xp.Redirect.Title}
 			if p.ID == 0 {
 				p.ID = r.pageSeq
 			}
@@ -206,14 +212,18 @@ func WriteCorpus(w io.Writer, c *wiki.Corpus, lang wiki.Language) error {
 
 // LoadResult reports what happened while loading a dump into a corpus.
 type LoadResult struct {
-	Pages   int
-	Skipped int // non-article namespaces
-	Errors  []error
+	Pages     int
+	Skipped   int // non-article namespaces
+	Redirects int // <redirect/> pages (not loaded as articles)
+	Errors    []error
 }
 
 // LoadCorpus parses a dump for the given language into the corpus. Pages
 // whose wikitext fails to parse are recorded in the result's Errors and
-// skipped; structural XML errors abort.
+// skipped; redirect pages are counted and skipped (they describe no
+// entity of their own); structural XML errors abort. When lang is empty
+// the dump's own <siteinfo> language is used; a non-empty lang always
+// wins over the siteinfo hint.
 func LoadCorpus(c *wiki.Corpus, r io.Reader, lang wiki.Language) (LoadResult, error) {
 	var res LoadResult
 	dr := NewReader(r)
@@ -227,6 +237,10 @@ func LoadCorpus(c *wiki.Corpus, r io.Reader, lang wiki.Language) (LoadResult, er
 		}
 		if p.NS != 0 {
 			res.Skipped++
+			continue
+		}
+		if p.Redirect != "" {
+			res.Redirects++
 			continue
 		}
 		res.Pages++

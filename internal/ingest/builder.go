@@ -1,0 +1,394 @@
+package ingest
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/wiki"
+)
+
+// Structured skip reasons, shared by the stats report and the CLI
+// summary. Every skipped unit of input is tallied under exactly one.
+const (
+	SkipMalformedTriple  = "malformed-triple"  // line failed the N-Triples grammar
+	SkipForeignSubject   = "foreign-subject"   // subject not a resource of this source's language
+	SkipNonArticle       = "non-article"       // subject in a non-article namespace (Category:, Template:, …)
+	SkipIgnoredPredicate = "ignored-predicate" // predicate outside the infobox vocabulary (abstracts, page links, …)
+	SkipForeignLink      = "foreign-link"      // interlanguage link into an edition outside the requested set
+	SkipSelfLink         = "self-link"         // interlanguage link back into its own edition
+	SkipBadObject        = "bad-object"        // object term unusable for its predicate
+	SkipValueOverflow    = "value-overflow"    // attribute already at maxAtomsPerAttr atoms
+	SkipNamespace        = "namespace"         // XML page outside namespace 0
+	SkipRedirect         = "redirect"          // XML redirect page
+	SkipPageError        = "page-error"        // XML page whose wikitext failed to parse
+	SkipInvalidArticle   = "invalid-article"   // assembled article failed corpus validation
+)
+
+// maxAtomsPerAttr bounds how many value atoms a single attribute
+// accumulates; DBpedia property dumps occasionally carry degenerate
+// subjects with thousands of repeated triples.
+const maxAtomsPerAttr = 32
+
+// atom is one value fragment of an attribute: a literal lexical form,
+// or a same-language resource reference that becomes a wiki.Link.
+type atom struct {
+	text string
+	link bool
+}
+
+// entityAttr accumulates one attribute's atoms in file order.
+type entityAttr struct {
+	name  string
+	atoms []atom
+}
+
+// entity accumulates everything known about one article while its
+// triples stream by.
+type entity struct {
+	title    string
+	template string // wikiPageUsesTemplate evidence
+	typ      string // rdf:type ontology evidence
+	attrs    []*entityAttr
+	attrIdx  map[string]int
+	links    map[wiki.Language]string
+}
+
+// langBuilder assembles one language edition's articles from streamed
+// triples and parsed XML pages. It is confined to a single goroutine —
+// parallelism in Run is across languages, never within one.
+type langBuilder struct {
+	lang     wiki.Language
+	langSet  map[wiki.Language]bool // requested editions; cross-links outside it are dropped
+	dryRun   bool                   // count everything, retain nothing
+	entities []*entity              // first-seen order, for deterministic corpora
+	index    map[string]*entity
+	articles []*wiki.Article // XML path: already-parsed articles, in page order
+	artIdx   map[string]int
+	stats    *LangStats
+}
+
+func newLangBuilder(lang wiki.Language, langSet map[wiki.Language]bool, dryRun bool) *langBuilder {
+	return &langBuilder{
+		lang:    lang,
+		langSet: langSet,
+		dryRun:  dryRun,
+		index:   make(map[string]*entity),
+		artIdx:  make(map[string]int),
+		stats:   newLangStats(),
+	}
+}
+
+func (b *langBuilder) skip(reason string) { b.stats.Skipped[reason]++ }
+
+func (b *langBuilder) entityFor(title string) *entity {
+	if e, ok := b.index[title]; ok {
+		return e
+	}
+	e := &entity{title: title, attrIdx: make(map[string]int)}
+	b.index[title] = e
+	b.entities = append(b.entities, e)
+	return e
+}
+
+// AddTriple classifies one parsed triple and applies it to the
+// builder's state. Triples are accepted only for subjects of the
+// builder's own language; everything else is tallied and dropped.
+func (b *langBuilder) AddTriple(t Triple) {
+	b.stats.Triples++
+	subjLang, title, ok := resourceTitle(t.Subject)
+	if !ok || subjLang != b.lang {
+		b.skip(SkipForeignSubject)
+		return
+	}
+	if ns, _, found := strings.Cut(title, ":"); found && knownNamespace(ns) {
+		b.skip(SkipNonArticle)
+		return
+	}
+
+	predLocal, _ := localName(t.Predicate)
+	switch {
+	case t.Predicate == rdfTypeIRI:
+		b.applyType(title, t.Object)
+	case t.Predicate == owlSameAsIRI || predLocal == interLanguageLocal:
+		b.applyCrossLink(title, t.Object)
+	case predLocal == usesTemplateLocal:
+		b.applyTemplate(title, t.Object)
+	default:
+		name, ok := propertyName(t.Predicate)
+		if !ok {
+			b.skip(SkipIgnoredPredicate)
+			return
+		}
+		b.applyAttribute(title, name, t.Object)
+	}
+}
+
+// knownNamespace recognizes the non-article namespace prefixes that
+// appear as subjects in DBpedia dumps. Matching is exact and
+// case-sensitive: real titles like "Star Trek: Voyager" must not be
+// mistaken for namespaced pages.
+func knownNamespace(ns string) bool {
+	switch ns {
+	case "Category", "Template", "File", "Wikipedia", "Help", "Portal",
+		"Module", "MediaWiki", "Draft", "Talk", "User":
+		return true
+	}
+	return false
+}
+
+func (b *langBuilder) applyType(title string, o Object) {
+	if o.IsLiteral || !strings.Contains(o.IRI, "/ontology/") {
+		b.skip(SkipIgnoredPredicate)
+		return
+	}
+	name, ok := localName(o.IRI)
+	if !ok {
+		b.skip(SkipBadObject)
+		return
+	}
+	b.stats.TypeTriples++
+	if b.dryRun {
+		return
+	}
+	e := b.entityFor(title)
+	if e.typ == "" {
+		e.typ = strings.ToLower(name)
+	}
+}
+
+func (b *langBuilder) applyTemplate(title string, o Object) {
+	if o.IsLiteral {
+		b.skip(SkipBadObject)
+		return
+	}
+	_, tmplTitle, ok := resourceTitle(o.IRI)
+	if !ok {
+		b.skip(SkipBadObject)
+		return
+	}
+	tmpl := strings.TrimPrefix(tmplTitle, "Template:")
+	// Only infobox templates type an entity; navboxes etc. are noise.
+	if !strings.HasPrefix(strings.ToLower(tmpl), "infobox") {
+		b.skip(SkipIgnoredPredicate)
+		return
+	}
+	b.stats.TemplateTriples++
+	if b.dryRun {
+		return
+	}
+	e := b.entityFor(title)
+	if e.template == "" {
+		e.template = tmpl
+	}
+}
+
+func (b *langBuilder) applyCrossLink(title string, o Object) {
+	if o.IsLiteral {
+		b.skip(SkipBadObject)
+		return
+	}
+	lang, target, ok := resourceTitle(o.IRI)
+	if !ok {
+		b.skip(SkipBadObject)
+		return
+	}
+	if lang == b.lang {
+		b.skip(SkipSelfLink)
+		return
+	}
+	if !b.langSet[lang] {
+		b.skip(SkipForeignLink)
+		return
+	}
+	b.stats.CrossLinks++
+	if b.dryRun {
+		return
+	}
+	e := b.entityFor(title)
+	if e.links == nil {
+		e.links = make(map[wiki.Language]string)
+	}
+	if _, dup := e.links[lang]; !dup {
+		e.links[lang] = target
+	}
+}
+
+func (b *langBuilder) applyAttribute(title, name string, o Object) {
+	var a atom
+	switch {
+	case o.IsLiteral:
+		text := strings.TrimSpace(o.Lexical)
+		if text == "" {
+			b.skip(SkipBadObject)
+			return
+		}
+		a = atom{text: text}
+	default:
+		lang, target, ok := resourceTitle(o.IRI)
+		if !ok {
+			b.skip(SkipBadObject)
+			return
+		}
+		// A resource value in another edition is not a same-language
+		// hyperlink; keep its title as plain text.
+		a = atom{text: target, link: lang == b.lang}
+	}
+	b.stats.AttrTriples++
+	if b.dryRun {
+		return
+	}
+	e := b.entityFor(title)
+	idx, ok := e.attrIdx[name]
+	if !ok {
+		idx = len(e.attrs)
+		e.attrIdx[name] = idx
+		e.attrs = append(e.attrs, &entityAttr{name: name})
+	}
+	ea := e.attrs[idx]
+	if len(ea.atoms) >= maxAtomsPerAttr {
+		b.skip(SkipValueOverflow)
+		return
+	}
+	ea.atoms = append(ea.atoms, a)
+}
+
+// AddArticle records an already-parsed article (the MediaWiki XML
+// path). Cross-links outside the requested edition set are dropped to
+// keep XML- and TTL-built corpora consistent.
+func (b *langBuilder) AddArticle(a *wiki.Article) {
+	for lang := range a.CrossLinks {
+		if !b.langSet[lang] {
+			b.skip(SkipForeignLink)
+			delete(a.CrossLinks, lang)
+			continue
+		}
+		b.stats.CrossLinks++
+	}
+	if b.dryRun {
+		return
+	}
+	if _, dup := b.artIdx[a.Title]; dup {
+		b.skip(SkipInvalidArticle)
+		return
+	}
+	b.artIdx[a.Title] = len(b.articles)
+	b.articles = append(b.articles, a)
+}
+
+// finish turns the accumulated state into articles: entity atoms are
+// merged into attribute values, the template/ontology/profile evidence
+// chain assigns types, and XML articles are appended after the TTL
+// entities (each path keeps its own first-seen order).
+func (b *langBuilder) finish(inferTypes bool) []*wiki.Article {
+	out := make([]*wiki.Article, 0, len(b.entities)+len(b.articles))
+	var untyped []*wiki.Article
+	for _, e := range b.entities {
+		a := &wiki.Article{Language: b.lang, Title: e.title}
+		if len(e.attrs) > 0 {
+			ib := &wiki.Infobox{}
+			for _, ea := range e.attrs {
+				texts := make([]string, 0, len(ea.atoms))
+				var links []wiki.Link
+				for _, at := range ea.atoms {
+					texts = append(texts, at.text)
+					if at.link {
+						links = append(links, wiki.Link{Target: at.text, Anchor: at.text})
+					}
+				}
+				ib.Attrs = append(ib.Attrs, wiki.AttributeValue{
+					Name:  ea.name,
+					Text:  strings.Join(texts, ", "),
+					Links: links,
+				})
+			}
+			if e.template != "" {
+				ib.Template = e.template
+			} else {
+				ib.Template = "Infobox"
+			}
+			a.Infobox = ib
+		}
+		switch {
+		case e.template != "":
+			a.Type = wiki.TemplateType(e.template)
+			b.stats.TypedByTemplate++
+		case e.typ != "":
+			a.Type = e.typ
+			b.stats.TypedByOntology++
+		case a.Infobox != nil:
+			untyped = append(untyped, a)
+		}
+		if len(e.links) > 0 {
+			a.CrossLinks = e.links
+		}
+		out = append(out, a)
+	}
+	for _, a := range b.articles {
+		out = append(out, a)
+	}
+	if inferTypes {
+		b.stats.TypedByProfile = inferTypesFromProfiles(out, untyped)
+	}
+	b.stats.Entities = len(out)
+	for _, a := range out {
+		if a.Infobox != nil {
+			b.stats.Infoboxes++
+		}
+	}
+	return out
+}
+
+// inferTypesFromProfiles types untyped infobox articles by attribute
+// evidence: each known type's attribute-name profile is learned from
+// the already-typed articles, and an untyped article adopts the type
+// whose profile covers the largest fraction of its schema — if at
+// least half of it, with two attributes shared. Ties break
+// lexicographically, keeping the assignment deterministic. Returns how
+// many articles were typed.
+func inferTypesFromProfiles(all, untyped []*wiki.Article) int {
+	if len(untyped) == 0 {
+		return 0
+	}
+	profiles := make(map[string]map[string]bool)
+	for _, a := range all {
+		if a.Type == "" || a.Infobox == nil {
+			continue
+		}
+		p := profiles[a.Type]
+		if p == nil {
+			p = make(map[string]bool)
+			profiles[a.Type] = p
+		}
+		for _, av := range a.Infobox.Attrs {
+			p[av.Name] = true
+		}
+	}
+	if len(profiles) == 0 {
+		return 0
+	}
+	types := make([]string, 0, len(profiles))
+	for t := range profiles {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	n := 0
+	for _, a := range untyped {
+		bestType, bestShared := "", 0
+		for _, t := range types {
+			shared := 0
+			for _, av := range a.Infobox.Attrs {
+				if profiles[t][av.Name] {
+					shared++
+				}
+			}
+			if shared > bestShared {
+				bestType, bestShared = t, shared
+			}
+		}
+		if bestType != "" && bestShared >= 2 && bestShared*2 >= a.Infobox.Len() {
+			a.Type = bestType
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,65 @@
+package ingest
+
+import (
+	"bufio"
+	"compress/bzip2"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+)
+
+// openDecoded wraps r with the decompressor its leading magic bytes
+// call for: gzip (1f 8b), bzip2 ("BZh"), or none. The format is sniffed
+// from the stream itself, not the file name, so ".ttl" files that are
+// secretly compressed (common with re-served dump mirrors) still
+// decode. The returned name is "gzip", "bzip2" or "plain".
+func openDecoded(r io.Reader) (io.Reader, string, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	magic, err := br.Peek(3)
+	if err != nil && err != io.EOF {
+		return nil, "", fmt.Errorf("ingest: sniffing stream: %w", err)
+	}
+	switch {
+	case len(magic) >= 2 && magic[0] == 0x1f && magic[1] == 0x8b:
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, "", fmt.Errorf("ingest: gzip header: %w", err)
+		}
+		return zr, "gzip", nil
+	case len(magic) >= 3 && magic[0] == 'B' && magic[1] == 'Z' && magic[2] == 'h':
+		return bzip2.NewReader(br), "bzip2", nil
+	default:
+		return br, "plain", nil
+	}
+}
+
+// countingReader counts the raw (compressed) bytes drawn from the
+// underlying reader, so throughput reports measure real file bytes.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// openFile opens path and returns a decoded stream plus the counting
+// reader tracking raw bytes read. Close the returned closer (the file)
+// when done.
+func openFile(path string) (io.Reader, *countingReader, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cr := &countingReader{r: f}
+	dec, _, err := openDecoded(cr)
+	if err != nil {
+		f.Close()
+		return nil, nil, nil, err
+	}
+	return dec, cr, f, nil
+}

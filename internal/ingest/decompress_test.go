@@ -1,0 +1,76 @@
+package ingest
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"strings"
+	"testing"
+)
+
+// bz2Hello is "hello bz2 world\n" compressed with bzip2 -9; the stdlib
+// has no bzip2 writer, so the fixture is baked in.
+var bz2Hello = []byte{
+	66, 90, 104, 57, 49, 65, 89, 38, 83, 89, 252, 101, 253, 151, 0, 0,
+	3, 217, 128, 0, 16, 64, 0, 16, 0, 22, 68, 144, 144, 32, 0, 34,
+	152, 208, 105, 161, 3, 64, 208, 24, 20, 147, 123, 163, 200, 218, 225, 119,
+	36, 83, 133, 9, 15, 198, 95, 217, 112,
+}
+
+func TestOpenDecoded(t *testing.T) {
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	io.WriteString(zw, "hello gzip world\n")
+	zw.Close()
+
+	cases := []struct {
+		name   string
+		input  io.Reader
+		format string
+		want   string
+	}{
+		{"plain", strings.NewReader("hello plain world\n"), "plain", "hello plain world\n"},
+		{"gzip", bytes.NewReader(gz.Bytes()), "gzip", "hello gzip world\n"},
+		{"bzip2", bytes.NewReader(bz2Hello), "bzip2", "hello bz2 world\n"},
+		{"empty", strings.NewReader(""), "plain", ""},
+		{"short non-magic", strings.NewReader("x"), "plain", "x"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dec, format, err := openDecoded(tc.input)
+			if err != nil {
+				t.Fatalf("openDecoded: %v", err)
+			}
+			if format != tc.format {
+				t.Fatalf("format = %q, want %q", format, tc.format)
+			}
+			data, err := io.ReadAll(dec)
+			if err != nil {
+				t.Fatalf("ReadAll: %v", err)
+			}
+			if string(data) != tc.want {
+				t.Fatalf("decoded %q, want %q", data, tc.want)
+			}
+		})
+	}
+}
+
+func TestCountingReaderCountsRawBytes(t *testing.T) {
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	io.WriteString(zw, strings.Repeat("the same line over and over\n", 1000))
+	zw.Close()
+	compressed := gz.Len()
+
+	cr := &countingReader{r: bytes.NewReader(gz.Bytes())}
+	dec, _, err := openDecoded(cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, dec); err != nil {
+		t.Fatal(err)
+	}
+	if cr.n != int64(compressed) {
+		t.Fatalf("counted %d bytes, want compressed size %d", cr.n, compressed)
+	}
+}

@@ -1,0 +1,98 @@
+package ingest
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/wiki"
+)
+
+// FuzzTTLTriple asserts the parser's two safety properties on arbitrary
+// lines: it never panics, and every accepted triple round-trips through
+// its canonical rendering — parse(render(t)) == t, and the rendering is
+// itself a fixed point.
+func FuzzTTLTriple(f *testing.F) {
+	seeds := []string{
+		`<http://dbpedia.org/resource/A> <http://dbpedia.org/property/n> "Ada" .`,
+		`<http://pt.dbpedia.org/resource/Lisboa> <http://www.w3.org/2002/07/owl#sameAs> <http://dbpedia.org/resource/Lisbon> .`,
+		`<http://vi.dbpedia.org/resource/A> <http://vi.dbpedia.org/property/ten> "Hà Nội"@vi .`,
+		`<http://dbpedia.org/resource/A> <http://dbpedia.org/property/pop> "12"^^<http://www.w3.org/2001/XMLSchema#integer> .`,
+		`<http://dbpedia.org/resource/A> <http://dbpedia.org/property/q> "a \"b\"\t\\\né\U0001F600" .`,
+		"# comment",
+		"",
+		`_:b0 <http://p/q> "x" .`,
+		`<http://a/b> <http://p/q> "x" . # trailing`,
+		`<broken`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		tr, err := ParseTriple(line)
+		if err != nil {
+			return
+		}
+		rendered := tr.String()
+		again, err := ParseTriple(rendered)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted line %q rejected: %v", rendered, line, err)
+		}
+		if again != tr {
+			t.Fatalf("round trip changed triple:\n line %q\n was  %+v\n got  %+v", line, tr, again)
+		}
+		if again.String() != rendered {
+			t.Fatalf("canonical render is not a fixed point: %q -> %q", rendered, again.String())
+		}
+	})
+}
+
+// FuzzIngestInfobox streams arbitrary bytes through the whole TTL
+// ingestion path: whatever the input, ingestion must neither panic nor
+// produce an invalid corpus, and its accounting must stay coherent.
+func FuzzIngestInfobox(f *testing.F) {
+	f.Add(`<http://dbpedia.org/resource/A> <http://dbpedia.org/property/name> "Ada" .
+<http://dbpedia.org/resource/A> <http://dbpedia.org/property/wikiPageUsesTemplate> <http://dbpedia.org/resource/Template:Infobox_person> .
+<http://dbpedia.org/resource/A> <http://www.w3.org/2002/07/owl#sameAs> <http://pt.dbpedia.org/resource/Ada> .`)
+	f.Add(`<http://dbpedia.org/resource/B> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://dbpedia.org/ontology/Person> .
+garbage line
+<http://de.dbpedia.org/resource/C> <http://de.dbpedia.org/property/x> "y" .`)
+	f.Add("# nothing but comments\n\n")
+	f.Add(strings.Repeat(`<http://dbpedia.org/resource/R> <http://dbpedia.org/property/v> "w" .`+"\n", 40))
+	f.Fuzz(func(t *testing.T, doc string) {
+		res, err := Run(context.Background(),
+			[]Source{{Lang: "en", Format: FormatTTL, Reader: strings.NewReader(doc)}},
+			Options{Languages: []wiki.Language{"en", "pt"}})
+		if err != nil {
+			// Only infrastructure errors (unreadable source, cancellation)
+			// are fatal; malformed content must be skipped, not fatal.
+			t.Fatalf("Run failed on in-memory source: %v", err)
+		}
+		var entities int
+		for _, l := range res.Corpus.Languages() {
+			for _, a := range res.Corpus.Articles(l) {
+				entities++
+				if err := a.Validate(); err != nil {
+					t.Fatalf("ingested article fails validation: %v", err)
+				}
+			}
+		}
+		tot := res.Totals()
+		if entities != tot.Entities {
+			t.Fatalf("corpus holds %d articles, stats claim %d", entities, tot.Entities)
+		}
+		if tot.AttrTriples+tot.TypeTriples+tot.TemplateTriples+tot.CrossLinks > tot.Triples {
+			t.Fatalf("accepted more triples than parsed: %+v", tot)
+		}
+		// Ingesting the same stream twice is deterministic.
+		res2, err := Run(context.Background(),
+			[]Source{{Lang: "en", Format: FormatTTL, Reader: strings.NewReader(doc)}},
+			Options{Languages: []wiki.Language{"en", "pt"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Corpus.Fingerprint() != res2.Corpus.Fingerprint() {
+			t.Fatal("same input produced different corpora")
+		}
+	})
+}

@@ -1,0 +1,487 @@
+// Package ingest turns real Wikipedia dump formats into a wiki.Corpus:
+// DBpedia infobox-properties and interlanguage-links N-Triples/TTL
+// dumps, and MediaWiki XML dumps (via internal/dump). Parsing is
+// line-oriented and streaming — peak memory is bounded by the size of
+// the assembled corpus, never by the size of the dump files — with
+// transparent gzip/bzip2 decoding and per-reason skip accounting for
+// malformed input. The language set is entirely data-driven: whatever
+// editions the dump directory holds (or Options.Languages selects)
+// become the corpus, with cross-language links resolved across the
+// whole set.
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dump"
+	"repro/internal/wiki"
+)
+
+// Format identifies a dump file's format.
+type Format int
+
+const (
+	// FormatTTL is an N-Triples/TTL dump (DBpedia infobox-properties or
+	// interlanguage-links; the triple vocabulary decides per line, so
+	// one file may mix both).
+	FormatTTL Format = iota
+	// FormatXML is a MediaWiki XML page dump.
+	FormatXML
+)
+
+// String names the format.
+func (f Format) String() string {
+	if f == FormatXML {
+		return "xml"
+	}
+	return "ttl"
+}
+
+// Source is one dump input: a file (or any reader) carrying one
+// language edition's data in one format.
+type Source struct {
+	Lang   wiki.Language
+	Format Format
+	Path   string
+	// Reader optionally supplies the stream directly (tests, pipes);
+	// when nil, Path is opened. Raw compressed bytes are counted either
+	// way.
+	Reader io.Reader
+}
+
+// Options configures an ingestion run.
+type Options struct {
+	// Languages restricts the run to these editions; empty means every
+	// language the sources carry. Cross-links into editions outside the
+	// set are dropped (tallied as foreign-link).
+	Languages []wiki.Language
+	// Workers bounds how many languages ingest concurrently; 0 means
+	// one worker per language. Sources of one language are always
+	// processed sequentially, in sorted path order, so corpora are
+	// deterministic regardless of parallelism.
+	Workers int
+	// DryRun validates and counts without retaining articles: the
+	// result carries stats but no corpus.
+	DryRun bool
+	// NoTypeInference disables the property-profile typing pass for
+	// entities with neither template nor ontology evidence.
+	NoTypeInference bool
+	// Progress, when set, receives one event per completed source.
+	Progress func(ev Progress)
+}
+
+// Progress reports one completed source.
+type Progress struct {
+	Lang    wiki.Language
+	Path    string
+	Format  Format
+	Bytes   int64
+	Triples int
+	Pages   int
+}
+
+// LangStats counts one language edition's ingestion outcome.
+type LangStats struct {
+	Files           int
+	Bytes           int64 // raw file bytes (compressed size for .gz/.bz2)
+	Triples         int   // parsed triples, before classification
+	AttrTriples     int   // accepted attribute values
+	TypeTriples     int   // accepted rdf:type evidence
+	TemplateTriples int   // accepted template evidence
+	CrossLinks      int   // accepted interlanguage links
+	Pages           int   // XML pages seen
+	Entities        int   // articles assembled
+	Infoboxes       int
+	TypedByTemplate int
+	TypedByOntology int
+	TypedByProfile  int
+	Skipped         map[string]int // reason → count
+}
+
+func newLangStats() *LangStats {
+	return &LangStats{Skipped: make(map[string]int)}
+}
+
+// SkippedTotal sums the per-reason skip counts.
+func (s *LangStats) SkippedTotal() int {
+	n := 0
+	for _, v := range s.Skipped {
+		n += v
+	}
+	return n
+}
+
+// SkipReasons returns the skip reasons present, sorted, for stable
+// reports.
+func (s *LangStats) SkipReasons() []string {
+	out := make([]string, 0, len(s.Skipped))
+	for r := range s.Skipped {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Result is an ingestion run's outcome. Corpus is nil on dry runs.
+type Result struct {
+	Corpus  *wiki.Corpus
+	PerLang map[wiki.Language]*LangStats
+	Bytes   int64
+	Elapsed time.Duration
+}
+
+// Languages returns the ingested editions, sorted.
+func (r *Result) Languages() []wiki.Language {
+	out := make([]wiki.Language, 0, len(r.PerLang))
+	for l := range r.PerLang {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Totals sums the per-language stats.
+func (r *Result) Totals() LangStats {
+	t := *newLangStats()
+	for _, s := range r.PerLang {
+		t.Files += s.Files
+		t.Bytes += s.Bytes
+		t.Triples += s.Triples
+		t.AttrTriples += s.AttrTriples
+		t.TypeTriples += s.TypeTriples
+		t.TemplateTriples += s.TemplateTriples
+		t.CrossLinks += s.CrossLinks
+		t.Pages += s.Pages
+		t.Entities += s.Entities
+		t.Infoboxes += s.Infoboxes
+		t.TypedByTemplate += s.TypedByTemplate
+		t.TypedByOntology += s.TypedByOntology
+		t.TypedByProfile += s.TypedByProfile
+		for reason, n := range s.Skipped {
+			t.Skipped[reason] += n
+		}
+	}
+	return t
+}
+
+// ScanDir discovers dump sources in a directory. Recognized names
+// (each optionally compressed with a further ".gz" or ".bz2" suffix):
+//
+//	<lang>-infobox-properties….ttl     DBpedia property triples
+//	<lang>-interlanguage-links….ttl    DBpedia cross-language links
+//	<lang>….ttl                        any other TTL dump
+//	<lang>.xml                         MediaWiki page dump
+//
+// The language prefix may itself contain hyphens ("zh-min-nan.xml",
+// "be-tarask-infobox-properties.ttl"): the two known TTL suffixes are
+// anchored, and everything before them is the edition code. Files whose
+// prefix is not a valid language code are ignored.
+func ScanDir(dir string) ([]Source, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	var out []Source
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		src, ok := classifyFile(e.Name())
+		if !ok {
+			continue
+		}
+		src.Path = filepath.Join(dir, e.Name())
+		out = append(out, src)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lang != out[j].Lang {
+			return out[i].Lang < out[j].Lang
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out, nil
+}
+
+// classifyFile resolves a dump file name into its language and format.
+func classifyFile(name string) (Source, bool) {
+	stem := name
+	for _, ext := range []string{".gz", ".bz2"} {
+		stem = strings.TrimSuffix(stem, ext)
+	}
+	var format Format
+	switch {
+	case strings.HasSuffix(stem, ".ttl"):
+		format = FormatTTL
+		stem = strings.TrimSuffix(stem, ".ttl")
+	case strings.HasSuffix(stem, ".xml"):
+		format = FormatXML
+		stem = strings.TrimSuffix(stem, ".xml")
+	default:
+		return Source{}, false
+	}
+	for _, suffix := range []string{"-infobox-properties", "-interlanguage-links"} {
+		if idx := strings.Index(stem, suffix); idx > 0 {
+			stem = stem[:idx]
+			break
+		}
+	}
+	lang := wiki.Language(stem)
+	if !lang.Valid() {
+		return Source{}, false
+	}
+	return Source{Lang: lang, Format: format}, true
+}
+
+// Dir ingests every recognized dump file under dir: ScanDir + Run.
+func Dir(ctx context.Context, dir string, opts Options) (*Result, error) {
+	sources, err := ScanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("ingest: no dump files recognized in %s", dir)
+	}
+	return Run(ctx, sources, opts)
+}
+
+// Run ingests the sources into one corpus. Languages process in
+// parallel (bounded by Options.Workers); within a language, sources
+// stream sequentially in sorted order, so the assembled corpus is
+// byte-deterministic for a given input set regardless of worker
+// scheduling. Malformed input is skipped and tallied, never fatal;
+// unreadable files and context cancellation are.
+func Run(ctx context.Context, sources []Source, opts Options) (*Result, error) {
+	start := time.Now()
+	byLang := make(map[wiki.Language][]Source)
+	langSet := make(map[wiki.Language]bool)
+	if len(opts.Languages) > 0 {
+		for _, l := range opts.Languages {
+			if !l.Valid() {
+				return nil, fmt.Errorf("ingest: invalid language %q", l)
+			}
+			langSet[l] = true
+		}
+	} else {
+		for _, s := range sources {
+			langSet[s.Lang] = true
+		}
+	}
+	for _, s := range sources {
+		if !s.Lang.Valid() {
+			return nil, fmt.Errorf("ingest: source %s: invalid language %q", s.Path, s.Lang)
+		}
+		if !langSet[s.Lang] {
+			continue
+		}
+		byLang[s.Lang] = append(byLang[s.Lang], s)
+	}
+	if len(byLang) == 0 {
+		return nil, fmt.Errorf("ingest: no sources match the requested languages")
+	}
+	langs := make([]wiki.Language, 0, len(byLang))
+	for l := range byLang {
+		langs = append(langs, l)
+	}
+	sort.Slice(langs, func(i, j int) bool { return langs[i] < langs[j] })
+
+	workers := opts.Workers
+	if workers <= 0 || workers > len(langs) {
+		workers = len(langs)
+	}
+	builders := make(map[wiki.Language]*langBuilder, len(langs))
+	for _, l := range langs {
+		builders[l] = newLangBuilder(l, langSet, opts.DryRun)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan wiki.Language)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for lang := range next {
+				if err := ingestLang(ctx, builders[lang], byLang[lang], opts.Progress); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, l := range langs {
+		next <- l
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res := &Result{PerLang: make(map[wiki.Language]*LangStats, len(langs))}
+	var corpus *wiki.Corpus
+	if !opts.DryRun {
+		corpus = wiki.NewCorpus()
+	}
+	for _, l := range langs {
+		b := builders[l]
+		articles := b.finish(!opts.NoTypeInference)
+		if corpus != nil {
+			for _, a := range articles {
+				if err := corpus.Add(a); err != nil {
+					b.skip(SkipInvalidArticle)
+					b.stats.Entities--
+					if a.Infobox != nil {
+						b.stats.Infoboxes--
+					}
+				}
+			}
+		}
+		res.PerLang[l] = b.stats
+		res.Bytes += b.stats.Bytes
+	}
+	res.Corpus = corpus
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// ingestLang streams one language's sources through its builder.
+func ingestLang(ctx context.Context, b *langBuilder, sources []Source, progress func(Progress)) error {
+	for _, src := range sources {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := ingestSource(ctx, b, src, progress); err != nil {
+			return fmt.Errorf("ingest: %s: %w", sourceName(src), err)
+		}
+		b.stats.Files++
+	}
+	return nil
+}
+
+func sourceName(src Source) string {
+	if src.Path != "" {
+		return src.Path
+	}
+	return fmt.Sprintf("%s (%s stream)", src.Lang, src.Format)
+}
+
+func ingestSource(ctx context.Context, b *langBuilder, src Source, progress func(Progress)) error {
+	var (
+		raw    io.Reader
+		count  *countingReader
+		closer io.Closer
+	)
+	if src.Reader != nil {
+		count = &countingReader{r: src.Reader}
+		dec, _, err := openDecoded(count)
+		if err != nil {
+			return err
+		}
+		raw = dec
+	} else {
+		var err error
+		raw, count, closer, err = openFile(src.Path)
+		if err != nil {
+			return err
+		}
+	}
+	if closer != nil {
+		defer closer.Close()
+	}
+	startTriples, startPages := b.stats.Triples, b.stats.Pages
+	var err error
+	switch src.Format {
+	case FormatXML:
+		err = ingestXML(ctx, b, raw)
+	default:
+		err = ingestTTL(ctx, b, raw)
+	}
+	if err != nil {
+		return err
+	}
+	b.stats.Bytes += count.n
+	if progress != nil {
+		progress(Progress{
+			Lang:    b.lang,
+			Path:    src.Path,
+			Format:  src.Format,
+			Bytes:   count.n,
+			Triples: b.stats.Triples - startTriples,
+			Pages:   b.stats.Pages - startPages,
+		})
+	}
+	return nil
+}
+
+// checkEvery bounds how many lines/pages stream between context
+// checks.
+const checkEvery = 4096
+
+func ingestTTL(ctx context.Context, b *langBuilder, r io.Reader) error {
+	sc := NewScanner(r)
+	for {
+		t, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		b.AddTriple(t)
+		if sc.Lines()%checkEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	for reason, n := range sc.Malformed {
+		b.stats.Skipped[reason] += n
+	}
+	return nil
+}
+
+func ingestXML(ctx context.Context, b *langBuilder, r io.Reader) error {
+	dr := dump.NewReader(r)
+	for {
+		p, err := dr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		b.stats.Pages++
+		switch {
+		case p.NS != 0:
+			b.skip(SkipNamespace)
+			continue
+		case p.Redirect != "":
+			b.skip(SkipRedirect)
+			continue
+		}
+		a, err := wiki.ParsePage(b.lang, p.Title, p.Text)
+		if err != nil {
+			b.skip(SkipPageError)
+			continue
+		}
+		b.AddArticle(a)
+		if b.stats.Pages%checkEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+}

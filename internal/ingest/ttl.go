@@ -1,0 +1,413 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/url"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+
+	"repro/internal/wiki"
+)
+
+// Triple is one parsed N-Triples statement. Subject and Predicate are
+// IRIs (without the angle brackets); Object is either a resource IRI or
+// a literal.
+type Triple struct {
+	Subject   string
+	Predicate string
+	Object    Object
+}
+
+// Object is an N-Triples object term: a resource IRI, or a literal with
+// its decoded lexical form plus an optional language tag or datatype
+// IRI (at most one of the two, per the grammar).
+type Object struct {
+	IsLiteral bool
+	IRI       string // resource objects
+	Lexical   string // literal objects, escape sequences decoded
+	LangTag   string // @tag
+	Datatype  string // ^^<iri>
+}
+
+// String renders the triple back to canonical N-Triples form. For every
+// triple accepted by ParseTriple, re-parsing the rendering yields the
+// identical Triple (the fuzz-checked round-trip property).
+func (t Triple) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	b.WriteString(t.Subject)
+	b.WriteString("> <")
+	b.WriteString(t.Predicate)
+	b.WriteString("> ")
+	if t.Object.IsLiteral {
+		b.WriteByte('"')
+		escapeLiteral(&b, t.Object.Lexical)
+		b.WriteByte('"')
+		if t.Object.LangTag != "" {
+			b.WriteByte('@')
+			b.WriteString(t.Object.LangTag)
+		} else if t.Object.Datatype != "" {
+			b.WriteString("^^<")
+			b.WriteString(t.Object.Datatype)
+			b.WriteByte('>')
+		}
+	} else {
+		b.WriteByte('<')
+		b.WriteString(t.Object.IRI)
+		b.WriteByte('>')
+	}
+	b.WriteString(" .")
+	return b.String()
+}
+
+// escapeLiteral writes s with the N-Triples string escapes applied.
+func escapeLiteral(b *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+// errSkipLine marks a line that carries no triple at all (blank or
+// comment); it is neither counted nor reported.
+var errSkipLine = fmt.Errorf("ingest: blank or comment line")
+
+// ParseTriple parses one N-Triples line. Blank lines and #-comments
+// return errSkipLine (detectable via IsSkipLine); anything else that
+// fails the grammar returns a descriptive error. Blank nodes and
+// multi-line literals are out of scope for DBpedia dump files and are
+// rejected as malformed.
+func ParseTriple(line string) (Triple, error) {
+	s := strings.TrimLeft(line, " \t")
+	if s == "" || s[0] == '#' {
+		return Triple{}, errSkipLine
+	}
+	var t Triple
+	var err error
+	t.Subject, s, err = parseIRI(s)
+	if err != nil {
+		return Triple{}, fmt.Errorf("subject: %w", err)
+	}
+	s = strings.TrimLeft(s, " \t")
+	t.Predicate, s, err = parseIRI(s)
+	if err != nil {
+		return Triple{}, fmt.Errorf("predicate: %w", err)
+	}
+	s = strings.TrimLeft(s, " \t")
+	t.Object, s, err = parseObject(s)
+	if err != nil {
+		return Triple{}, fmt.Errorf("object: %w", err)
+	}
+	s = strings.TrimLeft(s, " \t")
+	if !strings.HasPrefix(s, ".") {
+		return Triple{}, fmt.Errorf("missing terminating dot")
+	}
+	if rest := strings.TrimLeft(s[1:], " \t"); rest != "" && rest[0] != '#' {
+		return Triple{}, fmt.Errorf("trailing content after dot: %q", rest)
+	}
+	if !utf8.ValidString(line) {
+		return Triple{}, fmt.Errorf("invalid UTF-8")
+	}
+	return t, nil
+}
+
+// IsSkipLine reports whether err marks a blank or comment line rather
+// than a malformed triple.
+func IsSkipLine(err error) bool { return err == errSkipLine }
+
+// parseIRI consumes an <iri> term and returns the IRI and the rest of
+// the line.
+func parseIRI(s string) (string, string, error) {
+	if !strings.HasPrefix(s, "<") {
+		return "", "", fmt.Errorf("want '<', have %q", truncate(s))
+	}
+	end := strings.IndexByte(s, '>')
+	if end < 0 {
+		return "", "", fmt.Errorf("unterminated IRI")
+	}
+	iri := s[1:end]
+	if iri == "" {
+		return "", "", fmt.Errorf("empty IRI")
+	}
+	if strings.ContainsAny(iri, " \t\"{}|^`\\<") {
+		return "", "", fmt.Errorf("forbidden character in IRI %q", truncate(iri))
+	}
+	return iri, s[end+1:], nil
+}
+
+// parseObject consumes the object term — an IRI or a literal with
+// optional language tag / datatype — and returns the rest of the line.
+func parseObject(s string) (Object, string, error) {
+	if strings.HasPrefix(s, "<") {
+		iri, rest, err := parseIRI(s)
+		if err != nil {
+			return Object{}, "", err
+		}
+		return Object{IRI: iri}, rest, restObject(rest)
+	}
+	if !strings.HasPrefix(s, `"`) {
+		return Object{}, "", fmt.Errorf("want IRI or literal, have %q", truncate(s))
+	}
+	lex, rest, err := parseQuoted(s)
+	if err != nil {
+		return Object{}, "", err
+	}
+	o := Object{IsLiteral: true, Lexical: lex}
+	switch {
+	case strings.HasPrefix(rest, "@"):
+		end := 1
+		for end < len(rest) && (isAlnum(rest[end]) || rest[end] == '-') {
+			end++
+		}
+		o.LangTag = rest[1:end]
+		if o.LangTag == "" {
+			return Object{}, "", fmt.Errorf("empty language tag")
+		}
+		rest = rest[end:]
+	case strings.HasPrefix(rest, "^^<"):
+		dt, r, err := parseIRI(rest[2:])
+		if err != nil {
+			return Object{}, "", fmt.Errorf("datatype: %w", err)
+		}
+		o.Datatype = dt
+		rest = r
+	}
+	return o, rest, restObject(rest)
+}
+
+// restObject validates that what follows a parsed object can only be
+// whitespace and the terminating dot (checked by the caller); it
+// rejects a second term glued directly on.
+func restObject(rest string) error {
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' && rest[0] != '.' {
+		return fmt.Errorf("unexpected content after object term: %q", truncate(rest))
+	}
+	return nil
+}
+
+// parseQuoted consumes a double-quoted literal, decoding the N-Triples
+// escapes, and returns the lexical form plus the rest of the line.
+func parseQuoted(s string) (string, string, error) {
+	var b strings.Builder
+	i := 1
+	for i < len(s) {
+		c := s[i]
+		switch c {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case 't':
+				b.WriteByte('\t')
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'u', 'U':
+				n := 4
+				if s[i] == 'U' {
+					n = 8
+				}
+				if i+n >= len(s) {
+					return "", "", fmt.Errorf("truncated \\%c escape", s[i])
+				}
+				v, err := strconv.ParseUint(s[i+1:i+1+n], 16, 32)
+				if err != nil {
+					return "", "", fmt.Errorf("bad \\%c escape: %v", s[i], err)
+				}
+				if !utf8.ValidRune(rune(v)) {
+					return "", "", fmt.Errorf("escape \\%c%0*x is not a valid rune", s[i], n, v)
+				}
+				b.WriteRune(rune(v))
+				i += n
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", s[i])
+			}
+			i++
+		case '\n', '\r':
+			return "", "", fmt.Errorf("unterminated literal")
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", "", fmt.Errorf("unterminated literal")
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func truncate(s string) string {
+	if len(s) > 40 {
+		return s[:40] + "…"
+	}
+	return s
+}
+
+// Well-known predicate IRIs of the DBpedia dump vocabulary.
+const (
+	rdfTypeIRI   = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+	owlSameAsIRI = "http://www.w3.org/2002/07/owl#sameAs"
+	// usesTemplateLocal is the local name of the template-membership
+	// predicate, found under both the /property/ and /ontology/
+	// namespaces depending on dump vintage.
+	usesTemplateLocal = "wikiPageUsesTemplate"
+	// interLanguageLocal is the explicit interlanguage-link predicate
+	// of the interlanguage-links dumps.
+	interLanguageLocal = "wikiPageInterLanguageLink"
+)
+
+// dbpediaLang extracts the language edition from a DBpedia IRI host:
+// "http://pt.dbpedia.org/…" → "pt", and the bare "http://dbpedia.org/…"
+// is the English edition. The second result is false for non-DBpedia
+// IRIs or malformed hosts.
+func dbpediaLang(iri string) (wiki.Language, bool) {
+	rest, ok := strings.CutPrefix(iri, "http://")
+	if !ok {
+		if rest, ok = strings.CutPrefix(iri, "https://"); !ok {
+			return "", false
+		}
+	}
+	host, _, _ := strings.Cut(rest, "/")
+	if host == "dbpedia.org" {
+		return wiki.English, true
+	}
+	sub, ok := strings.CutSuffix(host, ".dbpedia.org")
+	if !ok {
+		return "", false
+	}
+	lang := wiki.Language(sub)
+	if !lang.Valid() {
+		return "", false
+	}
+	return lang, true
+}
+
+// localName returns the path segment after the last '/' of an IRI,
+// percent-decoded with underscores restored to spaces — the resource
+// title or property name. The second result is false when the segment
+// is empty or undecodable.
+func localName(iri string) (string, bool) {
+	idx := strings.LastIndexByte(iri, '/')
+	if idx < 0 || idx+1 >= len(iri) {
+		return "", false
+	}
+	seg := iri[idx+1:]
+	dec, err := url.PathUnescape(seg)
+	if err != nil {
+		return "", false
+	}
+	name := strings.ReplaceAll(dec, "_", " ")
+	if strings.TrimSpace(name) == "" {
+		return "", false
+	}
+	return name, true
+}
+
+// resourceTitle resolves a DBpedia resource IRI into its language and
+// article title ("http://pt.dbpedia.org/resource/São_Paulo" → pt,
+// "São Paulo").
+func resourceTitle(iri string) (wiki.Language, string, bool) {
+	lang, ok := dbpediaLang(iri)
+	if !ok || !strings.Contains(iri, "/resource/") {
+		return "", "", false
+	}
+	title, ok := localName(iri)
+	if !ok {
+		return "", "", false
+	}
+	return lang, title, true
+}
+
+// propertyName resolves a DBpedia property IRI ("…/property/nome") into
+// its attribute name; false for IRIs outside a /property/ namespace.
+func propertyName(iri string) (string, bool) {
+	if !strings.Contains(iri, "/property/") {
+		return "", false
+	}
+	return localName(iri)
+}
+
+// encodeTitle renders an article title as a DBpedia IRI segment: spaces
+// become underscores, everything else is percent-encoded as a path
+// segment. localName inverts it for any title without literal
+// underscores (real wiki titles normalize underscores to spaces).
+func encodeTitle(title string) string {
+	return url.PathEscape(strings.ReplaceAll(title, " ", "_"))
+}
+
+// Scanner streams triples out of one N-Triples document without
+// holding more than a line at a time. Lines that carry no triple
+// (blank, comments) are skipped silently; malformed lines are counted
+// per reason and skipped. Use Next until it returns io.EOF.
+type Scanner struct {
+	sc    *bufio.Scanner
+	lines int
+	// Malformed counts skipped lines by reason.
+	Malformed map[string]int
+}
+
+// maxLineBytes bounds a single N-Triples line; DBpedia abstracts can
+// run long, 4 MiB is far beyond any property value.
+const maxLineBytes = 4 << 20
+
+// NewScanner wraps r.
+func NewScanner(r io.Reader) *Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	return &Scanner{sc: sc, Malformed: make(map[string]int)}
+}
+
+// Next returns the next well-formed triple, io.EOF at the end of the
+// stream, or the underlying reader's error. Malformed lines are
+// tallied in Malformed and skipped.
+func (s *Scanner) Next() (Triple, error) {
+	for s.sc.Scan() {
+		s.lines++
+		// Blank and comment lines are dropped on the raw byte slice,
+		// before any per-line string is allocated.
+		raw := bytes.TrimLeft(s.sc.Bytes(), " \t")
+		if len(raw) == 0 || raw[0] == '#' {
+			continue
+		}
+		t, err := ParseTriple(string(raw))
+		if err == nil {
+			return t, nil
+		}
+		if !IsSkipLine(err) {
+			s.Malformed[SkipMalformedTriple]++
+		}
+	}
+	if err := s.sc.Err(); err != nil {
+		return Triple{}, err
+	}
+	return Triple{}, io.EOF
+}
+
+// Lines returns how many lines have been consumed so far.
+func (s *Scanner) Lines() int { return s.lines }

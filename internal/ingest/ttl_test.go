@@ -1,0 +1,221 @@
+package ingest
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/wiki"
+)
+
+func TestParseTriple(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+		want Triple
+	}{
+		{
+			name: "resource object",
+			line: `<http://pt.dbpedia.org/resource/Lisboa> <http://www.w3.org/2002/07/owl#sameAs> <http://dbpedia.org/resource/Lisbon> .`,
+			want: Triple{
+				Subject:   "http://pt.dbpedia.org/resource/Lisboa",
+				Predicate: "http://www.w3.org/2002/07/owl#sameAs",
+				Object:    Object{IRI: "http://dbpedia.org/resource/Lisbon"},
+			},
+		},
+		{
+			name: "plain literal",
+			line: `<http://dbpedia.org/resource/A> <http://dbpedia.org/property/name> "Ada" .`,
+			want: Triple{
+				Subject:   "http://dbpedia.org/resource/A",
+				Predicate: "http://dbpedia.org/property/name",
+				Object:    Object{IsLiteral: true, Lexical: "Ada"},
+			},
+		},
+		{
+			name: "language-tagged literal",
+			line: `<http://vi.dbpedia.org/resource/A> <http://vi.dbpedia.org/property/ten> "Hà Nội"@vi .`,
+			want: Triple{
+				Subject:   "http://vi.dbpedia.org/resource/A",
+				Predicate: "http://vi.dbpedia.org/property/ten",
+				Object:    Object{IsLiteral: true, Lexical: "Hà Nội", LangTag: "vi"},
+			},
+		},
+		{
+			name: "typed literal",
+			line: `<http://dbpedia.org/resource/A> <http://dbpedia.org/property/pop> "12345"^^<http://www.w3.org/2001/XMLSchema#integer> .`,
+			want: Triple{
+				Subject:   "http://dbpedia.org/resource/A",
+				Predicate: "http://dbpedia.org/property/pop",
+				Object:    Object{IsLiteral: true, Lexical: "12345", Datatype: "http://www.w3.org/2001/XMLSchema#integer"},
+			},
+		},
+		{
+			name: "escapes decoded",
+			line: `<http://dbpedia.org/resource/A> <http://dbpedia.org/property/q> "a \"b\"\t\\\né" .`,
+			want: Triple{
+				Subject:   "http://dbpedia.org/resource/A",
+				Predicate: "http://dbpedia.org/property/q",
+				Object:    Object{IsLiteral: true, Lexical: "a \"b\"\t\\\né"},
+			},
+		},
+		{
+			name: "unicode escapes",
+			line: `<http://dbpedia.org/resource/A> <http://dbpedia.org/property/q> "é\U0001F600" .`,
+			want: Triple{
+				Subject:   "http://dbpedia.org/resource/A",
+				Predicate: "http://dbpedia.org/property/q",
+				Object:    Object{IsLiteral: true, Lexical: "é\U0001F600"},
+			},
+		},
+		{
+			name: "leading whitespace and trailing comment",
+			line: "\t <http://dbpedia.org/resource/A> <http://dbpedia.org/property/n> \"x\" . # note",
+			want: Triple{
+				Subject:   "http://dbpedia.org/resource/A",
+				Predicate: "http://dbpedia.org/property/n",
+				Object:    Object{IsLiteral: true, Lexical: "x"},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseTriple(tc.line)
+			if err != nil {
+				t.Fatalf("ParseTriple(%q): %v", tc.line, err)
+			}
+			if got != tc.want {
+				t.Fatalf("ParseTriple(%q)\n got  %+v\n want %+v", tc.line, got, tc.want)
+			}
+			// The canonical rendering must re-parse to the identical triple.
+			again, err := ParseTriple(got.String())
+			if err != nil {
+				t.Fatalf("re-parse of %q: %v", got.String(), err)
+			}
+			if again != got {
+				t.Fatalf("round trip changed the triple:\n was %+v\n got %+v", got, again)
+			}
+		})
+	}
+}
+
+func TestParseTripleRejects(t *testing.T) {
+	lines := []string{
+		`<http://a/b> <http://p/q>`,                         // no object
+		`<http://a/b> <http://p/q> "x"`,                     // no dot
+		`<http://a/b> <http://p/q> "x" extra .`,             // junk between object and dot
+		`<http://a/b> <http://p/q> "x" . extra`,             // junk after dot
+		`<http://a/b> <http://p/q> "unterminated .`,         // unterminated literal
+		`<http://a/b> <http://p/q> "bad\z" .`,               // unknown escape
+		`<http://a/b> <http://p/q> "\uD800" .`,              // surrogate rune
+		`<http://a/b> <http://p/q> "\u12" .`,                // truncated escape
+		`<http://a/b> <http://p/q> ""@ .`,                   // empty language tag
+		`<http://a/b> <http://p q> "x" .`,                   // space in IRI
+		`<http://a/b> <http://p/q> <http://o/p>"glued" .`,   // glued second term
+		`_:b0 <http://p/q> "x" .`,                           // blank node subject
+		`<> <http://p/q> "x" .`,                             // empty IRI
+		`<http://a/b> <http://p/q> "x"^^<http://d t> .`,     // bad datatype IRI
+		"<http://a/b> <http://p/q> \"x\xff\xfe\" .",         // invalid UTF-8
+		`<http://a/<b> <http://p/q> "x" .`,                  // '<' inside IRI
+		`<http://a/b> <http://p/q> "a" "b" .`,               // two objects
+		`<http://a/b> <http://p/q> "x" .<http://a/b> <http`, // run-on line
+	}
+	for _, line := range lines {
+		if _, err := ParseTriple(line); err == nil || IsSkipLine(err) {
+			t.Errorf("ParseTriple(%q) = %v, want malformed error", line, err)
+		}
+	}
+}
+
+func TestParseTripleSkipsBlankAndComments(t *testing.T) {
+	for _, line := range []string{"", "   ", "\t", "# a comment", "  # indented comment"} {
+		if _, err := ParseTriple(line); !IsSkipLine(err) {
+			t.Errorf("ParseTriple(%q) = %v, want skip-line", line, err)
+		}
+	}
+}
+
+func TestScannerTalliesMalformed(t *testing.T) {
+	doc := strings.Join([]string{
+		"# header",
+		`<http://dbpedia.org/resource/A> <http://dbpedia.org/property/n> "one" .`,
+		"this is not a triple",
+		"",
+		`<http://dbpedia.org/resource/B> <http://dbpedia.org/property/n> "two" .`,
+		`<http://broken> <http://p/q>`,
+	}, "\n")
+	sc := NewScanner(strings.NewReader(doc))
+	var got []Triple
+	for {
+		tr, err := sc.Next()
+		if err != nil {
+			break
+		}
+		got = append(got, tr)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d triples, want 2", len(got))
+	}
+	if sc.Malformed[SkipMalformedTriple] != 2 {
+		t.Fatalf("malformed = %v, want 2 under %s", sc.Malformed, SkipMalformedTriple)
+	}
+	if sc.Lines() != 6 {
+		t.Fatalf("lines = %d, want 6", sc.Lines())
+	}
+}
+
+func TestDBpediaLang(t *testing.T) {
+	cases := []struct {
+		iri  string
+		lang wiki.Language
+		ok   bool
+	}{
+		{"http://dbpedia.org/resource/Lisbon", "en", true},
+		{"https://dbpedia.org/resource/Lisbon", "en", true},
+		{"http://pt.dbpedia.org/resource/Lisboa", "pt", true},
+		{"http://zh-min-nan.dbpedia.org/resource/A", "zh-min-nan", true},
+		{"http://be-tarask.dbpedia.org/resource/A", "be-tarask", true},
+		{"http://example.org/resource/A", "", false},
+		{"http://EN.dbpedia.org/resource/A", "", false},
+		{"ftp://dbpedia.org/resource/A", "", false},
+		{"http://dbpedia.org.evil.com/resource/A", "", false},
+	}
+	for _, tc := range cases {
+		lang, ok := dbpediaLang(tc.iri)
+		if lang != tc.lang || ok != tc.ok {
+			t.Errorf("dbpediaLang(%q) = %q, %v; want %q, %v", tc.iri, lang, ok, tc.lang, tc.ok)
+		}
+	}
+}
+
+func TestResourceTitle(t *testing.T) {
+	lang, title, ok := resourceTitle("http://pt.dbpedia.org/resource/S%C3%A3o_Paulo")
+	if !ok || lang != "pt" || title != "São Paulo" {
+		t.Fatalf("resourceTitle = %q, %q, %v", lang, title, ok)
+	}
+	if _, _, ok := resourceTitle("http://pt.dbpedia.org/property/nome"); ok {
+		t.Fatal("property IRI accepted as resource")
+	}
+	if _, _, ok := resourceTitle("http://pt.dbpedia.org/resource/"); ok {
+		t.Fatal("empty title accepted")
+	}
+}
+
+func TestPropertyName(t *testing.T) {
+	name, ok := propertyName("http://vi.dbpedia.org/property/d%C3%A2n_s%E1%BB%91")
+	if !ok || name != "dân số" {
+		t.Fatalf("propertyName = %q, %v", name, ok)
+	}
+	if _, ok := propertyName("http://vi.dbpedia.org/resource/A"); ok {
+		t.Fatal("resource IRI accepted as property")
+	}
+}
+
+func TestEncodeTitleRoundTrip(t *testing.T) {
+	for _, title := range []string{"São Paulo", "Łódź", "C++ (programming language)", "Plain", "A/B testing"} {
+		iri := "http://dbpedia.org/resource/" + encodeTitle(title)
+		lang, got, ok := resourceTitle(iri)
+		if !ok || lang != "en" || got != title {
+			t.Errorf("round trip of %q via %q = %q, %v", title, iri, got, ok)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package ingest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/wiki"
+)
+
+// This file renders a corpus back into DBpedia-style dump files — the
+// inverse of the TTL ingestion path. corpusgen uses it to fabricate
+// dump sets for CI and benchmarks, and the round-trip tests use it to
+// prove ingestion reconstructs what was written.
+
+// hostOf renders the DBpedia host of a language edition: the English
+// edition lives on the bare apex domain, exactly as in real dumps, so
+// ingestion's apex→en mapping is exercised by generated data too.
+func hostOf(lang wiki.Language) string {
+	if lang == wiki.English {
+		return "dbpedia.org"
+	}
+	return string(lang) + ".dbpedia.org"
+}
+
+func resourceIRI(lang wiki.Language, title string) string {
+	return "http://" + hostOf(lang) + "/resource/" + encodeTitle(title)
+}
+
+func propertyIRI(lang wiki.Language, name string) string {
+	return "http://" + hostOf(lang) + "/property/" + encodeTitle(name)
+}
+
+// WriteProperties renders one language edition's infobox data as a
+// DBpedia infobox-properties N-Triples dump: per article, one template
+// triple plus one triple per attribute value atom. Values split on the
+// ", " joiner ingestion uses, so a written corpus re-ingests to the
+// same attribute values; atoms that match a link become resource
+// triples, the rest literals.
+func WriteProperties(w io.Writer, c *wiki.Corpus, lang wiki.Language) error {
+	bw := bufio.NewWriterSize(w, 256<<10)
+	fmt.Fprintf(bw, "# infobox properties for %s\n", lang)
+	for _, a := range c.Articles(lang) {
+		if a.Infobox == nil {
+			continue
+		}
+		subj := resourceIRI(lang, a.Title)
+		if a.Infobox.Template != "" && a.Infobox.Template != "Infobox" {
+			t := Triple{
+				Subject:   subj,
+				Predicate: "http://dbpedia.org/property/" + usesTemplateLocal,
+				Object:    Object{IRI: resourceIRI(lang, "Template:"+a.Infobox.Template)},
+			}
+			fmt.Fprintln(bw, t.String())
+		}
+		for _, av := range a.Infobox.Attrs {
+			pred := propertyIRI(lang, av.Name)
+			links := make(map[string]bool, len(av.Links))
+			for _, l := range av.Links {
+				links[l.Target] = true
+			}
+			for _, atomText := range strings.Split(av.Text, ", ") {
+				if atomText == "" {
+					continue
+				}
+				var obj Object
+				if links[atomText] {
+					obj = Object{IRI: resourceIRI(lang, atomText)}
+				} else {
+					obj = Object{IsLiteral: true, Lexical: atomText}
+				}
+				fmt.Fprintln(bw, Triple{Subject: subj, Predicate: pred, Object: obj}.String())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteLinks renders one language edition's cross-language links as a
+// DBpedia interlanguage-links N-Triples dump (owl:sameAs).
+func WriteLinks(w io.Writer, c *wiki.Corpus, lang wiki.Language) error {
+	bw := bufio.NewWriterSize(w, 256<<10)
+	fmt.Fprintf(bw, "# interlanguage links for %s\n", lang)
+	for _, a := range c.Articles(lang) {
+		subj := resourceIRI(lang, a.Title)
+		for _, cl := range a.SortedCrossLinks() {
+			t := Triple{
+				Subject:   subj,
+				Predicate: owlSameAsIRI,
+				Object:    Object{IRI: resourceIRI(cl.Language, cl.Title)},
+			}
+			fmt.Fprintln(bw, t.String())
+		}
+	}
+	return bw.Flush()
+}

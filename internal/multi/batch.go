@@ -23,7 +23,8 @@ type PairMatcher interface {
 type Options struct {
 	// Mode selects pivot (default) or direct pair coverage.
 	Mode Mode
-	// Hub is the pivot edition (default English). Direct mode uses it
+	// Hub is the pivot edition; empty resolves to DefaultHub of the
+	// batch's language set (English when present). Direct mode uses it
 	// only to orient pairs canonically.
 	Hub wiki.Language
 	// Workers bounds how many pairs run concurrently; 0 means
@@ -33,9 +34,6 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.Hub == "" {
-		o.Hub = wiki.English
-	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}

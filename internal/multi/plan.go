@@ -78,9 +78,33 @@ func (e *UnknownHubError) Error() string {
 	return fmt.Sprintf("multi: pivot hub %q not among corpus languages %v", e.Hub, e.Langs)
 }
 
+// DefaultHub picks the pivot edition a batch uses when the caller names
+// none: English when the language set includes it (the paper's hub),
+// otherwise the lexicographically first language — a deterministic
+// choice that keeps corpora without an English edition fully usable
+// with default requests. It returns the empty Language for an empty
+// set.
+func DefaultHub(langs []wiki.Language) wiki.Language {
+	var first wiki.Language
+	for _, l := range langs {
+		if l == wiki.English {
+			return l
+		}
+		if first == "" || l < first {
+			first = l
+		}
+	}
+	return first
+}
+
 // NewPlan resolves the pair plan for a language set. Pivot mode requires
 // the hub to be one of the languages; both modes require at least two.
+// An empty hub resolves to DefaultHub(langs), making the hub choice
+// data-driven rather than hardwired to English.
 func NewPlan(langs []wiki.Language, mode Mode, hub wiki.Language) (Plan, error) {
+	if hub == "" {
+		hub = DefaultHub(langs)
+	}
 	if !hub.Valid() {
 		return Plan{}, fmt.Errorf("multi: invalid hub language %q", hub)
 	}

@@ -1,0 +1,42 @@
+package multi
+
+import (
+	"testing"
+
+	"repro/internal/wiki"
+)
+
+func TestDefaultHub(t *testing.T) {
+	cases := []struct {
+		langs []wiki.Language
+		want  wiki.Language
+	}{
+		{[]wiki.Language{"pt", "en", "vi"}, "en"},
+		{[]wiki.Language{"vi", "pt"}, "pt"},
+		{[]wiki.Language{"zh-min-nan", "be-tarask", "ceb"}, "be-tarask"},
+		{nil, ""},
+	}
+	for _, tc := range cases {
+		if got := DefaultHub(tc.langs); got != tc.want {
+			t.Errorf("DefaultHub(%v) = %q, want %q", tc.langs, got, tc.want)
+		}
+	}
+}
+
+func TestNewPlanResolvesEmptyHub(t *testing.T) {
+	langs := []wiki.Language{"de", "fr", "pt"}
+	p, err := NewPlan(langs, ModePivot, "")
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	if p.Hub != "de" {
+		t.Fatalf("hub = %q, want de (no English present)", p.Hub)
+	}
+	p2, err := NewPlan([]wiki.Language{"pt", "en", "vi"}, ModePivot, "")
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	if p2.Hub != "en" {
+		t.Fatalf("hub = %q, want en", p2.Hub)
+	}
+}

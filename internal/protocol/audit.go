@@ -13,9 +13,11 @@ type AuditRequest struct {
 	// Mode is the batch coverage for the matching phase, "pivot"
 	// (default) or "direct".
 	Mode string `json:"mode,omitempty"`
-	// Hub is the pivot edition (default "en"). A malformed code is an
-	// invalid_argument error; a well-formed hub the corpus does not serve
-	// surfaces as not_found from the matching phase.
+	// Hub is the pivot edition; empty resolves against the corpus
+	// (multi.DefaultHub: "en" when present, else the lexicographically
+	// first language). A malformed code is an invalid_argument error; a
+	// well-formed hub the corpus does not serve surfaces as not_found
+	// from the matching phase.
 	Hub string `json:"hub,omitempty"`
 	// Workers bounds concurrent pairs in the matching phase; 0 means
 	// GOMAXPROCS.
@@ -54,7 +56,7 @@ type ResolvedAudit struct {
 // CodeNotFound).
 func (r AuditRequest) Validate() (ResolvedAudit, error) {
 	res := ResolvedAudit{
-		Multi:    multi.Options{Mode: multi.ModePivot, Hub: wiki.English, Workers: r.Workers},
+		Multi:    multi.Options{Mode: multi.ModePivot, Workers: r.Workers},
 		MinSev:   r.MinSeverity,
 		Limit:    r.Limit,
 		Clusters: r.Clusters,

@@ -49,7 +49,9 @@ type MatchRequest struct {
 	All bool `json:"all,omitempty"`
 	// Mode is the batch coverage, "pivot" (default) or "direct".
 	Mode string `json:"mode,omitempty"`
-	// Hub is the pivot edition (default "en").
+	// Hub is the pivot edition. Empty resolves against the corpus:
+	// "en" when the corpus has an English edition, otherwise its
+	// lexicographically first language (multi.DefaultHub).
 	Hub string `json:"hub,omitempty"`
 	// Workers bounds concurrent pairs in a batch; 0 means GOMAXPROCS.
 	Workers int `json:"workers,omitempty"`
@@ -138,7 +140,7 @@ func (r MatchRequest) Validate() (Resolved, error) {
 		if r.Type != "" {
 			return Resolved{}, Errorf(CodeInvalidArgument, "all-pairs request must not set type (got %q)", r.Type)
 		}
-		res.Multi = multi.Options{Mode: multi.ModePivot, Hub: wiki.English, Workers: r.Workers}
+		res.Multi = multi.Options{Mode: multi.ModePivot, Workers: r.Workers}
 		if r.Mode != "" {
 			mode, err := multi.ParseMode(r.Mode)
 			if err != nil {
@@ -174,15 +176,36 @@ func (r MatchRequest) Validate() (Resolved, error) {
 }
 
 // ParsePair parses a "pt-en"-style language pair. "vn-en" is accepted
-// as an alias of the paper's Vietnamese–English pair.
+// as an alias of the paper's Vietnamese–English pair. Because edition
+// codes may themselves contain hyphens ("zh-min-nan"), a colon is
+// accepted as an unambiguous separator ("zh-min-nan:en"); the hyphen
+// form remains valid whenever it splits into exactly two codes one way
+// ("pt-en", "zh-min-nan-en" is rejected as ambiguous).
 func ParsePair(s string) (wiki.LanguagePair, error) {
 	if s == "vn-en" {
 		return wiki.VnEn, nil
 	}
-	a, b, ok := strings.Cut(s, "-")
-	pair := wiki.LanguagePair{A: wiki.Language(a), B: wiki.Language(b)}
-	if !ok || !pair.A.Valid() || !pair.B.Valid() {
-		return wiki.LanguagePair{}, fmt.Errorf("invalid language pair %q (want e.g. %q)", s, "pt-en")
+	if a, b, ok := strings.Cut(s, ":"); ok {
+		pair := wiki.LanguagePair{A: wiki.Language(a), B: wiki.Language(b)}
+		if !pair.A.Valid() || !pair.B.Valid() || strings.Contains(b, ":") {
+			return wiki.LanguagePair{}, fmt.Errorf("invalid language pair %q (want e.g. %q or %q)", s, "pt-en", "zh-min-nan:en")
+		}
+		return pair, nil
 	}
-	return pair, nil
+	switch strings.Count(s, "-") {
+	case 1:
+		a, b, _ := strings.Cut(s, "-")
+		pair := wiki.LanguagePair{A: wiki.Language(a), B: wiki.Language(b)}
+		if !pair.A.Valid() || !pair.B.Valid() {
+			return wiki.LanguagePair{}, fmt.Errorf("invalid language pair %q (want e.g. %q)", s, "pt-en")
+		}
+		return pair, nil
+	case 0:
+		return wiki.LanguagePair{}, fmt.Errorf("invalid language pair %q (want e.g. %q)", s, "pt-en")
+	default:
+		// Multiple hyphens: every split point could be valid
+		// ("zh-min-nan-en" is zh-min-nan/en or zh/min-nan-en …), so
+		// require the colon form instead of guessing.
+		return wiki.LanguagePair{}, fmt.Errorf("ambiguous language pair %q: edition codes may contain hyphens, separate them with a colon (e.g. %q)", s, "zh-min-nan:en")
+	}
 }

@@ -43,6 +43,20 @@ func TestValidate(t *testing.T) {
 			},
 		},
 		{
+			name: "colon pair with hyphenated codes",
+			req:  MatchRequest{Pair: "zh-min-nan:en"},
+			check: func(t *testing.T, r Resolved) {
+				if r.Pair != (wiki.LanguagePair{A: "zh-min-nan", B: "en"}) {
+					t.Errorf("pair = %v", r.Pair)
+				}
+			},
+		},
+		{
+			name:    "multi-hyphen pair is ambiguous",
+			req:     MatchRequest{Pair: "zh-min-nan-en"},
+			wantErr: `ambiguous language pair "zh-min-nan-en": edition codes may contain hyphens, separate them with a colon (e.g. "zh-min-nan:en")`,
+		},
+		{
 			name: "single type",
 			req:  MatchRequest{Pair: "pt-en", Type: "filme"},
 			check: func(t *testing.T, r Resolved) {
@@ -55,7 +69,9 @@ func TestValidate(t *testing.T) {
 			name: "all defaults",
 			req:  MatchRequest{All: true},
 			check: func(t *testing.T, r Resolved) {
-				if r.Multi.Mode != multi.ModePivot || r.Multi.Hub != wiki.English {
+				// Hub stays empty here: multi.NewPlan resolves it against
+				// the corpus's language set (DefaultHub).
+				if r.Multi.Mode != multi.ModePivot || r.Multi.Hub != "" {
 					t.Errorf("multi = %+v", r.Multi)
 				}
 			},

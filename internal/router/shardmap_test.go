@@ -45,6 +45,35 @@ func TestShardForSeparatesConcatenations(t *testing.T) {
 	}
 }
 
+// TestShardForHyphenatedCodes: the map hashes the two side strings
+// separately (never a "-"-joined rendering), so hyphen-bearing edition
+// codes behave exactly like plain ones: orientation-independent, in
+// range, and distinct from pairs whose hyphen-joined renderings would
+// collide ("zh-min"+"nan" vs "zh"+"min-nan").
+func TestShardForHyphenatedCodes(t *testing.T) {
+	pairs := []wiki.LanguagePair{
+		{A: "zh-min-nan", B: "en"}, {A: "be-tarask", B: "en"},
+		{A: "nds-nl", B: "zh-min-nan"},
+	}
+	for count := 1; count <= 5; count++ {
+		for _, p := range pairs {
+			got := ShardFor(p, count)
+			if got < 0 || got >= count {
+				t.Fatalf("ShardFor(%s, %d) = %d out of range", p, count, got)
+			}
+			if ShardFor(wiki.LanguagePair{A: p.B, B: p.A}, count) != got {
+				t.Errorf("ShardFor not orientation-independent for %s among %d", p, count)
+			}
+		}
+	}
+	a := wiki.LanguagePair{A: "zh-min", B: "nan"}
+	b := wiki.LanguagePair{A: "zh", B: "min-nan"}
+	const wide = 1 << 16
+	if ShardFor(a, wide) == ShardFor(b, wide) {
+		t.Error("hyphen-joined renderings collide; shard map must hash sides separately")
+	}
+}
+
 // TestOwnedPartition: across every shard, Owned covers each pair
 // exactly once, and PairsFor reproduces the same partition.
 func TestOwnedPartition(t *testing.T) {

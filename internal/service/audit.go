@@ -26,6 +26,9 @@ func (s *Session) ServeAudit(ctx context.Context, req protocol.AuditRequest) (*p
 	if err != nil {
 		return nil, err
 	}
+	if r.Multi.Hub == "" {
+		r.Multi.Hub = multi.DefaultHub(s.Corpus().Languages())
+	}
 	start := time.Now()
 	clusters := r.Clusters
 	var pairs []protocol.MatchAllPair
@@ -55,6 +58,9 @@ func (s *Session) ServeAuditStream(ctx context.Context, req protocol.AuditReques
 	r, err := req.Validate()
 	if err != nil {
 		return nil, err
+	}
+	if r.Multi.Hub == "" {
+		r.Multi.Hub = multi.DefaultHub(s.Corpus().Languages())
 	}
 	start := time.Now()
 	if r.Clusters != nil {

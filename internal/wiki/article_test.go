@@ -65,21 +65,6 @@ func TestArticleCloneIndependence(t *testing.T) {
 	}
 }
 
-func TestLanguageValid(t *testing.T) {
-	cases := []struct {
-		l    Language
-		want bool
-	}{
-		{"en", true}, {"pt", true}, {"vi", true}, {"simple", true},
-		{"", false}, {"EN", false}, {"e n", false}, {"e1", false},
-	}
-	for _, c := range cases {
-		if got := c.l.Valid(); got != c.want {
-			t.Errorf("Language(%q).Valid() = %v, want %v", c.l, got, c.want)
-		}
-	}
-}
-
 func TestLanguagePairHelpers(t *testing.T) {
 	if PtEn.String() != "pt-en" {
 		t.Errorf("String = %q", PtEn.String())

@@ -197,8 +197,12 @@ func (c *Corpus) TypePairCount(pair LanguagePair) map[[2]string]int {
 	return counts
 }
 
-// Stats summarizes a corpus for reporting.
+// Stats summarizes a corpus for reporting. Languages lists the
+// editions present, sorted — explicit rather than implied by map keys,
+// so wire consumers of /v1/corpus see the data-driven language set
+// directly.
 type Stats struct {
+	Languages  []Language
 	Articles   map[Language]int
 	Infoboxes  map[Language]int
 	Types      map[Language]int
@@ -208,6 +212,7 @@ type Stats struct {
 // Stats computes summary statistics over the corpus.
 func (c *Corpus) Stats() Stats {
 	s := Stats{
+		Languages:  c.Languages(),
 		Articles:   make(map[Language]int),
 		Infoboxes:  make(map[Language]int),
 		Types:      make(map[Language]int),

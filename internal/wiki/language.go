@@ -12,6 +12,7 @@ package wiki
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Language identifies a Wikipedia language edition by its subdomain code
@@ -28,18 +29,33 @@ const (
 // String returns the language code.
 func (l Language) String() string { return string(l) }
 
-// Valid reports whether l is a non-empty language code consisting of
-// lowercase ASCII letters (the form used by interlanguage link prefixes).
+// Valid reports whether l is a well-formed language edition code: one
+// or more segments of lowercase ASCII letters and digits separated by
+// single hyphens, starting with a letter. This is the form used by
+// interlanguage link prefixes and Wikipedia subdomains, and it covers
+// the long-tail editions ("zh-min-nan", "be-tarask", "nds-nl",
+// "map-bms") as well as the plain two-letter codes. Uppercase, empty
+// codes, and leading/trailing/doubled hyphens are rejected.
 func (l Language) Valid() bool {
-	if len(l) == 0 {
+	if len(l) == 0 || l[0] < 'a' || l[0] > 'z' {
 		return false
 	}
-	for _, r := range l {
-		if r < 'a' || r > 'z' {
+	prevHyphen := false
+	for i := 0; i < len(l); i++ {
+		c := l[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+			prevHyphen = false
+		case c == '-':
+			if prevHyphen {
+				return false
+			}
+			prevHyphen = true
+		default:
 			return false
 		}
 	}
-	return true
+	return !prevHyphen
 }
 
 // LanguagePair names an ordered pair of language editions whose infobox
@@ -48,8 +64,16 @@ type LanguagePair struct {
 	A, B Language
 }
 
-// String renders the pair as "pt-en".
-func (p LanguagePair) String() string { return fmt.Sprintf("%s-%s", p.A, p.B) }
+// String renders the pair as "pt-en". When either code itself contains
+// a hyphen ("zh-min-nan"), the sides are joined with a colon instead
+// ("zh-min-nan:en") so the rendering stays unambiguous and parseable:
+// protocol.ParsePair(p.String()) round-trips for every valid pair.
+func (p LanguagePair) String() string {
+	if strings.ContainsRune(string(p.A), '-') || strings.ContainsRune(string(p.B), '-') {
+		return fmt.Sprintf("%s:%s", p.A, p.B)
+	}
+	return fmt.Sprintf("%s-%s", p.A, p.B)
+}
 
 // Reverse returns the pair with the two languages swapped.
 func (p LanguagePair) Reverse() LanguagePair { return LanguagePair{A: p.B, B: p.A} }

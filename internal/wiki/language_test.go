@@ -1,0 +1,60 @@
+package wiki
+
+import "testing"
+
+func TestLanguageValid(t *testing.T) {
+	valid := []Language{
+		"en", "pt", "vi", "de",
+		"zh-min-nan", "be-tarask", "nds-nl", "map-bms", "roa-rup",
+		"be-x-old", "fiu-vro", "cbk-zam",
+		"a", "x1", "t2g",
+	}
+	for _, l := range valid {
+		if !l.Valid() {
+			t.Errorf("Language(%q).Valid() = false, want true", l)
+		}
+	}
+	invalid := []Language{
+		"", "EN", "En", "zh-Min-nan", "pt_BR", "pt.br",
+		"-en", "en-", "zh--nan", "-", "--",
+		"1en", "9", "0-en",
+		"en ", " en", "e n", "en\n",
+	}
+	for _, l := range invalid {
+		if l.Valid() {
+			t.Errorf("Language(%q).Valid() = true, want false", l)
+		}
+	}
+}
+
+func TestLanguagePairStringHyphenated(t *testing.T) {
+	cases := []struct {
+		pair LanguagePair
+		want string
+	}{
+		{LanguagePair{A: Portuguese, B: English}, "pt-en"},
+		{LanguagePair{A: "zh-min-nan", B: English}, "zh-min-nan:en"},
+		{LanguagePair{A: "de", B: "be-tarask"}, "de:be-tarask"},
+		{LanguagePair{A: "nds-nl", B: "zh-min-nan"}, "nds-nl:zh-min-nan"},
+	}
+	for _, c := range cases {
+		if got := c.pair.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.pair, got, c.want)
+		}
+	}
+}
+
+func TestOrientPairHyphenated(t *testing.T) {
+	hub := Language("en")
+	// Hub always lands on the B side regardless of code shape.
+	if got := OrientPair("zh-min-nan", hub, hub); got != (LanguagePair{A: "zh-min-nan", B: hub}) {
+		t.Errorf("OrientPair(zh-min-nan, en, en) = %v", got)
+	}
+	if got := OrientPair(hub, "zh-min-nan", hub); got != (LanguagePair{A: "zh-min-nan", B: hub}) {
+		t.Errorf("OrientPair(en, zh-min-nan, en) = %v", got)
+	}
+	// Non-hub pairs order lexicographically.
+	if got := OrientPair("nds-nl", "be-tarask", hub); got != (LanguagePair{A: "be-tarask", B: "nds-nl"}) {
+		t.Errorf("OrientPair(nds-nl, be-tarask, en) = %v", got)
+	}
+}

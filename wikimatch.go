@@ -43,6 +43,7 @@ import (
 	"repro/internal/dump"
 	"repro/internal/eval"
 	"repro/internal/experiments"
+	"repro/internal/ingest"
 	"repro/internal/multi"
 	"repro/internal/protocol"
 	"repro/internal/query"
@@ -113,6 +114,87 @@ func SmallCorpus() CorpusConfig { return synth.SmallConfig() }
 func GenerateCorpus(cfg CorpusConfig) (*Corpus, *GroundTruth, error) {
 	return synth.Generate(cfg)
 }
+
+// Multi-edition generation: a deterministic corpus over an arbitrary
+// language list (ten or more editions, hyphenated long-tail codes,
+// star-shaped cross-links through a hub) for exercising the pivot
+// planner and the ingestion round trip.
+type (
+	// EditionsConfig sizes the multi-edition synthetic corpus.
+	EditionsConfig = synth.EditionsConfig
+	// EditionsTruth is its ground truth: canonical ids for every
+	// localized type and attribute surface.
+	EditionsTruth = synth.EditionsTruth
+)
+
+// DefaultEditionsCorpus is the 12-edition star configuration: English
+// hub, no non-hub links, so every non-hub pair is transitive-only.
+func DefaultEditionsCorpus() EditionsConfig { return synth.DefaultEditions() }
+
+// GenerateEditions builds the multi-edition corpus and its truth.
+func GenerateEditions(cfg EditionsConfig) (*Corpus, *EditionsTruth, error) {
+	return synth.Editions(cfg)
+}
+
+// Real-dump ingestion (internal/ingest): streaming, bounded-memory
+// loading of DBpedia infobox-properties / interlanguage-links N-Triples
+// dumps and MediaWiki XML dumps into a corpus, with transparent
+// gzip/bzip2 decoding, per-reason skip accounting and a language set
+// driven entirely by the data.
+type (
+	// IngestSource is one dump input (language, format, path or reader).
+	IngestSource = ingest.Source
+	// IngestOptions configures an ingestion run (language filter,
+	// workers, dry run, progress).
+	IngestOptions = ingest.Options
+	// IngestResult is a completed run: the corpus plus per-language
+	// statistics.
+	IngestResult = ingest.Result
+	// IngestLangStats counts one edition's ingestion outcome.
+	IngestLangStats = ingest.LangStats
+	// IngestProgress reports one completed source file.
+	IngestProgress = ingest.Progress
+)
+
+// Ingestion source formats.
+const (
+	// IngestTTL is a DBpedia N-Triples/TTL dump.
+	IngestTTL = ingest.FormatTTL
+	// IngestXML is a MediaWiki XML page dump.
+	IngestXML = ingest.FormatXML
+)
+
+// IngestDir ingests every recognized dump file in a directory
+// (<lang>-infobox-properties*.ttl, <lang>-interlanguage-links*.ttl,
+// <lang>.xml, each optionally .gz/.bz2) into one corpus.
+func IngestDir(ctx context.Context, dir string, opts IngestOptions) (*IngestResult, error) {
+	return ingest.Dir(ctx, dir, opts)
+}
+
+// IngestRun ingests an explicit source list into one corpus.
+func IngestRun(ctx context.Context, sources []IngestSource, opts IngestOptions) (*IngestResult, error) {
+	return ingest.Run(ctx, sources, opts)
+}
+
+// ScanDumpDir discovers the dump sources IngestDir would load.
+func ScanDumpDir(dir string) ([]IngestSource, error) { return ingest.ScanDir(dir) }
+
+// WritePropertiesDump renders one edition's infoboxes as a DBpedia
+// infobox-properties N-Triples dump — the inverse of IngestRun.
+func WritePropertiesDump(w io.Writer, c *Corpus, lang Language) error {
+	return ingest.WriteProperties(w, c, lang)
+}
+
+// WriteLinksDump renders one edition's cross-language links as a
+// DBpedia interlanguage-links N-Triples dump (owl:sameAs).
+func WriteLinksDump(w io.Writer, c *Corpus, lang Language) error {
+	return ingest.WriteLinks(w, c, lang)
+}
+
+// DefaultHub is the hub edition an all-pairs batch resolves to when none
+// is requested: English if the corpus has it, else the lexicographically
+// first edition.
+func DefaultHub(langs []Language) Language { return multi.DefaultHub(langs) }
 
 // Dump I/O.
 
